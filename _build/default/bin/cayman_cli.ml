@@ -1,0 +1,242 @@
+(* Command-line interface to the Cayman flow.
+
+   cayman_cli run --bench 3mm --budget 0.25
+   cayman_cli run --file app.mc --budget 0.65 --mode coupled-only
+   cayman_cli dump --bench atax         # IR + wPST + profile summary
+   cayman_cli list                      # available suite benchmarks
+*)
+
+module Ir = Cayman_ir
+module An = Cayman_analysis
+module Sim = Cayman_sim
+module Hls = Cayman_hls
+module Suite = Cayman_suites.Suite
+
+open Cmdliner
+
+let load_program ~bench ~file =
+  match bench, file with
+  | Some name, None ->
+    (match Suite.find name with
+     | Some b -> Ok (Suite.compile b)
+     | None ->
+       Error (Printf.sprintf "unknown benchmark %s (try the list command)" name))
+  | None, Some path ->
+    (try
+       let ic = open_in path in
+       let n = in_channel_length ic in
+       let src = really_input_string ic n in
+       close_in ic;
+       Ok (Cayman_frontend.Lower.compile src)
+     with
+     | Sys_error m -> Error m
+     | Cayman_frontend.Lower.Error { line; message } ->
+       Error (Printf.sprintf "%s:%d: %s" path line message))
+  | Some _, Some _ -> Error "use either --bench or --file, not both"
+  | None, None -> Error "one of --bench or --file is required"
+
+let bench_arg =
+  let doc = "Suite benchmark name (see the list command)." in
+  Arg.(value & opt (some string) None & info [ "b"; "bench" ] ~doc)
+
+let file_arg =
+  let doc = "MiniC source file to compile and accelerate." in
+  Arg.(value & opt (some file) None & info [ "f"; "file" ] ~doc)
+
+let budget_arg =
+  let doc = "Area budget as a fraction of the CVA6 tile area." in
+  Arg.(value & opt float 0.25 & info [ "budget" ] ~doc)
+
+let mode_arg =
+  let doc = "Accelerator model: full, coupled-only, novia, qscores." in
+  Arg.(value & opt string "full" & info [ "mode" ] ~doc)
+
+let alpha_arg =
+  let doc = "Pareto filter spacing ratio (Algorithm 1's alpha)." in
+  Arg.(value & opt float 1.08 & info [ "alpha" ] ~doc)
+
+let gen_of_mode = function
+  | "full" -> Ok (Core.Cayman.gen Hls.Kernel.Heuristic)
+  | "coupled-only" -> Ok (Core.Cayman.gen Hls.Kernel.Coupled_only)
+  | "novia" -> Ok Cayman_baselines.Novia.gen
+  | "qscores" -> Ok Cayman_baselines.Qscores.gen
+  | other -> Error (Printf.sprintf "unknown mode %s" other)
+
+let run_cmd bench file budget mode alpha =
+  match load_program ~bench ~file with
+  | Error m -> prerr_endline ("cayman: " ^ m); 1
+  | Ok program ->
+    (match gen_of_mode mode with
+     | Error m -> prerr_endline ("cayman: " ^ m); 1
+     | Ok gen ->
+       let a = Core.Cayman.analyze program in
+       Printf.printf "profiled: %d host cycles (%.6f s), %d dynamic instrs\n"
+         (Sim.Profile.total_cycles a.Core.Cayman.profile)
+         a.Core.Cayman.t_all
+         (Sim.Profile.total_instrs a.Core.Cayman.profile);
+       let params = { Core.Select.default_params with Core.Select.alpha } in
+       let frontier, stats =
+         Core.Select.select ~params ~gen a.Core.Cayman.ctxs a.Core.Cayman.wpst
+           a.Core.Cayman.profile
+       in
+       Printf.printf
+         "selection: %d vertices visited (%d pruned), %d design points, %d \
+          Pareto solutions\n"
+         stats.Core.Select.visited stats.Core.Select.pruned
+         stats.Core.Select.points_evaluated (List.length frontier);
+       let budget_area = budget *. Hls.Tech.cva6_tile_area in
+       let s =
+         match Core.Solution.best_under ~budget:budget_area frontier with
+         | Some s -> s
+         | None -> Core.Solution.empty
+       in
+       Printf.printf "best solution under %.0f%% of a CVA6 tile:\n"
+         (100.0 *. budget);
+       Format.printf "%a@." Core.Solution.pp s;
+       Printf.printf "speedup (Eq. 1): %.3fx\n"
+         (Core.Solution.speedup ~t_all:a.Core.Cayman.t_all s);
+       let m = Core.Cayman.merge a s in
+       Printf.printf
+         "merging: %.0f -> %.0f um^2 (%.1f%% saved), %d reusable accelerators\n"
+         m.Core.Merge.area_before m.Core.Merge.area_after
+         m.Core.Merge.saving_pct m.Core.Merge.n_reusable;
+       0)
+
+let dump_cmd bench file =
+  match load_program ~bench ~file with
+  | Error m -> prerr_endline ("cayman: " ^ m); 1
+  | Ok program ->
+    Format.printf "%a@." Ir.Program.pp program;
+    let a = Core.Cayman.analyze program in
+    Format.printf "%a@." An.Wpst.pp a.Core.Cayman.wpst;
+    Printf.printf "total: %d cycles, %.6f s\n"
+      (Sim.Profile.total_cycles a.Core.Cayman.profile)
+      a.Core.Cayman.t_all;
+    0
+
+let out_arg =
+  let doc = "Output directory for generated Verilog." in
+  Arg.(value & opt string "cayman_rtl" & info [ "o"; "out" ] ~doc)
+
+let emit_cmd bench file budget out =
+  match load_program ~bench ~file with
+  | Error m -> prerr_endline ("cayman: " ^ m); 1
+  | Ok program ->
+    let a = Core.Cayman.analyze program in
+    let r = Core.Cayman.run ~mode:Hls.Kernel.Heuristic a in
+    let s = Core.Cayman.best_under_ratio r ~budget_ratio:budget in
+    if not (Sys.file_exists out) then Sys.mkdir out 0o755;
+    let write name contents =
+      let oc = open_out (Filename.concat out name) in
+      output_string oc contents;
+      close_out oc
+    in
+    write "cayman_primitives.v" Hls.Netlist.primitives;
+    let count = ref 0 in
+    List.iter
+      (fun (acc : Core.Solution.accel) ->
+        match Hashtbl.find_opt a.Core.Cayman.ctxs acc.Core.Solution.a_func with
+        | None -> ()
+        | Some ctx ->
+          let region =
+            An.Wpst.region a.Core.Cayman.wpst
+              { An.Wpst.vfunc = acc.Core.Solution.a_func;
+                vid = acc.Core.Solution.a_region_id }
+          in
+          (match region with
+           | None -> ()
+           | Some region ->
+             (match
+                Hls.Netlist.of_kernel ctx region
+                  acc.Core.Solution.a_point.Hls.Kernel.config
+              with
+              | Some n ->
+                incr count;
+                write (n.Hls.Netlist.module_name ^ ".v") n.Hls.Netlist.verilog;
+                Printf.printf
+                  "%-48s %4d units %3d mem %4d regs %3d states
+"
+                  (n.Hls.Netlist.module_name ^ ".v")
+                  n.Hls.Netlist.stats.Hls.Netlist.n_compute
+                  n.Hls.Netlist.stats.Hls.Netlist.n_mem
+                  n.Hls.Netlist.stats.Hls.Netlist.n_regs
+                  n.Hls.Netlist.stats.Hls.Netlist.n_states
+              | None -> ())))
+      s.Core.Solution.accels;
+    (* merged (reusable) accelerators *)
+    let m = Core.Cayman.merge a s in
+    List.iteri
+      (fun i (acc : Core.Merge.accel) ->
+        if List.length acc.Core.Merge.regions >= 2 then begin
+          let n = Core.Merge.netlist_of i acc in
+          incr count;
+          write (n.Hls.Netlist.module_name ^ ".v") n.Hls.Netlist.verilog;
+          Printf.printf "%-48s reusable: %d FSMs, %d shared units\n"
+            (n.Hls.Netlist.module_name ^ ".v")
+            n.Hls.Netlist.stats.Hls.Netlist.n_states
+            n.Hls.Netlist.stats.Hls.Netlist.n_compute
+        end)
+      m.Core.Merge.accels;
+    Printf.printf "wrote %d netlists + primitives to %s/\n" !count out;
+    0
+
+let graph_cmd bench file out =
+  match load_program ~bench ~file with
+  | Error m -> prerr_endline ("cayman: " ^ m); 1
+  | Ok program ->
+    let a = Core.Cayman.analyze program in
+    if not (Sys.file_exists out) then Sys.mkdir out 0o755;
+    let write name contents =
+      let oc = open_out (Filename.concat out name) in
+      output_string oc contents;
+      close_out oc
+    in
+    write "wpst.dot" (An.Dot.wpst a.Core.Cayman.wpst);
+    List.iter
+      (fun (f : Ir.Func.t) ->
+        write (Printf.sprintf "cfg_%s.dot" f.Ir.Func.name) (An.Dot.cfg f))
+      a.Core.Cayman.program.Ir.Program.funcs;
+    Printf.printf "wrote wpst.dot + %d CFGs to %s/ (render with graphviz)\n"
+      (List.length a.Core.Cayman.program.Ir.Program.funcs)
+      out;
+    0
+
+let list_cmd () =
+  List.iter
+    (fun (b : Suite.benchmark) ->
+      Printf.printf "%-28s %s\n" b.Suite.name b.Suite.suite)
+    Suite.all;
+  0
+
+let run_t =
+  Cmd.v (Cmd.info "run" ~doc:"Run the full Cayman flow on a program")
+    Term.(const run_cmd $ bench_arg $ file_arg $ budget_arg $ mode_arg
+          $ alpha_arg)
+
+let dump_t =
+  Cmd.v (Cmd.info "dump" ~doc:"Dump IR, wPST and profile of a program")
+    Term.(const dump_cmd $ bench_arg $ file_arg)
+
+let emit_t =
+  Cmd.v
+    (Cmd.info "emit"
+       ~doc:"Emit Verilog netlists for the selected accelerators")
+    Term.(const emit_cmd $ bench_arg $ file_arg $ budget_arg $ out_arg)
+
+let graph_t =
+  Cmd.v
+    (Cmd.info "graph" ~doc:"Write graphviz dot files (CFGs + wPST)")
+    Term.(const graph_cmd $ bench_arg $ file_arg $ out_arg)
+
+let list_t =
+  Cmd.v (Cmd.info "list" ~doc:"List suite benchmarks")
+    Term.(const list_cmd $ const ())
+
+let main =
+  Cmd.group
+    (Cmd.info "cayman" ~version:"1.0.0"
+       ~doc:"Custom accelerator generation with control flow and data access \
+             optimization")
+    [ run_t; dump_t; emit_t; graph_t; list_t ]
+
+let () = exit (Cmd.eval' main)

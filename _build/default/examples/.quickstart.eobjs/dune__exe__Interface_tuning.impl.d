@@ -1,0 +1,1 @@
+examples/interface_tuning.ml: Cayman_analysis Cayman_hls Core Hashtbl List Option Printf

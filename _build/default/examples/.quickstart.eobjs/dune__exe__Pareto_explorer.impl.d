@@ -1,0 +1,1 @@
+examples/pareto_explorer.ml: Array Cayman_baselines Cayman_hls Cayman_suites Core List Printf Sys

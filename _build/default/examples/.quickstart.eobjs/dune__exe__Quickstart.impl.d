@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cayman_hls Core Format List Printf

@@ -1,0 +1,1 @@
+examples/reusable_accelerator.ml: Cayman_hls Cayman_ir Core List Printf String

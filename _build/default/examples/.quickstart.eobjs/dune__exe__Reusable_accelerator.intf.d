@@ -1,0 +1,1 @@
+examples/reusable_accelerator.mli:

@@ -1,0 +1,62 @@
+(* Design-space exploration: sweep the area budget over the Pareto
+   frontier of a real benchmark (3mm) and compare full Cayman against the
+   coupled-only ablation and both baselines — the scenario behind Fig. 6
+   of the paper.
+
+     dune exec examples/pareto_explorer.exe [benchmark]
+*)
+
+module Hls = Cayman_hls
+module Suite = Cayman_suites.Suite
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "3mm" in
+  let bench = Suite.find_exn name in
+  Printf.printf "exploring %s (%s)\n" bench.Suite.name bench.Suite.suite;
+  let a = Core.Cayman.analyze (Suite.compile bench) in
+  let methods =
+    [ "full", Core.Cayman.gen Hls.Kernel.Heuristic;
+      "coupled-only", Core.Cayman.gen Hls.Kernel.Coupled_only;
+      "NOVIA", Cayman_baselines.Novia.gen;
+      "QsCores", Cayman_baselines.Qscores.gen ]
+  in
+  let frontiers =
+    List.map
+      (fun (label, gen) ->
+        let frontier, _ =
+          Core.Select.select ~gen a.Core.Cayman.ctxs a.Core.Cayman.wpst
+            a.Core.Cayman.profile
+        in
+        label, frontier)
+      methods
+  in
+  Printf.printf "%-8s" "budget";
+  List.iter (fun (label, _) -> Printf.printf " %14s" label) frontiers;
+  print_newline ();
+  List.iter
+    (fun budget_pct ->
+      let budget =
+        float_of_int budget_pct /. 100.0 *. Hls.Tech.cva6_tile_area
+      in
+      Printf.printf "%6d%%" budget_pct;
+      List.iter
+        (fun (_, frontier) ->
+          let s =
+            match Core.Solution.best_under ~budget frontier with
+            | Some s -> s
+            | None -> Core.Solution.empty
+          in
+          Printf.printf " %13.2fx"
+            (Core.Solution.speedup ~t_all:a.Core.Cayman.t_all s))
+        frontiers;
+      print_newline ())
+    [ 2; 5; 10; 15; 25; 40; 65; 100 ];
+  print_newline ();
+  print_endline "full Cayman frontier (area ratio, speedup, #accelerators):";
+  List.iter
+    (fun s ->
+      Printf.printf "  %.4f  %7.2fx  %d\n"
+        (Core.Report.area_ratio s)
+        (Core.Solution.speedup ~t_all:a.Core.Cayman.t_all s)
+        (List.length s.Core.Solution.accels))
+    (List.assoc "full" frontiers)

@@ -1,0 +1,57 @@
+(* Quickstart: compile a MiniC application, run the end-to-end Cayman
+   flow, and print the selected accelerators.
+
+     dune exec examples/quickstart.exe
+*)
+
+let source =
+  {|
+const int N = 256;
+
+float samples[N]; float weights[N]; float out[N];
+
+// A small FIR-like kernel: the hotspot Cayman should find.
+void filter(float gain) {
+  for (int i = 2; i < N - 2; i++) {
+    out[i] = gain * (0.25 * samples[i - 2] + 0.5 * samples[i - 1]
+                     + samples[i] + 0.5 * samples[i + 1]
+                     + 0.25 * samples[i + 2]) * weights[i];
+  }
+}
+
+int main() {
+  for (int i = 0; i < N; i++) {
+    samples[i] = (float)(i % 32) / 32.0;
+    weights[i] = 1.0 - (float)(i % 16) / 32.0;
+  }
+  for (int t = 0; t < 200; t++) { filter(0.8); }
+  float acc = 0.0;
+  for (int i = 0; i < N; i++) { acc += out[i]; }
+  return (int)acc;
+}
+|}
+
+let () =
+  (* 1. Compile MiniC, validate the IR, profile by interpretation, and
+        gather every analysis Cayman needs. *)
+  let analyzed = Core.Cayman.analyze_source source in
+  Printf.printf "profiled whole-program duration: %.6f s\n"
+    analyzed.Core.Cayman.t_all;
+
+  (* 2. Run candidate selection with the full accelerator model. *)
+  let result = Core.Cayman.run ~mode:Cayman_hls.Kernel.Heuristic analyzed in
+  Printf.printf "Pareto frontier has %d solutions\n"
+    (List.length result.Core.Cayman.frontier);
+
+  (* 3. Pick the best solution under an area budget (25%% of a CVA6 tile)
+        and report it. *)
+  let solution = Core.Cayman.best_under_ratio result ~budget_ratio:0.25 in
+  Format.printf "%a@." Core.Solution.pp solution;
+  Printf.printf "estimated speedup (Eq. 1): %.2fx\n"
+    (Core.Cayman.speedup analyzed solution);
+
+  (* 4. Merge accelerators into reusable ones to save area. *)
+  let merged = Core.Cayman.merge analyzed solution in
+  Printf.printf "after merging: %.0f -> %.0f um^2 (%.1f%% saved)\n"
+    merged.Core.Merge.area_before merged.Core.Merge.area_after
+    merged.Core.Merge.saving_pct

@@ -1,0 +1,1 @@
+lib/analysis/dominance.ml: Cayman_ir Hashtbl List String

@@ -1,0 +1,1 @@
+lib/analysis/dot.ml: Array Buffer Cayman_ir Format Hashtbl List Printf Region String Wpst

@@ -1,0 +1,1 @@
+lib/analysis/ifconv.ml: Cayman_ir Hashtbl List Map Printf Set String

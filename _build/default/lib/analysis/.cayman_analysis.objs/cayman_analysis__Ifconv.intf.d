@@ -1,0 +1,1 @@
+lib/analysis/ifconv.mli: Cayman_ir

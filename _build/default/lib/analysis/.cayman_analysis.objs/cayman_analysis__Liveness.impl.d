@@ -1,0 +1,1 @@
+lib/analysis/liveness.ml: Cayman_ir Hashtbl List Set String

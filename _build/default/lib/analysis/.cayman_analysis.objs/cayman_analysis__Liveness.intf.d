@@ -1,0 +1,1 @@
+lib/analysis/liveness.mli: Cayman_ir Hashtbl Set String

@@ -1,0 +1,1 @@
+lib/analysis/loops.ml: Cayman_ir Dominance Hashtbl List Option Set String

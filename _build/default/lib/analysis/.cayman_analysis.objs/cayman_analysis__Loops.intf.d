@@ -1,0 +1,1 @@
+lib/analysis/loops.mli: Cayman_ir Dominance Set String

@@ -1,0 +1,1 @@
+lib/analysis/memdep.ml: Cayman_ir List Liveness Loops Scev Set String

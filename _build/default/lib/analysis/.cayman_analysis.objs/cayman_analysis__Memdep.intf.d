@@ -1,0 +1,1 @@
+lib/analysis/memdep.mli: Cayman_ir Liveness Loops Scev

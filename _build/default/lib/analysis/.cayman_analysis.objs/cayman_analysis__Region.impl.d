@@ -1,0 +1,1 @@
+lib/analysis/region.ml: Cayman_ir Dominance Format Hashtbl List Printf Set String

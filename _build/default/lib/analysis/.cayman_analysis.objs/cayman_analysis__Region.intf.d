@@ -1,0 +1,1 @@
+lib/analysis/region.mli: Cayman_ir Format Set String

@@ -1,0 +1,1 @@
+lib/analysis/scev.ml: Cayman_ir Format Hashtbl List Loops Printf Set String

@@ -1,0 +1,1 @@
+lib/analysis/scev.mli: Cayman_ir Format Loops

@@ -1,0 +1,1 @@
+lib/analysis/simplify.ml: Cayman_ir Hashtbl List String

@@ -1,0 +1,1 @@
+lib/analysis/simplify.mli: Cayman_ir

@@ -1,0 +1,1 @@
+lib/analysis/wpst.ml: Cayman_ir Format Hashtbl List Region String

@@ -1,0 +1,1 @@
+lib/analysis/wpst.mli: Cayman_ir Format Region

@@ -1,0 +1,31 @@
+(** Dominator and postdominator trees (iterative Cooper-Harvey-Kennedy). *)
+
+type t = {
+  entry : string;
+  idom : (string, string) Hashtbl.t;  (** [idom entry = entry] *)
+  depth : (string, int) Hashtbl.t;
+  rpo : string list;  (** reverse postorder from the entry *)
+}
+
+val dominators : Cayman_ir.Func.t -> t
+
+(** Label of the virtual exit node used by {!postdominators}. *)
+val virtual_exit : string
+
+(** Postdominators over the reversed CFG with a virtual exit collecting all
+    [Return] terminators. Blocks that cannot reach a return are absent. *)
+val postdominators : Cayman_ir.Func.t -> t
+
+(** Whether a node was reachable from the tree's entry. *)
+val reachable : t -> string -> bool
+
+(** Reflexive dominance: [dominates t a b] iff [a] dominates [b]. Returns
+    [false] if either node is unreachable. *)
+val dominates : t -> string -> string -> bool
+
+(** Immediate dominator; [None] for the entry or unreachable nodes. *)
+val idom : t -> string -> string option
+
+(** Generic driver, exposed for tests. *)
+val compute :
+  nodes:string list -> entry:string -> succs:(string -> string list) -> t

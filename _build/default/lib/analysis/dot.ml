@@ -1,0 +1,113 @@
+module Ir = Cayman_ir
+
+(* Graphviz dot emitters for the CFG, the wPST, and block DFGs — handy
+   for inspecting what the analyses computed (CLI command `graph`). *)
+
+let escape s =
+  String.concat ""
+    (List.map
+       (fun c ->
+         match c with
+         | '"' -> "\\\""
+         | '\\' -> "\\\\"
+         | '\n' -> "\\n"
+         | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let cfg (f : Ir.Func.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "digraph cfg_%s {\n  node [shape=box, fontname=\"monospace\"];\n"
+       (escape f.Ir.Func.name));
+  List.iter
+    (fun (b : Ir.Block.t) ->
+      let body =
+        String.concat "\\l"
+          (List.map
+             (fun i -> escape (Format.asprintf "%a" Ir.Instr.pp i))
+             b.Ir.Block.instrs)
+      in
+      let term = escape (Format.asprintf "%a" Ir.Instr.pp_term b.Ir.Block.term) in
+      Buffer.add_string buf
+        (Printf.sprintf "  \"%s\" [label=\"%s:\\l%s%s%s\\l\"];\n"
+           b.Ir.Block.label b.Ir.Block.label body
+           (if b.Ir.Block.instrs = [] then "" else "\\l")
+           term);
+      List.iter
+        (fun s ->
+          Buffer.add_string buf
+            (Printf.sprintf "  \"%s\" -> \"%s\";\n" b.Ir.Block.label s))
+        (Ir.Block.succs b))
+    f.Ir.Func.blocks;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let region_color (r : Region.t) =
+  match r.Region.kind with
+  | Region.Whole_function -> "gray80"
+  | Region.Loop_region -> "lightblue"
+  | Region.Cond_region -> "khaki"
+  | Region.Basic_block -> "white"
+
+let wpst (t : Wpst.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "digraph wpst {\n  node [shape=box, style=filled, fontname=\"monospace\"];\n\
+    \  \"root\" [label=\"application\", fillcolor=gray60];\n";
+  List.iter
+    (fun (ft : Wpst.func_tree) ->
+      let nid (r : Region.t) =
+        Printf.sprintf "%s_%d" ft.Wpst.fname r.Region.id
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  \"root\" -> \"%s\";\n" (nid ft.Wpst.root));
+      Region.iter
+        (fun r ->
+          Buffer.add_string buf
+            (Printf.sprintf "  \"%s\" [label=\"%s\\n%d blocks\", fillcolor=%s];\n"
+               (nid r)
+               (escape (Region.name r))
+               (Region.String_set.cardinal r.Region.blocks)
+               (region_color r));
+          List.iter
+            (fun c ->
+              Buffer.add_string buf
+                (Printf.sprintf "  \"%s\" -> \"%s\";\n" (nid r) (nid c)))
+            r.Region.children)
+        ft.Wpst.root)
+    t.Wpst.funcs;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let dfg (b : Ir.Block.t) =
+  let instrs = Array.of_list b.Ir.Block.instrs in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "digraph dfg_%s {\n  node [shape=ellipse, fontname=\"monospace\"];\n"
+       (escape b.Ir.Block.label));
+  (* local def-use edges, same construction as Hls.Dfg *)
+  let last_def : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  Array.iteri
+    (fun i instr ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%s\"];\n" i
+           (escape (Format.asprintf "%a" Ir.Instr.pp instr)));
+      List.iter
+        (fun (r : Ir.Instr.reg) ->
+          match Hashtbl.find_opt last_def r.Ir.Instr.id with
+          | Some d ->
+            Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" d i)
+          | None ->
+            let input = "in_" ^ r.Ir.Instr.id in
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "  \"%s\" [label=\"%%%s\", shape=plaintext];\n  \"%s\" -> n%d;\n"
+                 input r.Ir.Instr.id input i))
+        (Ir.Instr.uses instr);
+      match Ir.Instr.def instr with
+      | Some r -> Hashtbl.replace last_def r.Ir.Instr.id i
+      | None -> ())
+    instrs;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,6 @@
+(** Graphviz emitters for inspecting the analyses: control-flow graphs,
+    the wPST, and per-block data-flow graphs. *)
+
+val cfg : Cayman_ir.Func.t -> string
+val wpst : Wpst.t -> string
+val dfg : Cayman_ir.Block.t -> string

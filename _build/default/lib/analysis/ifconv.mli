@@ -1,0 +1,16 @@
+(** If-conversion: speculate short side-effect-free conditional arms into
+    straight-line code with select instructions.
+
+    Mirrors the select formation the paper's -O3 LLVM front end performs.
+    Inner loops whose bodies contain small pure conditionals (min/max
+    updates, clamping) collapse to a single basic block, which is what
+    lets the accelerator model pipeline them. Arms containing loads,
+    stores, calls, or trapping integer division are never speculated, and
+    every value an arm reads or conditionally overwrites must be defined
+    on all paths, so observable behaviour is preserved exactly. *)
+
+(** One function to fixpoint (bounded). *)
+val convert_func : Cayman_ir.Func.t -> Cayman_ir.Func.t
+
+(** Whole program. *)
+val run : Cayman_ir.Program.t -> Cayman_ir.Program.t

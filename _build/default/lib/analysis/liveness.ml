@@ -1,0 +1,69 @@
+module Ir = Cayman_ir
+module String_set = Set.Make (String)
+
+type t = {
+  live_in : (string, String_set.t) Hashtbl.t;
+  live_out : (string, String_set.t) Hashtbl.t;
+}
+
+(* Per-block gen (upward-exposed uses) and kill (defs). *)
+let gen_kill (b : Ir.Block.t) =
+  let gen = ref String_set.empty in
+  let kill = ref String_set.empty in
+  let use (r : Ir.Instr.reg) =
+    if not (String_set.mem r.Ir.Instr.id !kill) then
+      gen := String_set.add r.Ir.Instr.id !gen
+  in
+  List.iter
+    (fun i ->
+      List.iter use (Ir.Instr.uses i);
+      match Ir.Instr.def i with
+      | Some r -> kill := String_set.add r.Ir.Instr.id !kill
+      | None -> ())
+    b.Ir.Block.instrs;
+  List.iter use (Ir.Instr.term_uses b.Ir.Block.term);
+  !gen, !kill
+
+let compute (f : Ir.Func.t) =
+  let live_in = Hashtbl.create 16 in
+  let live_out = Hashtbl.create 16 in
+  let gk = Hashtbl.create 16 in
+  List.iter
+    (fun (b : Ir.Block.t) ->
+      Hashtbl.replace gk b.Ir.Block.label (gen_kill b);
+      Hashtbl.replace live_in b.Ir.Block.label String_set.empty;
+      Hashtbl.replace live_out b.Ir.Block.label String_set.empty)
+    f.Ir.Func.blocks;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    (* Backward iteration converges faster on reversed block order. *)
+    List.iter
+      (fun (b : Ir.Block.t) ->
+        let label = b.Ir.Block.label in
+        let out =
+          List.fold_left
+            (fun acc s ->
+              String_set.union acc
+                (try Hashtbl.find live_in s with Not_found -> String_set.empty))
+            String_set.empty (Ir.Block.succs b)
+        in
+        let gen, kill = Hashtbl.find gk label in
+        let inn = String_set.union gen (String_set.diff out kill) in
+        if not (String_set.equal out (Hashtbl.find live_out label)) then begin
+          Hashtbl.replace live_out label out;
+          changed := true
+        end;
+        if not (String_set.equal inn (Hashtbl.find live_in label)) then begin
+          Hashtbl.replace live_in label inn;
+          changed := true
+        end)
+      (List.rev f.Ir.Func.blocks)
+  done;
+  { live_in; live_out }
+
+let live_in t label =
+  try Hashtbl.find t.live_in label with Not_found -> String_set.empty
+
+let live_out t label =
+  try Hashtbl.find t.live_out label with Not_found -> String_set.empty

@@ -1,0 +1,13 @@
+(** Classic backward liveness analysis on registers. *)
+
+module String_set :
+  Set.S with type elt = string and type t = Set.Make(String).t
+
+type t = {
+  live_in : (string, String_set.t) Hashtbl.t;
+  live_out : (string, String_set.t) Hashtbl.t;
+}
+
+val compute : Cayman_ir.Func.t -> t
+val live_in : t -> string -> String_set.t
+val live_out : t -> string -> String_set.t

@@ -1,0 +1,135 @@
+module Ir = Cayman_ir
+module String_set = Set.Make (String)
+
+type loop = {
+  header : string;
+  latches : string list;
+  blocks : String_set.t;
+  exits : (string * string) list;
+  preheader : string option;
+  parent : string option;
+}
+
+type t = loop list
+
+(* Natural loop of back edge [latch -> header]: header plus every block
+   that reaches [latch] without passing through [header]. *)
+let natural_loop f ~header ~latch =
+  let preds = Ir.Func.preds f in
+  let body = ref (String_set.singleton header) in
+  let rec pull n =
+    if not (String_set.mem n !body) then begin
+      body := String_set.add n !body;
+      List.iter pull (try Hashtbl.find preds n with Not_found -> [])
+    end
+  in
+  pull latch;
+  !body
+
+let find (f : Ir.Func.t) (dom : Dominance.t) : t =
+  let preds = Ir.Func.preds f in
+  (* Collect back edges grouped by header. *)
+  let back : (string, string list) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (b : Ir.Block.t) ->
+      List.iter
+        (fun s ->
+          if Dominance.dominates dom s b.Ir.Block.label then
+            Hashtbl.replace back s
+              (b.Ir.Block.label :: (try Hashtbl.find back s with Not_found -> [])))
+        (Ir.Block.succs b))
+    f.Ir.Func.blocks;
+  let loops_no_parent =
+    Hashtbl.fold
+      (fun header latches acc ->
+        let blocks =
+          List.fold_left
+            (fun acc latch ->
+              String_set.union acc (natural_loop f ~header ~latch))
+            String_set.empty latches
+        in
+        let exits =
+          String_set.fold
+            (fun label acc ->
+              let b = Ir.Func.block_exn f label in
+              List.fold_left
+                (fun acc s ->
+                  if String_set.mem s blocks then acc else (label, s) :: acc)
+                acc (Ir.Block.succs b))
+            blocks []
+        in
+        let outside_preds =
+          List.filter
+            (fun p -> not (String_set.mem p blocks))
+            (try Hashtbl.find preds header with Not_found -> [])
+        in
+        let preheader =
+          match outside_preds with
+          | [ p ] -> Some p
+          | [] | _ :: _ :: _ -> None
+        in
+        { header; latches; blocks; exits; preheader; parent = None } :: acc)
+      back []
+  in
+  (* Parent links: the innermost distinct loop whose block set strictly
+     contains this loop's. *)
+  let with_parents =
+    List.map
+      (fun l ->
+        let candidates =
+          List.filter
+            (fun l' ->
+              not (String.equal l'.header l.header)
+              && String_set.subset l.blocks l'.blocks)
+            loops_no_parent
+        in
+        let parent =
+          List.fold_left
+            (fun best l' ->
+              match best with
+              | None -> Some l'
+              | Some b ->
+                if String_set.cardinal l'.blocks < String_set.cardinal b.blocks
+                then Some l'
+                else best)
+            None candidates
+        in
+        { l with parent = Option.map (fun p -> p.header) parent })
+      loops_no_parent
+  in
+  (* Stable order: by position of the header in RPO (outer loops first). *)
+  let rpo_index = Hashtbl.create 16 in
+  List.iteri (fun i n -> Hashtbl.replace rpo_index n i) dom.Dominance.rpo;
+  List.sort
+    (fun a b ->
+      compare
+        (try Hashtbl.find rpo_index a.header with Not_found -> max_int)
+        (try Hashtbl.find rpo_index b.header with Not_found -> max_int))
+    with_parents
+
+let loop_of t header = List.find_opt (fun l -> String.equal l.header header) t
+
+(* Innermost-first list of loops containing [label]. *)
+let enclosing t label =
+  t
+  |> List.filter (fun l -> String_set.mem label l.blocks)
+  |> List.sort (fun a b ->
+    compare (String_set.cardinal a.blocks) (String_set.cardinal b.blocks))
+
+let is_innermost t l =
+  not
+    (List.exists
+       (fun l' ->
+         (not (String.equal l'.header l.header))
+         && String_set.subset l'.blocks l.blocks)
+       t)
+
+let depth t l =
+  let rec up acc = function
+    | None -> acc
+    | Some h ->
+      (match loop_of t h with
+       | Some p -> up (acc + 1) p.parent
+       | None -> acc + 1)
+  in
+  up 1 l.parent

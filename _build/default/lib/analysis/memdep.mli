@@ -1,0 +1,42 @@
+(** Memory dependence analysis: loop-carried dependencies and scalar
+    recurrences.
+
+    Stands in for LLVM's MemoryDependenceAnalysis, specialized to the
+    array-symbol memory model: distinct globals never alias, and same-base
+    accesses are compared through their affine address forms. *)
+
+type access = {
+  a_block : string;
+  a_pos : int;
+  a_base : string;
+  a_is_store : bool;
+}
+
+type carried_dep = {
+  src : access;
+  dst : access;
+  distance : int option;  (** [None]: unknown distance, treat as 1 *)
+}
+
+(** All loop-carried memory dependencies of the loop (pairs of same-base
+    accesses, at least one a store, aliasing across iterations). *)
+val loop_carried :
+  Cayman_ir.Func.t -> Scev.t -> Loops.loop -> carried_dep list
+
+(** Registers carried around the back edge (accumulators), excluding
+    canonical induction variables. *)
+val recurrence_regs :
+  Cayman_ir.Func.t -> Liveness.t -> Scev.t -> Loops.loop -> string list
+
+type loop_info = {
+  header : string;
+  carried : carried_dep list;
+  recurrences : string list;
+}
+
+val analyze_loop :
+  Cayman_ir.Func.t -> Liveness.t -> Scev.t -> Loops.loop -> loop_info
+
+(** Whether the loop has any loop-carried dependency (memory or scalar);
+    such loops are not unrolled, per the paper's exploration strategy. *)
+val has_carried_dep : loop_info -> bool

@@ -1,0 +1,235 @@
+module Ir = Cayman_ir
+module String_set = Set.Make (String)
+
+type kind =
+  | Whole_function
+  | Loop_region
+  | Cond_region
+  | Basic_block
+
+type t = {
+  id : int;
+  kind : kind;
+  entry : string;
+  exit : string option;
+  blocks : String_set.t;
+  children : t list;
+}
+
+let kind_to_string = function
+  | Whole_function -> "func"
+  | Loop_region -> "loop"
+  | Cond_region -> "cond"
+  | Basic_block -> "bb"
+
+let is_ctrl_flow r =
+  match r.kind with
+  | Loop_region | Cond_region -> true
+  | Whole_function | Basic_block -> false
+
+let name r =
+  match r.kind with
+  | Basic_block -> r.entry
+  | Whole_function -> "func:" ^ r.entry
+  | Loop_region | Cond_region ->
+    Printf.sprintf "%s:%s" (kind_to_string r.kind) r.entry
+
+(* A candidate region (entry block [a], exit block [b]): the blocks
+   dominated by [a] and postdominated by [b], excluding [b]. It is SESE at
+   block granularity iff outside edges enter only at [a] and inside edges
+   leave only to [b]. *)
+let candidate f dom pdom ~a ~b =
+  let labels = Ir.Func.labels f in
+  let inside =
+    List.filter
+      (fun x ->
+        (not (String.equal x b))
+        && Dominance.dominates dom a x
+        && Dominance.dominates pdom b x)
+      labels
+  in
+  let set = String_set.of_list inside in
+  if String_set.is_empty set then None
+  else begin
+    let preds = Ir.Func.preds f in
+    let entry_ok =
+      String_set.for_all
+        (fun x ->
+          List.for_all
+            (fun p -> String_set.mem p set || String.equal x a)
+            (try Hashtbl.find preds x with Not_found -> []))
+        set
+    in
+    let exit_ok =
+      String_set.for_all
+        (fun x ->
+          List.for_all
+            (fun s -> String_set.mem s set || String.equal s b)
+            (Ir.Block.succs (Ir.Func.block_exn f x)))
+        set
+    in
+    if entry_ok && exit_ok then Some set else None
+  end
+
+let has_back_edge f set entry =
+  String_set.exists
+    (fun x ->
+      List.exists (String.equal entry) (Ir.Block.succs (Ir.Func.block_exn f x)))
+    set
+
+(* Enumerate control-flow SESE regions: for each block [a], walk the
+   postdominator chain upward from [a] while [a] still dominates the
+   candidate exit. *)
+let ctrl_regions f dom pdom =
+  let acc = ref [] in
+  List.iter
+    (fun a ->
+      if Dominance.reachable dom a && Dominance.reachable pdom a then begin
+        let rec walk b =
+          if
+            (not (String.equal b Dominance.virtual_exit))
+            && Dominance.reachable dom b
+            && Dominance.dominates dom a b
+          then begin
+            (match candidate f dom pdom ~a ~b with
+             | Some set ->
+               let trivial =
+                 String_set.cardinal set = 1
+                 &&
+                 match Ir.Block.succs (Ir.Func.block_exn f a) with
+                 | [ _ ] -> true
+                 | [] | _ :: _ :: _ -> false
+               in
+               if not trivial then begin
+                 let kind =
+                   if has_back_edge f set a then Loop_region else Cond_region
+                 in
+                 acc := (a, b, set, kind) :: !acc
+               end
+             | None -> ());
+            match Dominance.idom pdom b with
+            | Some b' -> walk b'
+            | None -> ()
+          end
+        in
+        match Dominance.idom pdom a with
+        | Some b -> walk b
+        | None -> ()
+      end)
+    (Ir.Func.labels f);
+  !acc
+
+(* Tree node under construction. *)
+type proto = {
+  p_kind : kind;
+  p_entry : string;
+  p_exit : string option;
+  p_blocks : String_set.t;
+  mutable p_children : proto list;
+}
+
+let rec insert parent node =
+  (* Find a child that contains the node; recurse there. *)
+  let container =
+    List.find_opt
+      (fun c -> String_set.subset node.p_blocks c.p_blocks)
+      parent.p_children
+  in
+  match container with
+  | Some c -> insert c node
+  | None ->
+    (* SESE regions found along different postdominator chains may overlap
+       without nesting (a "prefix + loop" region vs a "loop + epilogue"
+       region). The tree must partition blocks so the selection DP never
+       double-counts; drop any region that partially overlaps a sibling. *)
+    let partial_overlap =
+      List.exists
+        (fun c ->
+          (not (String_set.subset c.p_blocks node.p_blocks))
+          && not (String_set.is_empty (String_set.inter c.p_blocks node.p_blocks)))
+        parent.p_children
+    in
+    if not partial_overlap then begin
+      (* Adopt any current children now contained in the node. *)
+      let inside, outside =
+        List.partition
+          (fun c -> String_set.subset c.p_blocks node.p_blocks)
+          parent.p_children
+      in
+      node.p_children <- node.p_children @ inside;
+      parent.p_children <- node :: outside
+    end
+
+let pst (f : Ir.Func.t) : t =
+  let dom = Dominance.dominators f in
+  let pdom = Dominance.postdominators f in
+  let reachable_labels = List.filter (Dominance.reachable dom) (Ir.Func.labels f) in
+  let root =
+    { p_kind = Whole_function;
+      p_entry = (Ir.Func.entry f).Ir.Block.label;
+      p_exit = None;
+      p_blocks = String_set.of_list reachable_labels;
+      p_children = [] }
+  in
+  let regions = ctrl_regions f dom pdom in
+  (* Insert larger regions first so containment nesting is direct. *)
+  let sorted =
+    List.sort
+      (fun (_, _, s1, _) (_, _, s2, _) ->
+        compare (String_set.cardinal s2) (String_set.cardinal s1))
+      regions
+  in
+  List.iter
+    (fun (a, b, set, kind) ->
+      if not (String_set.equal set root.p_blocks) then
+        insert root
+          { p_kind = kind; p_entry = a; p_exit = Some b; p_blocks = set;
+            p_children = [] })
+    sorted;
+  (* Basic-block leaves under the innermost containing region. *)
+  List.iter
+    (fun label ->
+      insert root
+        { p_kind = Basic_block; p_entry = label; p_exit = None;
+          p_blocks = String_set.singleton label; p_children = [] })
+    reachable_labels;
+  (* Freeze, ordering children by RPO position of their entry and numbering
+     vertices in preorder. *)
+  let rpo_index = Hashtbl.create 16 in
+  List.iteri (fun i n -> Hashtbl.replace rpo_index n i) dom.Dominance.rpo;
+  let pos label = try Hashtbl.find rpo_index label with Not_found -> max_int in
+  let next_id = ref 0 in
+  let rec freeze p =
+    let id = !next_id in
+    incr next_id;
+    let children =
+      p.p_children
+      |> List.sort (fun c1 c2 ->
+        compare
+          (pos c1.p_entry, String_set.cardinal c2.p_blocks)
+          (pos c2.p_entry, String_set.cardinal c1.p_blocks))
+      |> List.map freeze
+    in
+    { id; kind = p.p_kind; entry = p.p_entry; exit = p.p_exit;
+      blocks = p.p_blocks; children }
+  in
+  freeze root
+
+let rec iter g r =
+  g r;
+  List.iter (iter g) r.children
+
+let rec fold g acc r =
+  let acc = g acc r in
+  List.fold_left (fold g) acc r.children
+
+let find_by_id root id =
+  let found = ref None in
+  iter (fun r -> if r.id = id then found := Some r) root;
+  !found
+
+let rec pp fmt r =
+  Format.fprintf fmt "@[<v 2>[%d] %s (%d blocks)" r.id (name r)
+    (String_set.cardinal r.blocks);
+  List.iter (fun c -> Format.fprintf fmt "@,%a" pp c) r.children;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,61 @@
+module Ir = Cayman_ir
+
+(* Straight-line chain merging (the block-fusion half of a classic
+   simplify-CFG pass): a block ending in an unconditional jump absorbs
+   its successor when it is the successor's only predecessor. After
+   if-conversion this fuses body/join chains back into single basic
+   blocks, restoring the canonical header/body/latch loop shape the
+   pipelining model recognizes. *)
+
+let merge_once (f : Ir.Func.t) =
+  let preds = Ir.Func.preds f in
+  let entry = (Ir.Func.entry f).Ir.Block.label in
+  let candidate =
+    List.find_map
+      (fun (b : Ir.Block.t) ->
+        match b.Ir.Block.term with
+        | Ir.Instr.Jump s
+          when (not (String.equal s b.Ir.Block.label))
+               && not (String.equal s entry) ->
+          (match Hashtbl.find_opt preds s with
+           | Some [ _ ] -> Some (b.Ir.Block.label, s)
+           | Some _ | None -> None)
+        | Ir.Instr.Jump _ | Ir.Instr.Branch _ | Ir.Instr.Return _ -> None)
+      f.Ir.Func.blocks
+  in
+  match candidate with
+  | None -> None
+  | Some (b_label, s_label) ->
+    let b = Ir.Func.block_exn f b_label in
+    let s = Ir.Func.block_exn f s_label in
+    let merged =
+      Ir.Block.v ~label:b_label
+        ~instrs:(b.Ir.Block.instrs @ s.Ir.Block.instrs)
+        ~term:s.Ir.Block.term
+    in
+    let blocks =
+      List.filter_map
+        (fun (x : Ir.Block.t) ->
+          if String.equal x.Ir.Block.label s_label then None
+          else if String.equal x.Ir.Block.label b_label then Some merged
+          else Some x)
+        f.Ir.Func.blocks
+    in
+    Some
+      (Ir.Func.v ~name:f.Ir.Func.name ~params:f.Ir.Func.params
+         ~ret:f.Ir.Func.ret ~blocks)
+
+let merge_chains_func f =
+  let rec fixpoint f n =
+    if n <= 0 then f
+    else
+      match merge_once f with
+      | Some f' -> fixpoint f' (n - 1)
+      | None -> f
+  in
+  fixpoint f 256
+
+let merge_chains (p : Ir.Program.t) =
+  Ir.Program.v ~globals:p.Ir.Program.globals
+    ~funcs:(List.map merge_chains_func p.Ir.Program.funcs)
+    ~main:p.Ir.Program.main

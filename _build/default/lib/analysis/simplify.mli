@@ -1,0 +1,7 @@
+(** CFG simplification: fuse straight-line block chains (a block ending in
+    an unconditional jump absorbs a successor whose only predecessor it
+    is). Run after {!Ifconv} to restore canonical single-block loop
+    bodies. *)
+
+val merge_chains_func : Cayman_ir.Func.t -> Cayman_ir.Func.t
+val merge_chains : Cayman_ir.Program.t -> Cayman_ir.Program.t

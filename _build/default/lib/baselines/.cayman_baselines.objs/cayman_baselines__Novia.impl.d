@@ -1,0 +1,1 @@
+lib/baselines/novia.ml: Array Cayman_analysis Cayman_hls Cayman_ir Cayman_sim Core Float Hashtbl List

@@ -1,0 +1,1 @@
+lib/baselines/novia.mli: Cayman_analysis Cayman_hls Core

@@ -1,0 +1,1 @@
+lib/baselines/qscores.ml: Cayman_analysis Cayman_hls Core

@@ -1,0 +1,1 @@
+lib/baselines/qscores.mli: Cayman_hls Core

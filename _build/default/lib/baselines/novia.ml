@@ -1,0 +1,98 @@
+module Ir = Cayman_ir
+module An = Cayman_analysis
+module Sim = Cayman_sim
+module Hls = Cayman_hls
+
+(* NOVIA-style custom-functional-unit synthesis (Trilla et al., MICRO'21):
+   inline accelerators for data-flow graphs only. Candidates are basic
+   blocks; control flow is never offloaded and memory accesses stay on the
+   host — the CFU receives scalar operands through the register file and
+   returns results. Its win comes from operator chaining; its limit is
+   exactly what Table I of the Cayman paper lists. *)
+
+let cfu_ctrl_area = 320.0
+let operands_per_cycle = 2
+
+(* Longest combinational path (ns) over the compute nodes of a DFG. *)
+let compute_depth_ns (dfg : Hls.Dfg.t) =
+  let n = Hls.Dfg.size dfg in
+  let dist = Array.make n 0.0 in
+  let best = ref 0.0 in
+  for i = 0 to n - 1 do
+    let w =
+      match Ir.Instr.unit_kind dfg.Hls.Dfg.instrs.(i) with
+      | Some k -> Hls.Tech.delay_ns k
+      | None -> 0.0
+    in
+    let from_preds =
+      List.fold_left
+        (fun acc p -> Float.max acc dist.(p))
+        0.0 dfg.Hls.Dfg.preds.(i)
+    in
+    dist.(i) <- from_preds +. w;
+    if dist.(i) > !best then best := dist.(i)
+  done;
+  !best
+
+let estimate_bb (ctx : Hls.Ctx.t) (r : An.Region.t) =
+  let label = r.An.Region.entry in
+  let dfg = Hls.Ctx.dfg ctx label in
+  if Hls.Dfg.has_call dfg then None
+  else begin
+    let units = Hls.Dfg.unit_counts dfg in
+    if units = [] then None
+    else begin
+      let execs = Hls.Ctx.block_exec ctx label in
+      if execs <= 0 then None
+      else begin
+        let host_compute =
+          Array.fold_left
+            (fun acc i ->
+              match Ir.Instr.unit_kind i with
+              | Some _ -> acc + Sim.Cpu_model.instr_cycles i
+              | None -> acc)
+            0 dfg.Hls.Dfg.instrs
+        in
+        let n_inputs = Hashtbl.length dfg.Hls.Dfg.live_in_uses in
+        let io = n_inputs + 1 in
+        let transfer = (io + operands_per_cycle - 1) / operands_per_cycle in
+        let depth =
+          max 1
+            (int_of_float (ceil (compute_depth_ns dfg /. Hls.Tech.clock_ns)))
+        in
+        let per_exec = transfer + depth in
+        let area =
+          List.fold_left
+            (fun acc (k, c) -> acc +. (float_of_int c *. Hls.Tech.area k))
+            0.0 units
+          +. (float_of_int io *. Hls.Tech.register_area)
+          +. cfu_ctrl_area
+        in
+        Some
+          { Hls.Kernel.config =
+              { Hls.Kernel.unroll = 1; pipeline = false;
+                mode = Hls.Kernel.Heuristic };
+            accel_cycles = float_of_int (execs * per_exec);
+            cpu_cycles = execs * host_compute;
+            invocations = execs;
+            area;
+            n_seq_blocks = 1;
+            n_pipelined = 0;
+            ifaces = Hls.Kernel.no_ifaces;
+            units;
+            sp_words = 0;
+            n_regs = io }
+      end
+    end
+  end
+
+(* Selection plug-in: DFG (basic-block) candidates only. *)
+let gen : Core.Select.accel_gen =
+ fun ctx region ->
+  match region.An.Region.kind with
+  | An.Region.Basic_block ->
+    (match estimate_bb ctx region with
+     | Some p -> [ p ]
+     | None -> [])
+  | An.Region.Whole_function | An.Region.Loop_region | An.Region.Cond_region ->
+    []

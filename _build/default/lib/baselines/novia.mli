@@ -1,0 +1,11 @@
+(** NOVIA-style custom functional unit baseline: accelerates basic-block
+    data-flow graphs only (no control flow, no memory access); operands
+    move through a scalar register-file interface. *)
+
+val estimate_bb :
+  Cayman_hls.Ctx.t ->
+  Cayman_analysis.Region.t ->
+  Cayman_hls.Kernel.point option
+
+(** Plug-in for {!Core.Select.select}. *)
+val gen : Core.Select.accel_gen

@@ -1,0 +1,18 @@
+module An = Cayman_analysis
+module Hls = Cayman_hls
+
+(* QsCores-style off-core accelerator synthesis (Venkatesh et al.,
+   MICRO'11): program regions with control flow and memory access are
+   supported, but the control implementation is strictly sequential (no
+   pipelining or unrolling) and data moves through a high-latency,
+   low-bandwidth scan-chain interface. *)
+
+let config =
+  { Hls.Kernel.unroll = 1; pipeline = false; mode = Hls.Kernel.Scan_only }
+
+let gen : Core.Select.accel_gen =
+ fun ctx region ->
+  match region.An.Region.kind with
+  | An.Region.Whole_function -> []
+  | An.Region.Basic_block | An.Region.Loop_region | An.Region.Cond_region ->
+    Hls.Kernel.estimate_all ctx region [ config ]

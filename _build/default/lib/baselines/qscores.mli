@@ -1,0 +1,7 @@
+(** QsCores-style off-core accelerator baseline: sequential control flow
+    and a slow scan-chain data interface. *)
+
+val config : Cayman_hls.Kernel.config
+
+(** Plug-in for {!Core.Select.select}. *)
+val gen : Core.Select.accel_gen

@@ -1,0 +1,1 @@
+lib/core/cayman.ml: Cayman_analysis Cayman_frontend Cayman_hls Cayman_ir Cayman_sim Hashtbl Merge Select Solution Sys

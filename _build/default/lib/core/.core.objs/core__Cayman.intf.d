@@ -1,0 +1,1 @@
+lib/core/cayman.mli: Cayman_analysis Cayman_hls Cayman_ir Cayman_sim Hashtbl Merge Select Solution

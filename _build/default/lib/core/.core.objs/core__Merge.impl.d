@@ -1,0 +1,1 @@
+lib/core/merge.ml: Array Cayman_hls Cayman_ir Float List Solution

@@ -1,0 +1,1 @@
+lib/core/merge.mli: Cayman_hls Cayman_ir Solution

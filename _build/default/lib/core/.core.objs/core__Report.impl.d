@@ -1,0 +1,1 @@
+lib/core/report.ml: Cayman_hls Format List Solution

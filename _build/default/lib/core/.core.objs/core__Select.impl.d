@@ -1,0 +1,1 @@
+lib/core/select.ml: Cayman_analysis Cayman_hls Cayman_ir Cayman_sim Hashtbl List Solution

@@ -1,0 +1,1 @@
+lib/core/select.mli: Cayman_analysis Cayman_hls Cayman_sim Hashtbl Solution

@@ -1,0 +1,1 @@
+lib/core/solution.ml: Cayman_hls Float Format List

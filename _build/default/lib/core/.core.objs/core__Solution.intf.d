@@ -1,0 +1,1 @@
+lib/core/solution.mli: Cayman_hls Format

@@ -1,0 +1,80 @@
+module Ir = Cayman_ir
+module An = Cayman_analysis
+module Sim = Cayman_sim
+module Hls = Cayman_hls
+module Fe = Cayman_frontend
+
+(* Everything derived from one profiled execution of the application;
+   shared by all selection methods so comparisons use identical inputs. *)
+type analyzed = {
+  program : Ir.Program.t;
+  profile : Sim.Profile.t;
+  wpst : An.Wpst.t;
+  ctxs : (string, Hls.Ctx.t) Hashtbl.t;
+  t_all : float;
+}
+
+let analyze ?fuel ?(if_convert = true) (program : Ir.Program.t) =
+  Ir.Validate.check_exn program;
+  let program =
+    if if_convert then An.Simplify.merge_chains (An.Ifconv.run program)
+    else program
+  in
+  Ir.Validate.check_exn program;
+  let res = Sim.Interp.run ?fuel program in
+  let profile = res.Sim.Interp.profile in
+  let wpst = An.Wpst.build program in
+  let ctxs = Hls.Ctx.for_program program profile in
+  { program; profile; wpst; ctxs; t_all = Sim.Profile.total_seconds profile }
+
+let analyze_source ?fuel ?if_convert src =
+  analyze ?fuel ?if_convert (Fe.Lower.compile src)
+
+(* Cayman's accelerator model as a DP plug-in. *)
+let gen ?(beta = Hls.Kernel.default_beta) mode : Select.accel_gen =
+ fun ctx region ->
+  Hls.Kernel.estimate_all ctx region ~beta (Hls.Kernel.default_configs mode)
+
+type run_result = {
+  frontier : Solution.t list;
+  stats : Select.stats;
+  runtime_s : float;
+}
+
+let run ?(params = Select.default_params) ?beta ~mode (a : analyzed) =
+  let t0 = Sys.time () in
+  let frontier, stats =
+    Select.select ~params ~gen:(gen ?beta mode) a.ctxs a.wpst a.profile
+  in
+  let runtime_s = Sys.time () -. t0 in
+  { frontier; stats; runtime_s }
+
+(* Best solution within an area budget expressed as a fraction of the
+   CVA6 tile (the paper's 25% / 65% budgets). *)
+let best_under_ratio (r : run_result) ~budget_ratio =
+  let budget = budget_ratio *. Hls.Tech.cva6_tile_area in
+  match Solution.best_under ~budget r.frontier with
+  | Some s -> s
+  | None -> Solution.empty
+
+let speedup (a : analyzed) (s : Solution.t) = Solution.speedup ~t_all:a.t_all s
+
+(* Datapath operation nodes of a selected accelerator, for DFG-level
+   merging. *)
+let datapath_nodes (a : analyzed) (acc : Solution.accel) =
+  match Hashtbl.find_opt a.ctxs acc.Solution.a_func with
+  | None -> None
+  | Some ctx ->
+    (match
+       An.Wpst.region a.wpst
+         { An.Wpst.vfunc = acc.Solution.a_func;
+           vid = acc.Solution.a_region_id }
+     with
+     | None -> None
+     | Some region ->
+       Hls.Datapath.of_kernel ctx region
+         acc.Solution.a_point.Hls.Kernel.config)
+
+(* Accelerator merging with the paper's DFG-level operation matching. *)
+let merge (a : analyzed) (s : Solution.t) =
+  Merge.merge_solution ~nodes_of:(datapath_nodes a) s

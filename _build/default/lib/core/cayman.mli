@@ -1,0 +1,51 @@
+(** End-to-end Cayman driver: compile/validate, profile by interpretation,
+    build the wPST and analysis contexts, run DP selection, and score
+    solutions under area budgets. *)
+
+type analyzed = {
+  program : Cayman_ir.Program.t;
+  profile : Cayman_sim.Profile.t;
+  wpst : Cayman_analysis.Wpst.t;
+  ctxs : (string, Cayman_hls.Ctx.t) Hashtbl.t;
+  t_all : float;  (** profiled whole-program duration in seconds *)
+}
+
+(** Profile a validated program and gather all analyses. By default the
+    program is first if-converted (see {!Cayman_analysis.Ifconv}), the
+    control-flow optimization a -O3 front end would apply.
+    @raise Invalid_argument if the program is ill-formed.
+    @raise Cayman_sim.Interp.Runtime_error on dynamic errors. *)
+val analyze : ?fuel:int -> ?if_convert:bool -> Cayman_ir.Program.t -> analyzed
+
+(** [analyze_source src] compiles MiniC source first.
+    @raise Cayman_frontend.Lower.Error on frontend errors. *)
+val analyze_source : ?fuel:int -> ?if_convert:bool -> string -> analyzed
+
+(** Cayman's accelerator model packaged as a selection plug-in. *)
+val gen : ?beta:float -> Cayman_hls.Kernel.mode -> Select.accel_gen
+
+type run_result = {
+  frontier : Solution.t list;  (** filtered Pareto frontier F(root) *)
+  stats : Select.stats;
+  runtime_s : float;  (** selection runtime (this process, CPU seconds) *)
+}
+
+val run :
+  ?params:Select.params ->
+  ?beta:float ->
+  mode:Cayman_hls.Kernel.mode ->
+  analyzed ->
+  run_result
+
+(** Best solution within [budget_ratio] x CVA6 tile area;
+    {!Solution.empty} if nothing fits. *)
+val best_under_ratio : run_result -> budget_ratio:float -> Solution.t
+
+val speedup : analyzed -> Solution.t -> float
+
+(** Datapath nodes of a selected accelerator (for {!Merge}). *)
+val datapath_nodes :
+  analyzed -> Solution.accel -> Cayman_hls.Datapath.node list option
+
+(** {!Merge.merge_solution} wired with DFG-level operation matching. *)
+val merge : analyzed -> Solution.t -> Merge.result

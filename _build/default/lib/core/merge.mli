@@ -1,0 +1,50 @@
+(** Accelerator merging (Section III-E): share reconfigurable datapath
+    units between accelerators by inserting multiplexers with
+    configuration registers, keeping one FSM per covered program region
+    plus a global Ctrl unit. The heuristic repeatedly merges the pair with
+    the highest estimated area saving until none remains positive. *)
+
+type res = {
+  units : (Cayman_ir.Op.unit_kind * int) list;
+  r_coupled : int;
+  r_decoupled : int;
+  r_sp_words : int;
+  r_regs : int;
+}
+
+type accel = {
+  regions : string list;  (** program regions this accelerator serves *)
+  res : res;
+  area : float;
+  fsms : int;
+  nodes : Cayman_hls.Datapath.node list option;
+      (** datapath operation nodes, when known; enables the paper's
+          DFG-level matching instead of the resource-vector bound *)
+}
+
+type result = {
+  accels : accel list;
+  area_before : float;
+  area_after : float;
+  saving_pct : float;
+  n_reusable : int;
+  regions_per_reusable : float;
+}
+
+(** Lift one selected accelerator into a mergeable unit. *)
+val accel_of : ?nodes:Cayman_hls.Datapath.node list -> Solution.accel -> accel
+
+(** Estimated saving of merging two accelerators (can be negative). *)
+val pair_saving : accel -> accel -> float
+
+(** [nodes_of] supplies the datapath nodes of a selected accelerator
+    (see {!Cayman.merge} for the full-flow wiring); without it the
+    resource-vector approximation is used. *)
+val merge_solution :
+  ?nodes_of:(Solution.accel -> Cayman_hls.Datapath.node list option) ->
+  Solution.t ->
+  result
+
+(** Verilog skeleton of one merged accelerator (Fig. 5); the index names
+    the module. *)
+val netlist_of : int -> accel -> Cayman_hls.Netlist.t

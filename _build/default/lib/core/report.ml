@@ -1,0 +1,40 @@
+module Hls = Cayman_hls
+
+(* Aggregated configuration counters of a solution, matching Table II's
+   columns: #SB, #PR, #C, #D, #S. *)
+type totals = {
+  sb : int;
+  pr : int;
+  c : int;
+  d : int;
+  s : int;
+  n_accels : int;
+}
+
+let totals (sol : Solution.t) =
+  List.fold_left
+    (fun acc (a : Solution.accel) ->
+      let p = a.Solution.a_point in
+      { sb = acc.sb + p.Hls.Kernel.n_seq_blocks;
+        pr = acc.pr + p.Hls.Kernel.n_pipelined;
+        c = acc.c + p.Hls.Kernel.ifaces.Hls.Kernel.n_coupled;
+        d = acc.d + p.Hls.Kernel.ifaces.Hls.Kernel.n_decoupled;
+        s = acc.s + p.Hls.Kernel.ifaces.Hls.Kernel.n_scratchpad;
+        n_accels = acc.n_accels + 1 })
+    { sb = 0; pr = 0; c = 0; d = 0; s = 0; n_accels = 0 }
+    sol.Solution.accels
+
+let area_ratio (sol : Solution.t) = Hls.Tech.ratio_to_cva6 sol.Solution.area
+
+(* Pretty-print one Pareto frontier as (area-ratio, speedup) points. *)
+let pp_frontier ~t_all fmt frontier =
+  Format.fprintf fmt "@[<v>";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Format.pp_print_cut fmt ();
+      Format.fprintf fmt "area=%.4f speedup=%.3f (%d accels)"
+        (area_ratio s)
+        (Solution.speedup ~t_all s)
+        (List.length s.Solution.accels))
+    frontier;
+  Format.fprintf fmt "@]"

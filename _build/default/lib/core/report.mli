@@ -1,0 +1,14 @@
+(** Reporting helpers: Table II column aggregation and frontier dumps. *)
+
+type totals = {
+  sb : int;  (** sequential basic blocks *)
+  pr : int;  (** pipelined regions *)
+  c : int;  (** coupled interfaces *)
+  d : int;  (** decoupled interfaces *)
+  s : int;  (** scratchpad interfaces *)
+  n_accels : int;
+}
+
+val totals : Solution.t -> totals
+val area_ratio : Solution.t -> float
+val pp_frontier : t_all:float -> Format.formatter -> Solution.t list -> unit

@@ -1,0 +1,76 @@
+module Hls = Cayman_hls
+module An = Cayman_analysis
+module Sim = Cayman_sim
+
+(* Generator of accelerator design points for one region: Cayman's full
+   model, its coupled-only ablation, and the baselines all plug in here,
+   so every method shares the same dynamic program. *)
+type accel_gen = Hls.Ctx.t -> An.Region.t -> Hls.Kernel.point list
+
+type params = {
+  alpha : float;
+  prune_threshold : float;
+}
+
+let default_params = { alpha = 1.08; prune_threshold = 5e-4 }
+
+type stats = {
+  visited : int;
+  pruned : int;
+  points_evaluated : int;
+}
+
+(* Algorithm 1: bottom-up dynamic programming over the wPST. [F v] is the
+   filtered Pareto sequence of solutions accelerating kernels from [v]'s
+   subtree; sibling sequences combine with ⊗ and a ctrl-flow region may
+   instead be accelerated whole via [gen]. *)
+let select ?(params = default_params) ~(gen : accel_gen)
+    (ctxs : (string, Hls.Ctx.t) Hashtbl.t) (wpst : An.Wpst.t)
+    (profile : Sim.Profile.t) : Solution.t list * stats =
+  let alpha = params.alpha in
+  let total_cycles = float_of_int (Sim.Profile.total_cycles profile) in
+  let prune_cycles = params.prune_threshold *. total_cycles in
+  let visited = ref 0 in
+  let pruned = ref 0 in
+  let points = ref 0 in
+  let rec dp (ctx : Hls.Ctx.t) (r : An.Region.t) : Solution.t list =
+    incr visited;
+    let cycles = Sim.Profile.region_cycles ctx.Hls.Ctx.func profile r in
+    if float_of_int cycles < prune_cycles then begin
+      incr pruned;
+      [ Solution.empty ]
+    end
+    else begin
+      let own =
+        match r.An.Region.kind with
+        | An.Region.Whole_function -> []
+        | An.Region.Basic_block | An.Region.Loop_region | An.Region.Cond_region ->
+          let pts = gen ctx r in
+          points := !points + List.length pts;
+          List.filter_map
+            (fun p ->
+              let a =
+                Solution.accel_of_point ~func:ctx.Hls.Ctx.func.Cayman_ir.Func.name
+                  ~region_id:r.An.Region.id ~region_name:(An.Region.name r) p
+              in
+              if a.Solution.a_saved > 0.0 then Some (Solution.of_accel a)
+              else None)
+            pts
+      in
+      let from_children =
+        List.fold_left
+          (fun acc c -> Solution.combine ~alpha acc (dp ctx c))
+          [ Solution.empty ] r.An.Region.children
+      in
+      Solution.filter ~alpha (Solution.pareto (own @ from_children))
+    end
+  in
+  let frontier =
+    List.fold_left
+      (fun acc (ft : An.Wpst.func_tree) ->
+        match Hashtbl.find_opt ctxs ft.An.Wpst.fname with
+        | Some ctx -> Solution.combine ~alpha acc (dp ctx ft.An.Wpst.root)
+        | None -> acc)
+      [ Solution.empty ] wpst.An.Wpst.funcs
+  in
+  frontier, { visited = !visited; pruned = !pruned; points_evaluated = !points }

@@ -1,0 +1,35 @@
+(** Candidate selection: the dynamic-programming knapsack over the wPST
+    (Algorithm 1 of the paper), with heuristic pruning and solution
+    filtering.
+
+    The accelerator model is injected as an {!accel_gen}, so the same DP
+    serves full Cayman, the coupled-only ablation, and the NOVIA/QsCores
+    baselines. *)
+
+type accel_gen =
+  Cayman_hls.Ctx.t -> Cayman_analysis.Region.t -> Cayman_hls.Kernel.point list
+
+type params = {
+  alpha : float;  (** filter spacing ratio *)
+  prune_threshold : float;
+      (** regions with profiled duration below this fraction of [T_all]
+          are pruned (their whole subtree is skipped) *)
+}
+
+val default_params : params
+
+type stats = {
+  visited : int;  (** wPST vertices entered *)
+  pruned : int;
+  points_evaluated : int;  (** design points produced by the model *)
+}
+
+(** [select ~gen ctxs wpst profile] returns the filtered Pareto frontier
+    [F(root)] of the whole application plus search statistics. *)
+val select :
+  ?params:params ->
+  gen:accel_gen ->
+  (string, Cayman_hls.Ctx.t) Hashtbl.t ->
+  Cayman_analysis.Wpst.t ->
+  Cayman_sim.Profile.t ->
+  Solution.t list * stats

@@ -1,0 +1,120 @@
+module Hls = Cayman_hls
+
+(* One synthesized accelerator inside a solution. *)
+type accel = {
+  a_func : string;
+  a_region_id : int;
+  a_region_name : string;
+  a_point : Hls.Kernel.point;
+  a_saved : float;  (* host seconds saved by this accelerator *)
+}
+
+(* A selection solution: a set of accelerators for non-overlapping wPST
+   regions, with its total area and total saved host time. *)
+type t = {
+  accels : accel list;
+  area : float;
+  saved : float;
+}
+
+let empty = { accels = []; area = 0.0; saved = 0.0 }
+
+let accel_of_point ~func ~region_id ~region_name (p : Hls.Kernel.point) =
+  { a_func = func;
+    a_region_id = region_id;
+    a_region_name = region_name;
+    a_point = p;
+    a_saved = Hls.Kernel.saved_seconds p }
+
+let of_accel a = { accels = [ a ]; area = a.a_point.Hls.Kernel.area; saved = a.a_saved }
+
+let union s1 s2 =
+  { accels = s1.accels @ s2.accels;
+    area = s1.area +. s2.area;
+    saved = s1.saved +. s2.saved }
+
+(* Eq. (1): overall speedup given the profiled whole-program duration. *)
+let speedup ~t_all s =
+  if t_all <= 0.0 then 1.0
+  else begin
+    let accelerated = t_all -. s.saved in
+    if accelerated <= 0.0 then infinity else t_all /. accelerated
+  end
+
+(* Pareto-optimal subsequence: sorted by area, strictly increasing saved
+   time. The empty solution (area 0, saved 0) is always kept, so every
+   sequence contains the do-nothing option and negative-saving solutions
+   are dominated away. *)
+let pareto solutions =
+  let sorted =
+    List.sort
+      (fun a b ->
+        match compare a.area b.area with
+        | 0 -> compare b.saved a.saved
+        | c -> c)
+      (empty :: solutions)
+  in
+  let rec scan best acc = function
+    | [] -> List.rev acc
+    | s :: rest ->
+      if s.saved > best +. 1e-15 || (s.area = 0.0 && acc = []) then
+        scan s.saved (s :: acc) rest
+      else scan best acc rest
+  in
+  scan neg_infinity [] sorted
+
+(* Area quantum for the filter: spacing is enforced relative to
+   [max area quantum] so that a cloud of near-zero-area solutions cannot
+   defeat the log_alpha bound. *)
+let area_quantum = 1000.0
+
+(* The paper's [filter]: walk the Pareto sequence and keep the next
+   solution only once its area exceeds [alpha] times the last kept one,
+   bounding the sequence length to log_alpha of the area limit. The
+   maximum-saving solution is always retained so a generous budget never
+   loses the best answer. *)
+let filter ~alpha solutions =
+  match solutions with
+  | [] -> []
+  | first :: rest ->
+    let rec scan kept acc = function
+      | [] -> List.rev acc
+      | s :: tail ->
+        if s.area > alpha *. Float.max kept.area area_quantum then
+          scan s (s :: acc) tail
+        else if tail = [] && s.saved > kept.saved then List.rev (s :: acc)
+        else scan kept acc tail
+    in
+    scan first [ first ] rest
+
+(* [combine] is the paper's ⊗: all unions of a solution from each side,
+   reduced back to a filtered Pareto sequence. *)
+let combine ~alpha s1 s2 =
+  let crossed =
+    List.concat_map (fun a -> List.map (fun b -> union a b) s2) s1
+  in
+  filter ~alpha (pareto crossed)
+
+let best_under ~budget solutions =
+  List.fold_left
+    (fun best s ->
+      if s.area <= budget then
+        match best with
+        | Some b when b.saved >= s.saved -> best
+        | Some _ | None -> Some s
+      else best)
+    None solutions
+
+let pp fmt s =
+  Format.fprintf fmt "@[<v 2>solution: area=%.0f um^2 (%.3f tiles) saved=%.3e s"
+    s.area
+    (Hls.Tech.ratio_to_cva6 s.area)
+    s.saved;
+  List.iter
+    (fun a ->
+      Format.fprintf fmt "@,%s/%s [%s] area=%.0f saved=%.3e" a.a_func
+        a.a_region_name
+        (Hls.Kernel.config_to_string a.a_point.Hls.Kernel.config)
+        a.a_point.Hls.Kernel.area a.a_saved)
+    s.accels;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,52 @@
+(** Selection solutions: sets of accelerators for non-overlapping wPST
+    regions, with Pareto-sequence operations and the paper's α-filter. *)
+
+type accel = {
+  a_func : string;
+  a_region_id : int;
+  a_region_name : string;
+  a_point : Cayman_hls.Kernel.point;
+  a_saved : float;  (** host seconds saved by this accelerator *)
+}
+
+type t = {
+  accels : accel list;
+  area : float;  (** um^2, sum over accelerators *)
+  saved : float;  (** seconds, sum over accelerators *)
+}
+
+val empty : t
+
+val accel_of_point :
+  func:string ->
+  region_id:int ->
+  region_name:string ->
+  Cayman_hls.Kernel.point ->
+  accel
+
+val of_accel : accel -> t
+val union : t -> t -> t
+
+(** Eq. (1): [t_all / (t_all - saved)]. *)
+val speedup : t_all:float -> t -> float
+
+(** Pareto-optimal subsequence sorted by area with strictly increasing
+    saved time; always contains {!empty}. *)
+val pareto : t list -> t list
+
+(** Area quantum below which the filter's geometric spacing is not
+    enforced. *)
+val area_quantum : float
+
+(** The paper's [filter]: enforce [a_{i+1} > alpha * a_i] spacing on a
+    Pareto sequence, always retaining the maximum-saving solution. *)
+val filter : alpha:float -> t list -> t list
+
+(** The paper's ⊗ operation: cross-product union of two solution
+    sequences, reduced to a filtered Pareto sequence. *)
+val combine : alpha:float -> t list -> t list -> t list
+
+(** Best (max saved) solution within the area budget (um^2). *)
+val best_under : budget:float -> t list -> t option
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/frontend/lower.ml: Ast Cayman_ir Format Hashtbl List Option Parser String

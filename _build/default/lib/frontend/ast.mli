@@ -1,0 +1,94 @@
+(** Abstract syntax of MiniC, the C-like input language.
+
+    MiniC is the stand-in for the C applications the paper compiles with
+    LLVM. It has [int] and [float] scalars, top-level constant and global
+    array declarations, functions with scalar parameters, [if]/[while]/
+    [for] statements with optional loop labels, [break]/[continue], and
+    the usual expression grammar. Logical [&&]/[||] are strict (both sides
+    evaluate); MiniC conditions have no side effects so this is
+    observationally equivalent for our benchmarks. *)
+
+type ty =
+  | Tint
+  | Tfloat
+  | Tvoid
+
+type binop =
+  | Badd
+  | Bsub
+  | Bmul
+  | Bdiv
+  | Bmod
+  | Beq
+  | Bne
+  | Blt
+  | Ble
+  | Bgt
+  | Bge
+  | Band
+  | Bor
+  | Bshl
+  | Bshr
+  | Bbit_and
+  | Bbit_or
+  | Bbit_xor
+
+type unop =
+  | Uneg
+  | Unot
+
+type expr = { desc : expr_desc; line : int }
+
+and expr_desc =
+  | Int_lit of int
+  | Float_lit of float
+  | Var of string
+  | Index of string * expr list
+  | Bin of binop * expr * expr
+  | Un of unop * expr
+  | Call of string * expr list
+  | Cast of ty * expr
+
+type assign_op =
+  | A_set
+  | A_add
+  | A_sub
+  | A_mul
+  | A_div
+
+type lvalue =
+  | L_var of string
+  | L_index of string * expr list
+
+type stmt = { sdesc : stmt_desc; sline : int }
+
+and stmt_desc =
+  | S_block of stmt list
+  | S_if of expr * stmt * stmt option
+  | S_while of string option * expr * stmt
+      (** optional loop label, condition, body *)
+  | S_for of string option * stmt option * expr option * stmt option * stmt
+      (** optional loop label, init, condition, step, body *)
+  | S_return of expr option
+  | S_decl of ty * string * expr option
+  | S_assign of lvalue * assign_op * expr
+  | S_expr of expr
+  | S_break
+  | S_continue
+
+type param = { pty : ty; pname : string }
+
+type item =
+  | Global of { ty : ty; name : string; dims : expr list; line : int }
+  | Const of { name : string; value : expr; line : int }
+  | Func of {
+      ret : ty;
+      name : string;
+      params : param list;
+      body : stmt list;
+      line : int;
+    }
+
+type program = item list
+
+val ty_to_string : ty -> string

@@ -1,0 +1,245 @@
+type token =
+  | INT of int
+  | FLOAT of float
+  | IDENT of string
+  | KW_INT
+  | KW_FLOAT
+  | KW_VOID
+  | KW_CONST
+  | KW_IF
+  | KW_ELSE
+  | KW_WHILE
+  | KW_FOR
+  | KW_RETURN
+  | KW_BREAK
+  | KW_CONTINUE
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  | COLON
+  | ASSIGN
+  | PLUS_ASSIGN
+  | MINUS_ASSIGN
+  | STAR_ASSIGN
+  | SLASH_ASSIGN
+  | PLUS_PLUS
+  | MINUS_MINUS
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | AND_AND
+  | OR_OR
+  | BANG
+  | AMP
+  | PIPE
+  | CARET
+  | SHL
+  | SHR
+  | EOF
+
+exception Error of { line : int; message : string }
+
+let token_to_string = function
+  | INT n -> string_of_int n
+  | FLOAT x -> string_of_float x
+  | IDENT s -> s
+  | KW_INT -> "int"
+  | KW_FLOAT -> "float"
+  | KW_VOID -> "void"
+  | KW_CONST -> "const"
+  | KW_IF -> "if"
+  | KW_ELSE -> "else"
+  | KW_WHILE -> "while"
+  | KW_FOR -> "for"
+  | KW_RETURN -> "return"
+  | KW_BREAK -> "break"
+  | KW_CONTINUE -> "continue"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | SEMI -> ";"
+  | COMMA -> ","
+  | COLON -> ":"
+  | ASSIGN -> "="
+  | PLUS_ASSIGN -> "+="
+  | MINUS_ASSIGN -> "-="
+  | STAR_ASSIGN -> "*="
+  | SLASH_ASSIGN -> "/="
+  | PLUS_PLUS -> "++"
+  | MINUS_MINUS -> "--"
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | EQ -> "=="
+  | NE -> "!="
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | AND_AND -> "&&"
+  | OR_OR -> "||"
+  | BANG -> "!"
+  | AMP -> "&"
+  | PIPE -> "|"
+  | CARET -> "^"
+  | SHL -> "<<"
+  | SHR -> ">>"
+  | EOF -> "<eof>"
+
+let keyword_of_string = function
+  | "int" -> Some KW_INT
+  | "float" -> Some KW_FLOAT
+  | "void" -> Some KW_VOID
+  | "const" -> Some KW_CONST
+  | "if" -> Some KW_IF
+  | "else" -> Some KW_ELSE
+  | "while" -> Some KW_WHILE
+  | "for" -> Some KW_FOR
+  | "return" -> Some KW_RETURN
+  | "break" -> Some KW_BREAK
+  | "continue" -> Some KW_CONTINUE
+  | _ -> None
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_char c = is_ident_start c || is_digit c
+
+(* Tokenize [src] into a list of [(token, line)] pairs ending with [EOF]. *)
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let pos = ref 0 in
+  let peek k = if !pos + k < n then Some src.[!pos + k] else None in
+  let fail message = raise (Error { line = !line; message }) in
+  let push t = toks := (t, !line) :: !toks in
+  while !pos < n do
+    let c = src.[!pos] in
+    if c = '\n' then begin incr line; incr pos end
+    else if c = ' ' || c = '\t' || c = '\r' then incr pos
+    else if c = '/' && peek 1 = Some '/' then begin
+      while !pos < n && src.[!pos] <> '\n' do incr pos done
+    end
+    else if c = '/' && peek 1 = Some '*' then begin
+      pos := !pos + 2;
+      let closed = ref false in
+      while not !closed do
+        if !pos + 1 >= n then fail "unterminated comment"
+        else if src.[!pos] = '*' && src.[!pos + 1] = '/' then begin
+          pos := !pos + 2;
+          closed := true
+        end
+        else begin
+          if src.[!pos] = '\n' then incr line;
+          incr pos
+        end
+      done
+    end
+    else if is_ident_start c then begin
+      let start = !pos in
+      while !pos < n && is_ident_char src.[!pos] do incr pos done;
+      let word = String.sub src start (!pos - start) in
+      match keyword_of_string word with
+      | Some kw -> push kw
+      | None -> push (IDENT word)
+    end
+    else if is_digit c then begin
+      let start = !pos in
+      while !pos < n && is_digit src.[!pos] do incr pos done;
+      let is_float =
+        (!pos < n && src.[!pos] = '.' && (!pos + 1 >= n || src.[!pos + 1] <> '.'))
+        || (!pos < n && (src.[!pos] = 'e' || src.[!pos] = 'E'))
+      in
+      if is_float then begin
+        if !pos < n && src.[!pos] = '.' then begin
+          incr pos;
+          while !pos < n && is_digit src.[!pos] do incr pos done
+        end;
+        if !pos < n && (src.[!pos] = 'e' || src.[!pos] = 'E') then begin
+          incr pos;
+          if !pos < n && (src.[!pos] = '+' || src.[!pos] = '-') then incr pos;
+          while !pos < n && is_digit src.[!pos] do incr pos done
+        end;
+        let text = String.sub src start (!pos - start) in
+        match float_of_string_opt text with
+        | Some x -> push (FLOAT x)
+        | None -> fail ("bad float literal " ^ text)
+      end
+      else begin
+        let text = String.sub src start (!pos - start) in
+        match int_of_string_opt text with
+        | Some v -> push (INT v)
+        | None -> fail ("bad int literal " ^ text)
+      end
+    end
+    else begin
+      let two tok = pos := !pos + 2; push tok in
+      let one tok = incr pos; push tok in
+      match c, peek 1 with
+      | '+', Some '=' -> two PLUS_ASSIGN
+      | '-', Some '=' -> two MINUS_ASSIGN
+      | '*', Some '=' -> two STAR_ASSIGN
+      | '/', Some '=' -> two SLASH_ASSIGN
+      | '+', Some '+' -> two PLUS_PLUS
+      | '-', Some '-' -> two MINUS_MINUS
+      | '=', Some '=' -> two EQ
+      | '!', Some '=' -> two NE
+      | '<', Some '=' -> two LE
+      | '>', Some '=' -> two GE
+      | '<', Some '<' -> two SHL
+      | '>', Some '>' -> two SHR
+      | '&', Some '&' -> two AND_AND
+      | '|', Some '|' -> two OR_OR
+      | '(', _ -> one LPAREN
+      | ')', _ -> one RPAREN
+      | '{', _ -> one LBRACE
+      | '}', _ -> one RBRACE
+      | '[', _ -> one LBRACKET
+      | ']', _ -> one RBRACKET
+      | ';', _ -> one SEMI
+      | ',', _ -> one COMMA
+      | ':', _ -> one COLON
+      | '=', _ -> one ASSIGN
+      | '+', _ -> one PLUS
+      | '-', _ -> one MINUS
+      | '*', _ -> one STAR
+      | '/', _ -> one SLASH
+      | '%', _ -> one PERCENT
+      | '<', _ -> one LT
+      | '>', _ -> one GT
+      | '!', _ -> one BANG
+      | '&', _ -> one AMP
+      | '|', _ -> one PIPE
+      | '^', _ -> one CARET
+      | '.', Some d when is_digit d ->
+        (* .5 style literal *)
+        let start = !pos in
+        incr pos;
+        while !pos < n && is_digit src.[!pos] do incr pos done;
+        let text = String.sub src start (!pos - start) in
+        (match float_of_string_opt text with
+         | Some x -> push (FLOAT x)
+         | None -> fail ("bad float literal " ^ text))
+      | _ -> fail (Printf.sprintf "unexpected character %C" c)
+    end
+  done;
+  push EOF;
+  List.rev !toks

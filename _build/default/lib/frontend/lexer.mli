@@ -1,0 +1,62 @@
+(** Hand-written lexer for MiniC. *)
+
+type token =
+  | INT of int
+  | FLOAT of float
+  | IDENT of string
+  | KW_INT
+  | KW_FLOAT
+  | KW_VOID
+  | KW_CONST
+  | KW_IF
+  | KW_ELSE
+  | KW_WHILE
+  | KW_FOR
+  | KW_RETURN
+  | KW_BREAK
+  | KW_CONTINUE
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  | COLON
+  | ASSIGN
+  | PLUS_ASSIGN
+  | MINUS_ASSIGN
+  | STAR_ASSIGN
+  | SLASH_ASSIGN
+  | PLUS_PLUS
+  | MINUS_MINUS
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | AND_AND
+  | OR_OR
+  | BANG
+  | AMP
+  | PIPE
+  | CARET
+  | SHL
+  | SHR
+  | EOF
+
+exception Error of { line : int; message : string }
+
+val token_to_string : token -> string
+
+(** Tokenize a source string into [(token, line)] pairs; the result always
+    ends with [EOF]. Supports [//] and [/* */] comments.
+    @raise Error on malformed input. *)
+val tokenize : string -> (token * int) list

@@ -1,0 +1,17 @@
+(** Type checking and lowering of MiniC to the IR.
+
+    Lowering performs light constant folding, inserts implicit int/float
+    conversions, and gives every loop a dedicated preheader, header, latch
+    and exit block so that loops form clean single-entry-single-exit
+    regions. Loop labels ([linear: for (...)]) become block-name prefixes
+    and thus readable region names. *)
+
+exception Error of { line : int; message : string }
+
+(** Lower a parsed program. The entry function must be called [main]. *)
+val lower : Ast.program -> Cayman_ir.Program.t
+
+(** [compile src] parses, lowers, and validates. The result is guaranteed
+    to pass {!Cayman_ir.Validate.check}.
+    @raise Error on lexical, syntax, type, or internal validation errors. *)
+val compile : string -> Cayman_ir.Program.t

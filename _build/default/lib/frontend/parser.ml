@@ -1,0 +1,500 @@
+exception Error of { line : int; message : string }
+
+type state = { toks : (Lexer.token * int) array; mutable cursor : int }
+
+let peek st = fst st.toks.(st.cursor)
+let peek2 st =
+  if st.cursor + 1 < Array.length st.toks then fst st.toks.(st.cursor + 1)
+  else Lexer.EOF
+let line st = snd st.toks.(st.cursor)
+
+let fail st message = raise (Error { line = line st; message })
+
+let advance st =
+  if st.cursor + 1 < Array.length st.toks then st.cursor <- st.cursor + 1
+
+let eat st tok =
+  if peek st = tok then advance st
+  else
+    fail st
+      (Printf.sprintf "expected '%s' but found '%s'"
+         (Lexer.token_to_string tok)
+         (Lexer.token_to_string (peek st)))
+
+let eat_ident st =
+  match peek st with
+  | Lexer.IDENT s -> advance st; s
+  | t -> fail st ("expected identifier, found '" ^ Lexer.token_to_string t ^ "'")
+
+let parse_scalar_ty st =
+  match peek st with
+  | Lexer.KW_INT -> advance st; Ast.Tint
+  | Lexer.KW_FLOAT -> advance st; Ast.Tfloat
+  | t -> fail st ("expected a type, found '" ^ Lexer.token_to_string t ^ "'")
+
+let is_scalar_ty = function
+  | Lexer.KW_INT | Lexer.KW_FLOAT -> true
+  | _ -> false
+
+(* --- expressions --- *)
+
+let rec parse_expr st = parse_or st
+
+and parse_or st =
+  let ln = line st in
+  let left = parse_and st in
+  if peek st = Lexer.OR_OR then begin
+    advance st;
+    let right = parse_or st in
+    { Ast.desc = Ast.Bin (Ast.Bor, left, right); line = ln }
+  end
+  else left
+
+and parse_and st =
+  let ln = line st in
+  let left = parse_bitor st in
+  if peek st = Lexer.AND_AND then begin
+    advance st;
+    let right = parse_and st in
+    { Ast.desc = Ast.Bin (Ast.Band, left, right); line = ln }
+  end
+  else left
+
+and parse_bitor st =
+  let rec loop left =
+    if peek st = Lexer.PIPE then begin
+      let ln = line st in
+      advance st;
+      let right = parse_bitxor st in
+      loop { Ast.desc = Ast.Bin (Ast.Bbit_or, left, right); line = ln }
+    end
+    else left
+  in
+  loop (parse_bitxor st)
+
+and parse_bitxor st =
+  let rec loop left =
+    if peek st = Lexer.CARET then begin
+      let ln = line st in
+      advance st;
+      let right = parse_bitand st in
+      loop { Ast.desc = Ast.Bin (Ast.Bbit_xor, left, right); line = ln }
+    end
+    else left
+  in
+  loop (parse_bitand st)
+
+and parse_bitand st =
+  let rec loop left =
+    if peek st = Lexer.AMP then begin
+      let ln = line st in
+      advance st;
+      let right = parse_equality st in
+      loop { Ast.desc = Ast.Bin (Ast.Bbit_and, left, right); line = ln }
+    end
+    else left
+  in
+  loop (parse_equality st)
+
+and parse_equality st =
+  let rec loop left =
+    let op =
+      match peek st with
+      | Lexer.EQ -> Some Ast.Beq
+      | Lexer.NE -> Some Ast.Bne
+      | _ -> None
+    in
+    match op with
+    | Some op ->
+      let ln = line st in
+      advance st;
+      let right = parse_relational st in
+      loop { Ast.desc = Ast.Bin (op, left, right); line = ln }
+    | None -> left
+  in
+  loop (parse_relational st)
+
+and parse_relational st =
+  let rec loop left =
+    let op =
+      match peek st with
+      | Lexer.LT -> Some Ast.Blt
+      | Lexer.LE -> Some Ast.Ble
+      | Lexer.GT -> Some Ast.Bgt
+      | Lexer.GE -> Some Ast.Bge
+      | _ -> None
+    in
+    match op with
+    | Some op ->
+      let ln = line st in
+      advance st;
+      let right = parse_shift st in
+      loop { Ast.desc = Ast.Bin (op, left, right); line = ln }
+    | None -> left
+  in
+  loop (parse_shift st)
+
+and parse_shift st =
+  let rec loop left =
+    let op =
+      match peek st with
+      | Lexer.SHL -> Some Ast.Bshl
+      | Lexer.SHR -> Some Ast.Bshr
+      | _ -> None
+    in
+    match op with
+    | Some op ->
+      let ln = line st in
+      advance st;
+      let right = parse_additive st in
+      loop { Ast.desc = Ast.Bin (op, left, right); line = ln }
+    | None -> left
+  in
+  loop (parse_additive st)
+
+and parse_additive st =
+  let rec loop left =
+    let op =
+      match peek st with
+      | Lexer.PLUS -> Some Ast.Badd
+      | Lexer.MINUS -> Some Ast.Bsub
+      | _ -> None
+    in
+    match op with
+    | Some op ->
+      let ln = line st in
+      advance st;
+      let right = parse_multiplicative st in
+      loop { Ast.desc = Ast.Bin (op, left, right); line = ln }
+    | None -> left
+  in
+  loop (parse_multiplicative st)
+
+and parse_multiplicative st =
+  let rec loop left =
+    let op =
+      match peek st with
+      | Lexer.STAR -> Some Ast.Bmul
+      | Lexer.SLASH -> Some Ast.Bdiv
+      | Lexer.PERCENT -> Some Ast.Bmod
+      | _ -> None
+    in
+    match op with
+    | Some op ->
+      let ln = line st in
+      advance st;
+      let right = parse_unary st in
+      loop { Ast.desc = Ast.Bin (op, left, right); line = ln }
+    | None -> left
+  in
+  loop (parse_unary st)
+
+and parse_unary st =
+  let ln = line st in
+  match peek st with
+  | Lexer.MINUS ->
+    advance st;
+    let e = parse_unary st in
+    { Ast.desc = Ast.Un (Ast.Uneg, e); line = ln }
+  | Lexer.PLUS -> advance st; parse_unary st
+  | Lexer.BANG ->
+    advance st;
+    let e = parse_unary st in
+    { Ast.desc = Ast.Un (Ast.Unot, e); line = ln }
+  | Lexer.LPAREN when is_scalar_ty (peek2 st) ->
+    (* cast: (int)e or (float)e *)
+    advance st;
+    let ty = parse_scalar_ty st in
+    eat st Lexer.RPAREN;
+    let e = parse_unary st in
+    { Ast.desc = Ast.Cast (ty, e); line = ln }
+  | _ -> parse_primary st
+
+and parse_primary st =
+  let ln = line st in
+  match peek st with
+  | Lexer.INT n -> advance st; { Ast.desc = Ast.Int_lit n; line = ln }
+  | Lexer.FLOAT x -> advance st; { Ast.desc = Ast.Float_lit x; line = ln }
+  | Lexer.LPAREN ->
+    advance st;
+    let e = parse_expr st in
+    eat st Lexer.RPAREN;
+    e
+  | Lexer.IDENT name ->
+    advance st;
+    (match peek st with
+     | Lexer.LPAREN ->
+       advance st;
+       let args = parse_args st in
+       { Ast.desc = Ast.Call (name, args); line = ln }
+     | Lexer.LBRACKET ->
+       let idx = parse_indices st in
+       { Ast.desc = Ast.Index (name, idx); line = ln }
+     | _ -> { Ast.desc = Ast.Var name; line = ln })
+  | t -> fail st ("expected an expression, found '" ^ Lexer.token_to_string t ^ "'")
+
+and parse_args st =
+  if peek st = Lexer.RPAREN then begin advance st; [] end
+  else begin
+    let rec loop acc =
+      let e = parse_expr st in
+      match peek st with
+      | Lexer.COMMA -> advance st; loop (e :: acc)
+      | _ -> eat st Lexer.RPAREN; List.rev (e :: acc)
+    in
+    loop []
+  end
+
+and parse_indices st =
+  let rec loop acc =
+    if peek st = Lexer.LBRACKET then begin
+      advance st;
+      let e = parse_expr st in
+      eat st Lexer.RBRACKET;
+      loop (e :: acc)
+    end
+    else List.rev acc
+  in
+  loop []
+
+(* --- statements --- *)
+
+let parse_lvalue st =
+  let name = eat_ident st in
+  if peek st = Lexer.LBRACKET then Ast.L_index (name, parse_indices st)
+  else Ast.L_var name
+
+(* Simple statement without the trailing ';': assignment, ++/--, or call. *)
+let parse_simple st =
+  let ln = line st in
+  match peek st, peek2 st with
+  | Lexer.IDENT name, Lexer.LPAREN ->
+    advance st;
+    advance st;
+    let args = parse_args st in
+    { Ast.sdesc = Ast.S_expr { Ast.desc = Ast.Call (name, args); line = ln };
+      sline = ln }
+  | Lexer.IDENT name, Lexer.PLUS_PLUS ->
+    advance st;
+    advance st;
+    { Ast.sdesc =
+        Ast.S_assign
+          (Ast.L_var name, Ast.A_add, { Ast.desc = Ast.Int_lit 1; line = ln });
+      sline = ln }
+  | Lexer.IDENT name, Lexer.MINUS_MINUS ->
+    advance st;
+    advance st;
+    { Ast.sdesc =
+        Ast.S_assign
+          (Ast.L_var name, Ast.A_sub, { Ast.desc = Ast.Int_lit 1; line = ln });
+      sline = ln }
+  | Lexer.IDENT _, _ ->
+    let lv = parse_lvalue st in
+    (match peek st with
+     | Lexer.PLUS_PLUS ->
+       advance st;
+       { Ast.sdesc =
+           Ast.S_assign (lv, Ast.A_add, { Ast.desc = Ast.Int_lit 1; line = ln });
+         sline = ln }
+     | Lexer.MINUS_MINUS ->
+       advance st;
+       { Ast.sdesc =
+           Ast.S_assign (lv, Ast.A_sub, { Ast.desc = Ast.Int_lit 1; line = ln });
+         sline = ln }
+     | _ ->
+       let op =
+         match peek st with
+         | Lexer.ASSIGN -> Ast.A_set
+         | Lexer.PLUS_ASSIGN -> Ast.A_add
+         | Lexer.MINUS_ASSIGN -> Ast.A_sub
+         | Lexer.STAR_ASSIGN -> Ast.A_mul
+         | Lexer.SLASH_ASSIGN -> Ast.A_div
+         | t -> fail st ("expected assignment operator, found '"
+                         ^ Lexer.token_to_string t ^ "'")
+       in
+       advance st;
+       let e = parse_expr st in
+       { Ast.sdesc = Ast.S_assign (lv, op, e); sline = ln })
+  | t, _ ->
+    fail st ("expected a statement, found '" ^ Lexer.token_to_string t ^ "'")
+
+let rec parse_stmt st =
+  let ln = line st in
+  match peek st with
+  | Lexer.LBRACE ->
+    advance st;
+    let stmts = parse_stmts_until_rbrace st in
+    { Ast.sdesc = Ast.S_block stmts; sline = ln }
+  | Lexer.KW_IF ->
+    advance st;
+    eat st Lexer.LPAREN;
+    let cond = parse_expr st in
+    eat st Lexer.RPAREN;
+    let then_s = parse_stmt st in
+    let else_s =
+      if peek st = Lexer.KW_ELSE then begin
+        advance st;
+        Some (parse_stmt st)
+      end
+      else None
+    in
+    { Ast.sdesc = Ast.S_if (cond, then_s, else_s); sline = ln }
+  | Lexer.KW_WHILE -> parse_while st None
+  | Lexer.KW_FOR -> parse_for st None
+  | Lexer.IDENT label when peek2 st = Lexer.COLON ->
+    advance st;
+    advance st;
+    (match peek st with
+     | Lexer.KW_FOR -> parse_for st (Some label)
+     | Lexer.KW_WHILE -> parse_while st (Some label)
+     | t ->
+       fail st
+         ("loop label must precede 'for' or 'while', found '"
+          ^ Lexer.token_to_string t ^ "'"))
+  | Lexer.KW_RETURN ->
+    advance st;
+    if peek st = Lexer.SEMI then begin
+      advance st;
+      { Ast.sdesc = Ast.S_return None; sline = ln }
+    end
+    else begin
+      let e = parse_expr st in
+      eat st Lexer.SEMI;
+      { Ast.sdesc = Ast.S_return (Some e); sline = ln }
+    end
+  | Lexer.KW_BREAK ->
+    advance st;
+    eat st Lexer.SEMI;
+    { Ast.sdesc = Ast.S_break; sline = ln }
+  | Lexer.KW_CONTINUE ->
+    advance st;
+    eat st Lexer.SEMI;
+    { Ast.sdesc = Ast.S_continue; sline = ln }
+  | Lexer.KW_INT | Lexer.KW_FLOAT ->
+    let ty = parse_scalar_ty st in
+    let name = eat_ident st in
+    let init =
+      if peek st = Lexer.ASSIGN then begin
+        advance st;
+        Some (parse_expr st)
+      end
+      else None
+    in
+    eat st Lexer.SEMI;
+    { Ast.sdesc = Ast.S_decl (ty, name, init); sline = ln }
+  | _ ->
+    let s = parse_simple st in
+    eat st Lexer.SEMI;
+    s
+
+and parse_while st label =
+  let ln = line st in
+  eat st Lexer.KW_WHILE;
+  eat st Lexer.LPAREN;
+  let cond = parse_expr st in
+  eat st Lexer.RPAREN;
+  let body = parse_stmt st in
+  { Ast.sdesc = Ast.S_while (label, cond, body); sline = ln }
+
+and parse_for st label =
+  let ln = line st in
+  eat st Lexer.KW_FOR;
+  eat st Lexer.LPAREN;
+  let init =
+    if peek st = Lexer.SEMI then None
+    else if is_scalar_ty (peek st) then begin
+      let ty = parse_scalar_ty st in
+      let name = eat_ident st in
+      eat st Lexer.ASSIGN;
+      let e = parse_expr st in
+      Some { Ast.sdesc = Ast.S_decl (ty, name, Some e); sline = ln }
+    end
+    else Some (parse_simple st)
+  in
+  eat st Lexer.SEMI;
+  let cond = if peek st = Lexer.SEMI then None else Some (parse_expr st) in
+  eat st Lexer.SEMI;
+  let step = if peek st = Lexer.RPAREN then None else Some (parse_simple st) in
+  eat st Lexer.RPAREN;
+  let body = parse_stmt st in
+  { Ast.sdesc = Ast.S_for (label, init, cond, step, body); sline = ln }
+
+and parse_stmts_until_rbrace st =
+  let rec loop acc =
+    if peek st = Lexer.RBRACE then begin
+      advance st;
+      List.rev acc
+    end
+    else if peek st = Lexer.EOF then fail st "unexpected end of file in block"
+    else loop (parse_stmt st :: acc)
+  in
+  loop []
+
+(* --- top level --- *)
+
+let rec parse_item st =
+  let ln = line st in
+  match peek st with
+  | Lexer.KW_CONST ->
+    advance st;
+    eat st Lexer.KW_INT;
+    let name = eat_ident st in
+    eat st Lexer.ASSIGN;
+    let value = parse_expr st in
+    eat st Lexer.SEMI;
+    Ast.Const { name; value; line = ln }
+  | Lexer.KW_VOID ->
+    advance st;
+    let name = eat_ident st in
+    eat st Lexer.LPAREN;
+    let params = parse_params st in
+    eat st Lexer.LBRACE;
+    let body = parse_stmts_until_rbrace st in
+    Ast.Func { ret = Ast.Tvoid; name; params; body; line = ln }
+  | Lexer.KW_INT | Lexer.KW_FLOAT ->
+    let ty = parse_scalar_ty st in
+    let name = eat_ident st in
+    (match peek st with
+     | Lexer.LPAREN ->
+       advance st;
+       let params = parse_params st in
+       eat st Lexer.LBRACE;
+       let body = parse_stmts_until_rbrace st in
+       Ast.Func { ret = ty; name; params; body; line = ln }
+     | Lexer.LBRACKET ->
+       let dims = parse_indices st in
+       eat st Lexer.SEMI;
+       Ast.Global { ty; name; dims; line = ln }
+     | t ->
+       fail st
+         ("expected '(' or '[' after top-level name, found '"
+          ^ Lexer.token_to_string t ^ "'"))
+  | t ->
+    fail st
+      ("expected a top-level declaration, found '" ^ Lexer.token_to_string t
+       ^ "'")
+
+and parse_params st =
+  if peek st = Lexer.RPAREN then begin advance st; [] end
+  else begin
+    let rec loop acc =
+      let pty = parse_scalar_ty st in
+      let pname = eat_ident st in
+      let p = { Ast.pty; pname } in
+      match peek st with
+      | Lexer.COMMA -> advance st; loop (p :: acc)
+      | _ -> eat st Lexer.RPAREN; List.rev (p :: acc)
+    in
+    loop []
+  end
+
+let parse_tokens toks =
+  let st = { toks = Array.of_list toks; cursor = 0 } in
+  let rec loop acc =
+    if peek st = Lexer.EOF then List.rev acc else loop (parse_item st :: acc)
+  in
+  loop []
+
+let parse src =
+  try parse_tokens (Lexer.tokenize src) with
+  | Lexer.Error { line; message } -> raise (Error { line; message })

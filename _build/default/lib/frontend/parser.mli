@@ -1,0 +1,7 @@
+(** Recursive-descent parser for MiniC. *)
+
+exception Error of { line : int; message : string }
+
+(** Parse a MiniC source string into an AST.
+    @raise Error on lexical or syntax errors, with the offending line. *)
+val parse : string -> Ast.program

@@ -1,0 +1,1 @@
+lib/hls/ctx.ml: Cayman_analysis Cayman_ir Cayman_sim Dfg Float Hashtbl List

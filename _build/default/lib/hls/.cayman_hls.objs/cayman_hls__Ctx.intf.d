@@ -1,0 +1,1 @@
+lib/hls/ctx.mli: Cayman_analysis Cayman_ir Cayman_sim Dfg Hashtbl

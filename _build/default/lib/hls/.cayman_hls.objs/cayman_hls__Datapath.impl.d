@@ -1,0 +1,1 @@
+lib/hls/datapath.ml: Array Cayman_analysis Cayman_ir Ctx Dfg Hashtbl Kernel List Option Schedule Tech

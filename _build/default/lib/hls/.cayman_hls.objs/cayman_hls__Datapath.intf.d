@@ -1,0 +1,1 @@
+lib/hls/datapath.mli: Cayman_analysis Cayman_ir Ctx Kernel

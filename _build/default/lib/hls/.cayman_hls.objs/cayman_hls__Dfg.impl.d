@@ -1,0 +1,1 @@
+lib/hls/dfg.ml: Array Cayman_ir Float Hashtbl List

@@ -1,0 +1,1 @@
+lib/hls/dse.ml: Cayman_analysis Ctx Hashtbl Kernel List

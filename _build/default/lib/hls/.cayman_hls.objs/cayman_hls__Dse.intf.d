@@ -1,0 +1,1 @@
+lib/hls/dse.mli: Cayman_analysis Ctx Kernel

@@ -1,0 +1,1 @@
+lib/hls/iface.ml: Tech

@@ -1,0 +1,1 @@
+lib/hls/kernel.ml: Array Cayman_analysis Cayman_ir Cayman_sim Ctx Dfg Hashtbl Iface List Option Pipeline Printf Schedule String Tech

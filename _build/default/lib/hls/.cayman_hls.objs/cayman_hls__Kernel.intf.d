@@ -1,0 +1,1 @@
+lib/hls/kernel.mli: Cayman_analysis Cayman_ir Ctx Iface

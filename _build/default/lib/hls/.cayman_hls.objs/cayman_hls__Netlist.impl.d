@@ -1,0 +1,1 @@
+lib/hls/netlist.ml: Array Buffer Cayman_analysis Cayman_ir Ctx Dfg Hashtbl Iface Int32 Kernel List Option Printf String

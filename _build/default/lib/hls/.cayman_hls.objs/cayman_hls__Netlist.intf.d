@@ -1,0 +1,1 @@
+lib/hls/netlist.mli: Cayman_analysis Cayman_ir Ctx Kernel

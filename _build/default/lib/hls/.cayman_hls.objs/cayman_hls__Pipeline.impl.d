@@ -1,0 +1,1 @@
+lib/hls/pipeline.ml: Array Cayman_analysis Cayman_ir Ctx Dfg Iface List Option String Tech

@@ -1,0 +1,1 @@
+lib/hls/pipeline.mli: Cayman_analysis Ctx Dfg Iface

@@ -1,0 +1,1 @@
+lib/hls/schedule.ml: Array Cayman_ir Dfg Float Iface List Tech

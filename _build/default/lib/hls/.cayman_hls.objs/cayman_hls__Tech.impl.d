@@ -1,0 +1,1 @@
+lib/hls/tech.ml: Cayman_ir

@@ -1,0 +1,1 @@
+lib/hls/tech.mli: Cayman_ir

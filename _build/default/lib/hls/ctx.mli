@@ -1,0 +1,31 @@
+(** Per-function analysis context: the paper's profiling/analysis results
+    [R], bundled for the accelerator model and candidate selection. *)
+
+type t = {
+  program : Cayman_ir.Program.t;
+  func : Cayman_ir.Func.t;
+  profile : Cayman_sim.Profile.t;
+  dom : Cayman_analysis.Dominance.t;
+  loops : Cayman_analysis.Loops.t;
+  live : Cayman_analysis.Liveness.t;
+  scev : Cayman_analysis.Scev.t;
+  loop_info : (string, Cayman_analysis.Memdep.loop_info) Hashtbl.t;
+  dfgs : (string, Dfg.t) Hashtbl.t;
+  trips : (string, float) Hashtbl.t;
+}
+
+val create :
+  Cayman_ir.Program.t -> Cayman_sim.Profile.t -> Cayman_ir.Func.t -> t
+
+val dfg : t -> string -> Dfg.t
+val loop_info : t -> string -> Cayman_analysis.Memdep.loop_info option
+
+(** Average profiled trip count, rounded (0 if the loop never entered). *)
+val trip : t -> string -> int
+
+val block_exec : t -> string -> int
+val loop_entries : t -> Cayman_analysis.Loops.loop -> int
+
+(** Contexts for every function reachable from main. *)
+val for_program :
+  Cayman_ir.Program.t -> Cayman_sim.Profile.t -> (string, t) Hashtbl.t

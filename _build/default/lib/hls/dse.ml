@@ -1,0 +1,98 @@
+module An = Cayman_analysis
+
+(* Exhaustive per-kernel design-space exploration, used to validate the
+   paper's fast exploration strategy (Section III-C): Cayman prunes the
+   configuration space heuristically; this module sweeps it exhaustively
+   so the quality gap can be measured (see the [ablation-dse] bench). *)
+
+type space = {
+  unrolls : int list;
+  pipeline : bool list;
+  modes : Kernel.mode list;
+  betas : float list;
+}
+
+let default_space =
+  { unrolls = [ 1; 2; 4; 8; 16 ];
+    pipeline = [ false; true ];
+    modes =
+      [ Kernel.Heuristic; Kernel.Coupled_only; Kernel.Decoupled_preferred;
+        Kernel.Scratchpad_preferred ];
+    betas = [ 2.0; 4.0; 8.0 ] }
+
+let size space =
+  List.length space.unrolls * List.length space.pipeline
+  * List.length space.modes * List.length space.betas
+
+(* Every design point of the space, deduplicated by (cycles, area). *)
+let explore (ctx : Ctx.t) (region : An.Region.t) space =
+  let seen = Hashtbl.create 64 in
+  List.concat_map
+    (fun unroll ->
+      List.concat_map
+        (fun pipeline ->
+          List.concat_map
+            (fun mode ->
+              List.filter_map
+                (fun beta ->
+                  match
+                    Kernel.estimate ctx region ~beta
+                      { Kernel.unroll; pipeline; mode }
+                  with
+                  | Some p ->
+                    let key = p.Kernel.accel_cycles, p.Kernel.area in
+                    if Hashtbl.mem seen key then None
+                    else begin
+                      Hashtbl.replace seen key ();
+                      Some p
+                    end
+                  | None -> None)
+                space.betas)
+            space.modes)
+        space.pipeline)
+    space.unrolls
+
+(* Pareto frontier over (area, cycles): increasing area, strictly
+   decreasing cycles. *)
+let pareto points =
+  let sorted =
+    List.sort
+      (fun (a : Kernel.point) b ->
+        match compare a.Kernel.area b.Kernel.area with
+        | 0 -> compare a.Kernel.accel_cycles b.Kernel.accel_cycles
+        | c -> c)
+      points
+  in
+  let rec scan best acc = function
+    | [] -> List.rev acc
+    | (p : Kernel.point) :: rest ->
+      if p.Kernel.accel_cycles < best then
+        scan p.Kernel.accel_cycles (p :: acc) rest
+      else scan best acc rest
+  in
+  scan infinity [] sorted
+
+(* Best (fewest cycles) point within an area cap. *)
+let best_under ~area points =
+  List.fold_left
+    (fun best (p : Kernel.point) ->
+      if p.Kernel.area <= area then
+        match best with
+        | Some (b : Kernel.point)
+          when b.Kernel.accel_cycles <= p.Kernel.accel_cycles ->
+          best
+        | Some _ | None -> Some p
+      else best)
+    None points
+
+(* Quality of the fast strategy vs the exhaustive sweep on one kernel:
+   returns (heuristic cycles, exhaustive cycles) at the area cap, where
+   the heuristic side only sees Cayman's default configurations. *)
+let heuristic_vs_exhaustive ctx region ~area =
+  let fast =
+    Kernel.estimate_all ctx region (Kernel.default_configs Kernel.Heuristic)
+  in
+  let full = explore ctx region default_space in
+  match best_under ~area fast, best_under ~area full with
+  | Some f, Some e -> Some (f.Kernel.accel_cycles, e.Kernel.accel_cycles)
+  | _, _ -> None

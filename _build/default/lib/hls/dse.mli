@@ -1,0 +1,28 @@
+(** Exhaustive per-kernel design-space exploration, for measuring how
+    close the paper's fast exploration strategy gets to the full space. *)
+
+type space = {
+  unrolls : int list;
+  pipeline : bool list;
+  modes : Kernel.mode list;
+  betas : float list;
+}
+
+val default_space : space
+
+(** Number of raw configurations in the space. *)
+val size : space -> int
+
+(** All estimable design points, deduplicated by (cycles, area). *)
+val explore :
+  Ctx.t -> Cayman_analysis.Region.t -> space -> Kernel.point list
+
+(** Pareto frontier over (area, cycles). *)
+val pareto : Kernel.point list -> Kernel.point list
+
+val best_under : area:float -> Kernel.point list -> Kernel.point option
+
+(** [(fast, exhaustive)] accelerator cycles at the area cap; [None] if
+    either side has no feasible point. *)
+val heuristic_vs_exhaustive :
+  Ctx.t -> Cayman_analysis.Region.t -> area:float -> (float * float) option

@@ -1,0 +1,52 @@
+type kind =
+  | Coupled
+  | Decoupled
+  | Scratchpad
+  | Scan
+
+let to_string = function
+  | Coupled -> "coupled"
+  | Decoupled -> "decoupled"
+  | Scratchpad -> "scratchpad"
+  | Scan -> "scan"
+
+let load_latency = function
+  | Coupled -> Tech.coupled_load_latency
+  | Decoupled -> Tech.decoupled_load_latency
+  | Scratchpad -> Tech.scratchpad_access_latency
+  | Scan -> 6
+
+let store_latency = function
+  | Coupled -> Tech.coupled_store_latency
+  | Decoupled -> Tech.decoupled_store_latency
+  | Scratchpad -> Tech.scratchpad_access_latency
+  | Scan -> 3
+
+(* Port occupancy per access for interfaces with a shared resource; the
+   decoupled interface streams independently and the scratchpad is banked,
+   so only coupled (and scan-chain) accesses serialize on the single
+   memory port. *)
+let load_occupancy = function
+  | Coupled -> Tech.coupled_load_occupancy
+  | Decoupled -> 0
+  | Scratchpad -> 0
+  | Scan -> 2
+
+let store_occupancy = function
+  | Coupled -> Tech.coupled_store_occupancy
+  | Decoupled -> 0
+  | Scratchpad -> 0
+  | Scan -> 1
+
+(* Area of the interface hardware attached to one access operation (the
+   scratchpad buffer itself is accounted per array, not per access). *)
+let per_access_area = function
+  | Coupled -> Tech.coupled_unit_area
+  | Decoupled -> Tech.decoupled_unit_area
+  | Scratchpad -> 0.0
+  | Scan -> 420.0
+
+(* Shared-port interfaces serialize on one memory port. *)
+let uses_shared_port = function
+  | Coupled | Scan -> true
+  | Decoupled | Scratchpad -> false

@@ -1,0 +1,20 @@
+(** Processor-accelerator data access interfaces.
+
+    [Coupled], [Decoupled] and [Scratchpad] are the paper's three
+    specialized interfaces (Fig. 3). [Scan] models the high-latency,
+    low-bandwidth scan-chain interface of conservation cores / QsCores,
+    used only by the baseline. *)
+
+type kind =
+  | Coupled
+  | Decoupled
+  | Scratchpad
+  | Scan
+
+val to_string : kind -> string
+val load_latency : kind -> int
+val store_latency : kind -> int
+val load_occupancy : kind -> int
+val store_occupancy : kind -> int
+val per_access_area : kind -> float
+val uses_shared_port : kind -> bool

@@ -1,0 +1,104 @@
+(** The accelerator model: configuration generation plus performance/area
+    estimation for a kernel (a wPST region), per Section III-C of the
+    paper.
+
+    A configuration fixes the control-flow optimization (loop pipelining
+    and an unroll factor applied to innermost loops without carried
+    dependencies) and the interface policy. Estimation schedules each
+    synthesized block, applies the pipeline model to innermost loops, and
+    accumulates latency and area bottom-up, using profiled execution
+    counts. *)
+
+type mode =
+  | Heuristic  (** the paper's interface specialization heuristic *)
+  | Coupled_only  (** ablation: coupled interfaces everywhere *)
+  | Scan_only  (** QsCores-style scan-chain interfaces (baseline) *)
+  | Scratchpad_preferred
+      (** scratchpad for every statically-analyzable access (used by the
+          Fig. 4 study) *)
+  | Decoupled_preferred
+      (** decoupled for every stream access, even outside pipelined loops
+          (used by the Fig. 4 study) *)
+
+type config = {
+  unroll : int;
+  pipeline : bool;
+  mode : mode;
+}
+
+type iface_counts = {
+  n_coupled : int;
+  n_decoupled : int;
+  n_scratchpad : int;
+}
+
+val no_ifaces : iface_counts
+
+(** One design point of a synthesized kernel accelerator. *)
+type point = {
+  config : config;
+  accel_cycles : float;
+      (** accelerator cycles over the whole run, including DMA and
+          invocation synchronization *)
+  cpu_cycles : int;  (** profiled host cycles of the region ([T_cand]) *)
+  invocations : int;
+  area : float;  (** um^2 *)
+  n_seq_blocks : int;  (** #SB *)
+  n_pipelined : int;  (** #PR *)
+  ifaces : iface_counts;  (** #C / #D / #S *)
+  units : (Cayman_ir.Op.unit_kind * int) list;
+      (** datapath unit multiset, consumed by accelerator merging *)
+  sp_words : int;  (** total scratchpad buffer words *)
+  n_regs : int;  (** datapath registers *)
+}
+
+val mode_to_string : mode -> string
+val config_to_string : config -> string
+
+(** The fast exploration strategy: sequential, pipelined, and pipelined
+    with unroll factors 2, 4, 8. *)
+val default_configs : mode -> config list
+
+val max_scratchpad_words : int
+val default_beta : float
+
+(** The structural synthesis decisions for one kernel configuration,
+    shared by the estimator and the RTL netlist backend. *)
+type plan = {
+  p_region : Cayman_analysis.Region.t;
+  p_config : config;
+  p_pipelined : (Cayman_analysis.Loops.loop * string * int) list;
+      (** pipelined loop, its body block, unroll factor *)
+  p_assignment : assignment;
+  p_seq_blocks : string list;
+}
+
+and assignment
+
+val plan :
+  Ctx.t -> Cayman_analysis.Region.t -> ?beta:float -> config -> plan option
+
+(** Interface chosen for the memory node [i] of block [label]. *)
+val plan_iface : plan -> string -> int -> Iface.kind
+
+(** Scratchpad arrays of the plan: [(array, buffer words)]. *)
+val plan_sp_arrays : plan -> (string * int) list
+
+(** [estimate ctx region config] is the design point for one
+    configuration, or [None] when the region is not synthesizable (it
+    contains calls, or never executed). *)
+val estimate :
+  Ctx.t -> Cayman_analysis.Region.t -> ?beta:float -> config -> point option
+
+(** Design points for several configurations, deduplicated by
+    (cycles, area). *)
+val estimate_all :
+  Ctx.t ->
+  Cayman_analysis.Region.t ->
+  ?beta:float ->
+  config list ->
+  point list
+
+(** Host seconds saved by offloading this kernel (negative when the
+    accelerator loses to the host). *)
+val saved_seconds : point -> float

@@ -1,0 +1,49 @@
+(** Structural Verilog netlist generation for kernel accelerators.
+
+    Shares the synthesis {!Kernel.plan} with the estimator, so the
+    emitted instance counts match the modelled area exactly: one
+    primitive instance per operation (replicated by the unroll factor in
+    pipelined bodies), one architectural register per IR register, an FSM
+    state per block, interface instances per memory access, scratchpad
+    banks and a DMA engine when the plan uses them. *)
+
+type stats = {
+  n_compute : int;  (** datapath unit instances *)
+  n_mem : int;  (** interface instances *)
+  n_regs : int;  (** architectural registers *)
+  n_states : int;  (** FSM states (including IDLE/DONE) *)
+  n_wires : int;
+}
+
+type t = {
+  module_name : string;
+  verilog : string;
+  stats : stats;
+}
+
+(** [None] when the kernel is not synthesizable (same condition as
+    {!Kernel.estimate}). *)
+val of_kernel :
+  Ctx.t ->
+  Cayman_analysis.Region.t ->
+  ?beta:float ->
+  Kernel.config ->
+  t option
+
+(** Reusable (merged) accelerator skeleton: a shared reconfigurable
+    datapath bank with muxed inputs and configuration registers, one FSM
+    per covered region, and a global Ctrl unit (the paper's Fig. 5).
+    Takes the merged resource vector so it stays independent of the
+    selection layer. *)
+val of_reusable :
+  name:string ->
+  units:(Cayman_ir.Op.unit_kind * int) list ->
+  n_coupled:int ->
+  n_decoupled:int ->
+  sp_words:int ->
+  fsms:int ->
+  regions:string list ->
+  t
+
+(** Behavioural stub library for the emitted primitives. *)
+val primitives : string

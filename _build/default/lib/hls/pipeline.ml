@@ -1,0 +1,101 @@
+module Ir = Cayman_ir
+module An = Cayman_analysis
+
+(* Cycle weight of a DFG node for recurrence-path queries. *)
+let node_weight (dfg : Dfg.t) ~(iface : int -> Iface.kind) i =
+  let instr = dfg.Dfg.instrs.(i) in
+  match instr with
+  | Ir.Instr.Assign _ -> 0.0
+  | Ir.Instr.Load _ -> float_of_int (Iface.load_latency (iface i))
+  | Ir.Instr.Store _ -> float_of_int (Iface.store_latency (iface i))
+  | Ir.Instr.Unary _ | Ir.Instr.Binary _ | Ir.Instr.Compare _
+  | Ir.Instr.Select _ ->
+    (match Ir.Instr.unit_kind instr with
+     | Some k -> float_of_int (Tech.latency_cycles k)
+     | None -> 1.0)
+  | Ir.Instr.Call _ -> 1.0
+
+(* Recurrence-constrained minimum initiation interval of a single-block
+   loop body: the longest dependence cycle divided by its distance.
+   Scalar recurrences (accumulators) cycle from the consumers of the
+   live-in register to its final definition; loop-carried memory
+   dependencies cycle between the two accesses. *)
+let rec_mii (ctx : Ctx.t) (dfg : Dfg.t) ~(iface : int -> Iface.kind)
+    (loop : An.Loops.loop) =
+  let weight = node_weight dfg ~iface in
+  let body_label = dfg.Dfg.block.Ir.Block.label in
+  let info = Ctx.loop_info ctx loop.An.Loops.header in
+  match info with
+  | None -> 1
+  | Some info ->
+    let scalar =
+      List.fold_left
+        (fun acc rid ->
+          match Dfg.def_of dfg rid with
+          | None -> acc
+          | Some def ->
+            let sources = Dfg.uses_of_live_in dfg rid in
+            let sources = if sources = [] then [ def ] else sources in
+            (match Dfg.longest_path dfg ~weight ~sources ~sink:def with
+             | Some d -> max acc (int_of_float (ceil d))
+             | None -> max acc (int_of_float (ceil (weight def)))))
+        1 info.An.Memdep.recurrences
+    in
+    List.fold_left
+      (fun acc (dep : An.Memdep.carried_dep) ->
+        let a = dep.An.Memdep.src and b = dep.An.Memdep.dst in
+        if
+          String.equal a.An.Memdep.a_block body_label
+          && String.equal b.An.Memdep.a_block body_label
+        then begin
+          let lo, hi =
+            if a.An.Memdep.a_pos <= b.An.Memdep.a_pos then
+              a.An.Memdep.a_pos, b.An.Memdep.a_pos
+            else b.An.Memdep.a_pos, a.An.Memdep.a_pos
+          in
+          let dist = max 1 (Option.value dep.An.Memdep.distance ~default:1) in
+          match Dfg.longest_path dfg ~weight ~sources:[ lo ] ~sink:hi with
+          | Some d ->
+            max acc (int_of_float (ceil (d /. float_of_int dist)))
+          | None -> acc
+        end
+        else
+          (* Dependence through blocks outside the body (should not happen
+             for pipelineable loops); be conservative. *)
+          max acc 4)
+      scalar info.An.Memdep.carried
+
+(* Resource-constrained MII under an unroll factor: shared-port accesses
+   serialize; scratchpad accesses spread over [sp_banks] banks; decoupled
+   streams never contend. *)
+let res_mii (dfg : Dfg.t) ~(iface : int -> Iface.kind) ~unroll ~sp_banks =
+  let port = ref 0 in
+  let sp = ref 0 in
+  List.iter
+    (fun i ->
+      let k = iface i in
+      let occ =
+        match dfg.Dfg.instrs.(i) with
+        | Ir.Instr.Load _ -> Iface.load_occupancy k
+        | Ir.Instr.Store _ -> Iface.store_occupancy k
+        | Ir.Instr.Assign _ | Ir.Instr.Unary _ | Ir.Instr.Binary _
+        | Ir.Instr.Compare _ | Ir.Instr.Select _ | Ir.Instr.Call _ -> 0
+      in
+      if Iface.uses_shared_port k then port := !port + occ
+      else
+        match k with
+        | Iface.Scratchpad -> incr sp
+        | Iface.Decoupled | Iface.Coupled | Iface.Scan -> ())
+    (Dfg.mem_nodes dfg);
+  let port_mii =
+    int_of_float
+      (ceil (float_of_int (!port * unroll) /. float_of_int Tech.coupled_ports))
+  in
+  let sp_mii =
+    int_of_float
+      (ceil (float_of_int (!sp * unroll) /. float_of_int (max 1 sp_banks)))
+  in
+  max 1 (max port_mii sp_mii)
+
+let ii ctx dfg ~iface loop ~unroll ~sp_banks =
+  max (rec_mii ctx dfg ~iface loop) (res_mii dfg ~iface ~unroll ~sp_banks)

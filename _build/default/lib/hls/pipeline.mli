@@ -1,0 +1,25 @@
+(** Loop pipelining model: initiation interval as
+    [max(RecMII, ResMII)]. *)
+
+val node_weight : Dfg.t -> iface:(int -> Iface.kind) -> int -> float
+
+(** Recurrence-constrained MII of a single-block loop body. *)
+val rec_mii :
+  Ctx.t ->
+  Dfg.t ->
+  iface:(int -> Iface.kind) ->
+  Cayman_analysis.Loops.loop ->
+  int
+
+(** Resource-constrained MII under an unroll factor. *)
+val res_mii :
+  Dfg.t -> iface:(int -> Iface.kind) -> unroll:int -> sp_banks:int -> int
+
+val ii :
+  Ctx.t ->
+  Dfg.t ->
+  iface:(int -> Iface.kind) ->
+  Cayman_analysis.Loops.loop ->
+  unroll:int ->
+  sp_banks:int ->
+  int

@@ -1,0 +1,123 @@
+module Ir = Cayman_ir
+
+type t = {
+  length : int;
+  issue_cycle : int array;
+  finish_cycle : int array;
+}
+
+let clock = Tech.clock_ns
+
+(* ASAP scheduling with operator chaining and interface resource
+   constraints, walking nodes in program order (a valid topological order
+   of the block DFG).
+
+   - Sub-cycle compute ops chain: an op fits after its predecessors within
+     the same cycle if the accumulated combinational delay stays below the
+     clock period; otherwise it starts at the next cycle boundary.
+   - Multi-cycle compute ops are internally pipelined units with registered
+     inputs: they issue at a cycle boundary and finish [latency] cycles
+     later.
+   - Memory accesses issue at a cycle boundary, finish after the
+     interface's latency, and hold the shared port (coupled interface
+     only) for their occupancy.
+   - [sp_banks] scratchpad banks each serve one access per cycle. *)
+let run ?(sp_banks = 1) (dfg : Dfg.t) ~(iface : int -> Iface.kind) =
+  let n = Dfg.size dfg in
+  let issue_cycle = Array.make n 0 in
+  let finish_cycle = Array.make n 0 in
+  (* finish time in ns of each node, for chaining decisions *)
+  let finish_ns = Array.make n 0.0 in
+  let port_free = ref 0 in
+  let bank_free = Array.make (max 1 sp_banks) 0 in
+  let length = ref 1 in
+  let ready_ns i =
+    List.fold_left
+      (fun acc p -> Float.max acc finish_ns.(p))
+      0.0 dfg.Dfg.preds.(i)
+  in
+  let cycle_of_ns t = int_of_float (floor ((t /. clock) +. 1e-9)) in
+  let next_boundary t =
+    let c = ceil (t /. clock -. 1e-9) in
+    c *. clock
+  in
+  for i = 0 to n - 1 do
+    let instr = dfg.Dfg.instrs.(i) in
+    let ready = ready_ns i in
+    (match instr with
+     | Ir.Instr.Assign _ ->
+       (* A wire: no delay, no resource. *)
+       issue_cycle.(i) <- cycle_of_ns ready;
+       finish_ns.(i) <- ready;
+       finish_cycle.(i) <- cycle_of_ns ready
+     | Ir.Instr.Load (_, _) | Ir.Instr.Store (_, _) ->
+       let kind = iface i in
+       let is_load =
+         match instr with
+         | Ir.Instr.Load _ -> true
+         | Ir.Instr.Assign _ | Ir.Instr.Unary _ | Ir.Instr.Binary _
+         | Ir.Instr.Compare _ | Ir.Instr.Select _ | Ir.Instr.Store _
+         | Ir.Instr.Call _ -> false
+       in
+       let lat =
+         if is_load then Iface.load_latency kind else Iface.store_latency kind
+       in
+       let occ =
+         if is_load then Iface.load_occupancy kind
+         else Iface.store_occupancy kind
+       in
+       let ready_cycle = cycle_of_ns (next_boundary ready) in
+       let issue =
+         match kind with
+         | Iface.Coupled | Iface.Scan ->
+           let c = max ready_cycle !port_free in
+           port_free := c + occ;
+           c
+         | Iface.Decoupled -> ready_cycle
+         | Iface.Scratchpad ->
+           (* earliest-free bank *)
+           let best = ref 0 in
+           Array.iteri
+             (fun b free -> if free < bank_free.(!best) then best := b)
+             bank_free;
+           let c = max ready_cycle bank_free.(!best) in
+           bank_free.(!best) <- c + 1;
+           c
+       in
+       issue_cycle.(i) <- issue;
+       finish_cycle.(i) <- issue + lat;
+       finish_ns.(i) <- float_of_int (issue + lat) *. clock
+     | Ir.Instr.Unary _ | Ir.Instr.Binary _ | Ir.Instr.Compare _
+     | Ir.Instr.Select _ | Ir.Instr.Call _ ->
+       let kind =
+         match Ir.Instr.unit_kind instr with
+         | Some k -> k
+         | None -> Ir.Op.U_int_add (* calls never reach hardware *)
+       in
+       let delay = Tech.delay_ns kind in
+       if delay <= clock then begin
+         (* Chain if the op completes within the current cycle. *)
+         let start =
+           if
+             ready +. delay
+             <= (float_of_int (cycle_of_ns ready) +. 1.0) *. clock +. 1e-9
+           then ready
+           else next_boundary ready
+         in
+         issue_cycle.(i) <- cycle_of_ns start;
+         finish_ns.(i) <- start +. delay;
+         finish_cycle.(i) <- cycle_of_ns (start +. delay)
+       end
+       else begin
+         let lat = Tech.latency_cycles kind in
+         let issue = cycle_of_ns (next_boundary ready) in
+         issue_cycle.(i) <- issue;
+         finish_cycle.(i) <- issue + lat;
+         finish_ns.(i) <- float_of_int (issue + lat) *. clock
+       end);
+    if finish_cycle.(i) + 1 > !length then length := finish_cycle.(i) + 1
+  done;
+  { length = !length; issue_cycle; finish_cycle }
+
+(* Latency of the block as one straight-line schedule. *)
+let block_latency ?sp_banks dfg ~iface = (run ?sp_banks dfg ~iface).length

@@ -1,0 +1,15 @@
+(** Resource-constrained ASAP scheduling of block DFGs with operator
+    chaining, at the accelerator clock of {!Tech.clock_ns}. *)
+
+type t = {
+  length : int;  (** schedule length in cycles (>= 1) *)
+  issue_cycle : int array;
+  finish_cycle : int array;
+}
+
+(** [run dfg ~iface] schedules the block; [iface i] gives the data-access
+    interface of memory node [i]. [sp_banks] is the number of scratchpad
+    banks available for parallel access (memory partitioning). *)
+val run : ?sp_banks:int -> Dfg.t -> iface:(int -> Iface.kind) -> t
+
+val block_latency : ?sp_banks:int -> Dfg.t -> iface:(int -> Iface.kind) -> int

@@ -1,0 +1,91 @@
+module Ir = Cayman_ir
+
+(* Nangate45-flavoured characterization: combinational delay in ns and
+   area in um^2 per datapath unit. The numbers were chosen to be plausible
+   for a 45 nm standard-cell flow; only their relative magnitudes matter
+   for the evaluation (see DESIGN.md). *)
+
+let clock_ns = 2.0 (* 500 MHz accelerator clock, as in the paper *)
+let accel_freq_hz = 1.0e9 /. clock_ns
+
+let delay_ns (k : Ir.Op.unit_kind) =
+  match k with
+  | Ir.Op.U_int_add -> 0.9
+  | Ir.Op.U_int_mul -> 2.6
+  | Ir.Op.U_int_div -> 11.0
+  | Ir.Op.U_int_logic -> 0.3
+  | Ir.Op.U_int_shift -> 0.5
+  | Ir.Op.U_int_cmp -> 0.7
+  | Ir.Op.U_float_add -> 3.4
+  | Ir.Op.U_float_mul -> 3.8
+  | Ir.Op.U_float_div -> 13.5
+  | Ir.Op.U_float_cmp -> 1.6
+  | Ir.Op.U_convert -> 2.2
+  | Ir.Op.U_select -> 0.4
+
+let area (k : Ir.Op.unit_kind) =
+  match k with
+  | Ir.Op.U_int_add -> 180.0
+  | Ir.Op.U_int_mul -> 2200.0
+  | Ir.Op.U_int_div -> 4500.0
+  | Ir.Op.U_int_logic -> 90.0
+  | Ir.Op.U_int_shift -> 260.0
+  | Ir.Op.U_int_cmp -> 140.0
+  | Ir.Op.U_float_add -> 3800.0
+  | Ir.Op.U_float_mul -> 5200.0
+  | Ir.Op.U_float_div -> 9800.0
+  | Ir.Op.U_float_cmp -> 900.0
+  | Ir.Op.U_convert -> 1500.0
+  | Ir.Op.U_select -> 120.0
+
+(* Cycle latency of a unit at the accelerator clock; sub-cycle units may
+   chain, multi-cycle units are pipelined internally. *)
+let latency_cycles k =
+  int_of_float (ceil (delay_ns k /. clock_ns))
+
+(* --- data access interfaces (Fig. 3 of the paper) --- *)
+
+(* Coupled: a load/store unit talking to the memory system; the
+   accelerator stalls for the full round trip. *)
+let coupled_load_latency = 5
+let coupled_store_latency = 2
+let coupled_load_occupancy = 2 (* port busy cycles per access *)
+let coupled_store_occupancy = 1
+let coupled_ports = 1
+let coupled_unit_area = 950.0
+
+(* Decoupled: an AGU computes stream addresses ahead of the datapath and a
+   FIFO hides the memory latency. *)
+let decoupled_load_latency = 2
+let decoupled_store_latency = 1
+let decoupled_unit_area = 2750.0 (* AGU + FIFO per stream *)
+
+(* Scratchpad: local buffer + DMA bulk transfer around kernel execution. *)
+let scratchpad_access_latency = 1
+let scratchpad_word_area = 45.0
+let scratchpad_bank_overhead = 600.0
+let dma_engine_area = 5200.0
+let dma_words_per_cycle = 4
+
+(* --- control and structural overheads --- *)
+
+let register_area = 250.0 (* one 32-bit register *)
+let fsm_state_area = 60.0
+let block_ctrl_area = 220.0 (* per synthesized basic block *)
+let pipeline_stage_area = 480.0 (* pipeline registers per stage *)
+let accel_wrapper_area = 2600.0 (* offload/sync logic per accelerator *)
+let mux_area_per_input = 110.0 (* merging: 32-bit 2:1 mux slice *)
+let config_reg_area = 130.0 (* merging: reconfiguration bit registers *)
+
+(* Offload synchronization: cycles (at the accelerator clock) to trigger
+   the accelerator and transfer scalar arguments/results. *)
+let invoke_overhead_cycles = 12
+
+(* Per-block sequential control overhead (state transition). *)
+let seq_ctrl_cycles = 1
+
+(* Area of the CVA6 RISC-V tile used for normalization (um^2, 45 nm-ish,
+   core + L1; the paper reports accelerator area as a ratio to this). *)
+let cva6_tile_area = 1_200_000.0
+
+let ratio_to_cva6 a = a /. cva6_tile_area

@@ -1,0 +1,54 @@
+(** Technology characterization: delay/area of datapath units, data-access
+    interface parameters, control overheads, and the CVA6 normalization
+    constant.
+
+    Replaces the paper's OpenROAD + Nangate45 characterization runs with a
+    fixed table (see DESIGN.md for the substitution rationale). *)
+
+val clock_ns : float
+val accel_freq_hz : float
+
+val delay_ns : Cayman_ir.Op.unit_kind -> float
+val area : Cayman_ir.Op.unit_kind -> float
+
+(** [ceil (delay / clock)] — units faster than the clock take 1 cycle and
+    may chain. *)
+val latency_cycles : Cayman_ir.Op.unit_kind -> int
+
+(** Coupled interface: plain load/store units; the accelerator stalls for
+    the full memory round trip and accesses serialize on a shared port. *)
+
+val coupled_load_latency : int
+val coupled_store_latency : int
+val coupled_load_occupancy : int
+val coupled_store_occupancy : int
+val coupled_ports : int
+val coupled_unit_area : float
+
+(** Decoupled interface: address-generation unit + FIFO per stream. *)
+
+val decoupled_load_latency : int
+val decoupled_store_latency : int
+val decoupled_unit_area : float
+
+(** Scratchpad interface: local buffer, banked under unrolling, with DMA
+    transfers before/after kernel execution. *)
+
+val scratchpad_access_latency : int
+val scratchpad_word_area : float
+val scratchpad_bank_overhead : float
+val dma_engine_area : float
+val dma_words_per_cycle : int
+
+val register_area : float
+val fsm_state_area : float
+val block_ctrl_area : float
+val pipeline_stage_area : float
+val accel_wrapper_area : float
+val mux_area_per_input : float
+val config_reg_area : float
+val invoke_overhead_cycles : int
+val seq_ctrl_cycles : int
+
+val cva6_tile_area : float
+val ratio_to_cva6 : float -> float

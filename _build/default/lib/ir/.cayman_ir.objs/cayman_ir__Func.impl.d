@@ -1,0 +1,1 @@
+lib/ir/func.ml: Block Format Hashtbl Instr List String Types

@@ -1,0 +1,1 @@
+lib/ir/instr.ml: Format List Op Option String Types

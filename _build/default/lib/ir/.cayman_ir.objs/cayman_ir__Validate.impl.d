@@ -1,0 +1,1 @@
+lib/ir/validate.ml: Block Format Func Hashtbl Instr List Map Op Option Printf Program Set String Types

@@ -1,0 +1,14 @@
+type t = { label : string; instrs : Instr.t list; term : Instr.term }
+
+let v ~label ~instrs ~term = { label; instrs; term }
+let succs b = Instr.term_succs b.term
+
+let defs b =
+  List.filter_map Instr.def b.instrs
+
+let mem_instrs b = List.filter Instr.is_mem b.instrs
+
+let pp fmt b =
+  Format.fprintf fmt "@[<v 2>%s:" b.label;
+  List.iter (fun i -> Format.fprintf fmt "@,%a" Instr.pp i) b.instrs;
+  Format.fprintf fmt "@,%a@]" Instr.pp_term b.term

@@ -1,0 +1,17 @@
+(** Basic blocks: a labelled straight-line instruction sequence ending in a
+    single terminator. *)
+
+type t = { label : string; instrs : Instr.t list; term : Instr.term }
+
+val v : label:string -> instrs:Instr.t list -> term:Instr.term -> t
+
+(** Successor labels, in branch order. *)
+val succs : t -> string list
+
+(** Registers defined in the block, in program order (with repeats). *)
+val defs : t -> Instr.reg list
+
+(** Load/store instructions of the block, in program order. *)
+val mem_instrs : t -> Instr.t list
+
+val pp : Format.formatter -> t -> unit

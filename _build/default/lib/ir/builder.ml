@@ -1,0 +1,125 @@
+type block_state = {
+  label : string;
+  mutable instrs_rev : Instr.t list;
+  mutable term : Instr.term option;
+}
+
+type t = {
+  fname : string;
+  params : Instr.reg list;
+  ret : Types.t option;
+  mutable blocks_rev : block_state list;
+  mutable current : block_state option;
+  mutable next_reg : int;
+  mutable next_label : int;
+}
+
+let create ~name ~params ~ret =
+  { fname = name; params; ret; blocks_rev = []; current = None;
+    next_reg = 0; next_label = 0 }
+
+let fresh_reg ?(hint = "t") b ty =
+  let n = b.next_reg in
+  b.next_reg <- n + 1;
+  Instr.reg (Printf.sprintf "%s%d" hint n) ty
+
+let fresh_label ?(hint = "bb") b =
+  let n = b.next_label in
+  b.next_label <- n + 1;
+  Printf.sprintf "%s%d" hint n
+
+let add_block ?hint b =
+  let label =
+    match hint with
+    | Some h -> fresh_label ~hint:h b
+    | None -> fresh_label b
+  in
+  let bs = { label; instrs_rev = []; term = None } in
+  b.blocks_rev <- bs :: b.blocks_rev;
+  label
+
+let find_state b label =
+  List.find_opt (fun bs -> String.equal bs.label label) b.blocks_rev
+
+let set_current b label =
+  match find_state b label with
+  | Some bs -> b.current <- Some bs
+  | None -> invalid_arg ("Builder.set_current: unknown block " ^ label)
+
+let current_label b =
+  match b.current with
+  | Some bs -> bs.label
+  | None -> invalid_arg "Builder.current_label: no current block"
+
+let emit b instr =
+  match b.current with
+  | Some bs ->
+    if Option.is_some bs.term then
+      invalid_arg ("Builder.emit: block " ^ bs.label ^ " already terminated");
+    bs.instrs_rev <- instr :: bs.instrs_rev
+  | None -> invalid_arg "Builder.emit: no current block"
+
+let terminate b term =
+  match b.current with
+  | Some bs ->
+    (match bs.term with
+     | Some _ ->
+       invalid_arg
+         ("Builder.terminate: block " ^ bs.label ^ " already terminated")
+     | None -> bs.term <- Some term)
+  | None -> invalid_arg "Builder.terminate: no current block"
+
+let is_terminated b =
+  match b.current with
+  | Some bs -> Option.is_some bs.term
+  | None -> invalid_arg "Builder.is_terminated: no current block"
+
+(* Convenience emitters returning the defined register. *)
+
+let assign b ?hint ty v =
+  let r = fresh_reg ?hint b ty in
+  emit b (Instr.Assign (r, v));
+  r
+
+let binary b ?hint op x y =
+  let r = fresh_reg ?hint b (Op.bin_result_ty op) in
+  emit b (Instr.Binary (r, op, x, y));
+  r
+
+let unary b ?hint op x =
+  let _, ret_ty = Op.un_sig op in
+  let r = fresh_reg ?hint b ret_ty in
+  emit b (Instr.Unary (r, op, x));
+  r
+
+let compare b ?hint op x y =
+  let r = fresh_reg ?hint b Types.Bool in
+  emit b (Instr.Compare (r, op, x, y));
+  r
+
+let select b ?hint ty c x y =
+  let r = fresh_reg ?hint b ty in
+  emit b (Instr.Select (r, c, x, y));
+  r
+
+let load b ?hint ty ~base ~index =
+  let r = fresh_reg ?hint b ty in
+  emit b (Instr.Load (r, { Instr.base; index }));
+  r
+
+let store b ~base ~index v = emit b (Instr.Store ({ Instr.base; index }, v))
+
+let finish b =
+  let blocks =
+    List.rev_map
+      (fun bs ->
+        match bs.term with
+        | Some term ->
+          Block.v ~label:bs.label ~instrs:(List.rev bs.instrs_rev) ~term
+        | None ->
+          invalid_arg
+            (Printf.sprintf "Builder.finish: block %s of %s not terminated"
+               bs.label b.fname))
+      b.blocks_rev
+  in
+  Func.v ~name:b.fname ~params:b.params ~ret:b.ret ~blocks

@@ -1,0 +1,51 @@
+(** Imperative function builder used by the frontend and by tests.
+
+    Usage: [create], [add_block] + [set_current], [emit]/convenience
+    emitters, [terminate], then [finish] to obtain an immutable
+    {!Func.t}. The first block added is the entry block. *)
+
+type t
+
+val create :
+  name:string -> params:Instr.reg list -> ret:Types.t option -> t
+
+(** Fresh register named [<hint><n>] (default hint ["t"]). *)
+val fresh_reg : ?hint:string -> t -> Types.t -> Instr.reg
+
+val fresh_label : ?hint:string -> t -> string
+
+(** Adds an (empty, unterminated) block and returns its label. Does not
+    change the current block. *)
+val add_block : ?hint:string -> t -> string
+
+val set_current : t -> string -> unit
+val current_label : t -> string
+
+(** @raise Invalid_argument if there is no current block or it is already
+    terminated. *)
+val emit : t -> Instr.t -> unit
+
+val terminate : t -> Instr.term -> unit
+val is_terminated : t -> bool
+
+val assign : t -> ?hint:string -> Types.t -> Instr.operand -> Instr.reg
+val binary :
+  t -> ?hint:string -> Op.bin -> Instr.operand -> Instr.operand -> Instr.reg
+val unary : t -> ?hint:string -> Op.un -> Instr.operand -> Instr.reg
+val compare :
+  t -> ?hint:string -> Op.cmp -> Instr.operand -> Instr.operand -> Instr.reg
+val select :
+  t ->
+  ?hint:string ->
+  Types.t ->
+  Instr.operand ->
+  Instr.operand ->
+  Instr.operand ->
+  Instr.reg
+val load :
+  t -> ?hint:string -> Types.t -> base:string -> index:Instr.operand ->
+  Instr.reg
+val store : t -> base:string -> index:Instr.operand -> Instr.operand -> unit
+
+(** @raise Invalid_argument if any block lacks a terminator. *)
+val finish : t -> Func.t

@@ -1,0 +1,54 @@
+type t = {
+  name : string;
+  params : Instr.reg list;
+  ret : Types.t option;
+  blocks : Block.t list;
+}
+
+let v ~name ~params ~ret ~blocks = { name; params; ret; blocks }
+
+let entry f =
+  match f.blocks with
+  | b :: _ -> b
+  | [] -> invalid_arg ("Func.entry: function " ^ f.name ^ " has no blocks")
+
+let find_block f label =
+  List.find_opt (fun (b : Block.t) -> String.equal b.label label) f.blocks
+
+let block_exn f label =
+  match find_block f label with
+  | Some b -> b
+  | None -> invalid_arg ("Func.block_exn: no block " ^ label ^ " in " ^ f.name)
+
+let labels f = List.map (fun (b : Block.t) -> b.Block.label) f.blocks
+
+(* Predecessor map: label -> labels of blocks branching to it. *)
+let preds f =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun (b : Block.t) -> Hashtbl.replace tbl b.Block.label []) f.blocks;
+  List.iter
+    (fun (b : Block.t) ->
+      List.iter
+        (fun s ->
+          match Hashtbl.find_opt tbl s with
+          | Some ps -> Hashtbl.replace tbl s (b.Block.label :: ps)
+          | None -> ())
+        (Block.succs b))
+    f.blocks;
+  tbl
+
+let instr_count f =
+  List.fold_left (fun acc (b : Block.t) -> acc + List.length b.Block.instrs) 0 f.blocks
+
+let pp fmt f =
+  let pp_param fmt (r : Instr.reg) = Instr.pp_reg fmt r in
+  Format.fprintf fmt "@[<v 2>func %s(%a)%s {" f.name
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+       pp_param)
+    f.params
+    (match f.ret with
+     | Some ty -> " : " ^ Types.to_string ty
+     | None -> "");
+  List.iter (fun b -> Format.fprintf fmt "@,%a" Block.pp b) f.blocks;
+  Format.fprintf fmt "@]@,}"

@@ -1,0 +1,33 @@
+(** IR functions: an ordered list of basic blocks; the first block is the
+    entry. Parameters are scalar registers; arrays are program globals. *)
+
+type t = {
+  name : string;
+  params : Instr.reg list;
+  ret : Types.t option;
+  blocks : Block.t list;
+}
+
+val v :
+  name:string ->
+  params:Instr.reg list ->
+  ret:Types.t option ->
+  blocks:Block.t list ->
+  t
+
+(** Entry block (head of [blocks]).
+    @raise Invalid_argument if the function has no blocks. *)
+val entry : t -> Block.t
+
+val find_block : t -> string -> Block.t option
+
+(** @raise Invalid_argument if the label does not exist. *)
+val block_exn : t -> string -> Block.t
+
+val labels : t -> string list
+
+(** Map from block label to its predecessors' labels. *)
+val preds : t -> (string, string list) Hashtbl.t
+
+val instr_count : t -> int
+val pp : Format.formatter -> t -> unit

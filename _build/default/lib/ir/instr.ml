@@ -1,0 +1,130 @@
+type reg = { id : string; ty : Types.t }
+
+type operand =
+  | Reg of reg
+  | Imm_int of int
+  | Imm_float of float
+  | Imm_bool of bool
+
+type mem_ref = { base : string; index : operand }
+
+type t =
+  | Assign of reg * operand
+  | Unary of reg * Op.un * operand
+  | Binary of reg * Op.bin * operand * operand
+  | Compare of reg * Op.cmp * operand * operand
+  | Select of reg * operand * operand * operand
+  | Load of reg * mem_ref
+  | Store of mem_ref * operand
+  | Call of reg option * string * operand list
+
+type term =
+  | Jump of string
+  | Branch of operand * string * string
+  | Return of operand option
+
+let reg id ty = { id; ty }
+let reg_equal a b = String.equal a.id b.id && Types.equal a.ty b.ty
+
+let operand_ty = function
+  | Reg r -> r.ty
+  | Imm_int _ -> Types.I32
+  | Imm_float _ -> Types.F32
+  | Imm_bool _ -> Types.Bool
+
+let def = function
+  | Assign (r, _) | Unary (r, _, _) | Binary (r, _, _, _)
+  | Compare (r, _, _, _) | Select (r, _, _, _) | Load (r, _) ->
+    Some r
+  | Store (_, _) -> None
+  | Call (r, _, _) -> r
+
+let operand_uses = function
+  | Reg r -> [ r ]
+  | Imm_int _ | Imm_float _ | Imm_bool _ -> []
+
+let uses = function
+  | Assign (_, a) | Unary (_, _, a) -> operand_uses a
+  | Binary (_, _, a, b) | Compare (_, _, a, b) ->
+    operand_uses a @ operand_uses b
+  | Select (_, c, a, b) ->
+    operand_uses c @ operand_uses a @ operand_uses b
+  | Load (_, m) -> operand_uses m.index
+  | Store (m, v) -> operand_uses m.index @ operand_uses v
+  | Call (_, _, args) -> List.concat_map operand_uses args
+
+let term_uses = function
+  | Jump _ -> []
+  | Branch (c, _, _) -> operand_uses c
+  | Return (Some v) -> operand_uses v
+  | Return None -> []
+
+let term_succs = function
+  | Jump l -> [ l ]
+  | Branch (_, t, f) -> [ t; f ]
+  | Return _ -> []
+
+let mem_ref_of = function
+  | Load (_, m) | Store (m, _) -> Some m
+  | Assign _ | Unary _ | Binary _ | Compare _ | Select _ | Call _ -> None
+
+let is_mem i = Option.is_some (mem_ref_of i)
+
+let is_call = function
+  | Call _ -> true
+  | Assign _ | Unary _ | Binary _ | Compare _ | Select _ | Load _ | Store _ ->
+    false
+
+(* Datapath unit kind of a compute instruction. [Assign] is a wire,
+   loads/stores map to interface resources, calls never reach hardware. *)
+let unit_kind = function
+  | Unary (_, op, _) -> Some (Op.unit_of_un op)
+  | Binary (_, op, _, _) -> Some (Op.unit_of_bin op)
+  | Compare (_, op, _, _) -> Some (Op.unit_of_cmp op)
+  | Select (_, _, _, _) -> Some Op.U_select
+  | Assign _ | Load _ | Store _ | Call _ -> None
+
+let pp_reg fmt r = Format.fprintf fmt "%%%s:%a" r.id Types.pp r.ty
+
+let pp_operand fmt = function
+  | Reg r -> pp_reg fmt r
+  | Imm_int n -> Format.pp_print_int fmt n
+  | Imm_float x -> Format.fprintf fmt "%g" x
+  | Imm_bool b -> Format.pp_print_bool fmt b
+
+let pp_mem_ref fmt m =
+  Format.fprintf fmt "%s[%a]" m.base pp_operand m.index
+
+let pp fmt = function
+  | Assign (r, a) -> Format.fprintf fmt "%a = %a" pp_reg r pp_operand a
+  | Unary (r, op, a) ->
+    Format.fprintf fmt "%a = %a %a" pp_reg r Op.pp_un op pp_operand a
+  | Binary (r, op, a, b) ->
+    Format.fprintf fmt "%a = %a %a, %a" pp_reg r Op.pp_bin op pp_operand a
+      pp_operand b
+  | Compare (r, op, a, b) ->
+    Format.fprintf fmt "%a = %a %a, %a" pp_reg r Op.pp_cmp op pp_operand a
+      pp_operand b
+  | Select (r, c, a, b) ->
+    Format.fprintf fmt "%a = select %a, %a, %a" pp_reg r pp_operand c
+      pp_operand a pp_operand b
+  | Load (r, m) -> Format.fprintf fmt "%a = load %a" pp_reg r pp_mem_ref m
+  | Store (m, v) -> Format.fprintf fmt "store %a, %a" pp_mem_ref m pp_operand v
+  | Call (Some r, f, args) ->
+    Format.fprintf fmt "%a = call %s(%a)" pp_reg r f
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+         pp_operand)
+      args
+  | Call (None, f, args) ->
+    Format.fprintf fmt "call %s(%a)" f
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+         pp_operand)
+      args
+
+let pp_term fmt = function
+  | Jump l -> Format.fprintf fmt "jump %s" l
+  | Branch (c, t, f) -> Format.fprintf fmt "branch %a, %s, %s" pp_operand c t f
+  | Return (Some v) -> Format.fprintf fmt "return %a" pp_operand v
+  | Return None -> Format.pp_print_string fmt "return"

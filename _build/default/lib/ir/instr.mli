@@ -1,0 +1,64 @@
+(** Instructions of the register-based IR.
+
+    The IR is not SSA: a virtual register may be written several times.
+    Data-flow graphs are recovered per basic block from local def-use
+    chains (see {!Cayman_hls.Dfg}). Memory references carry a symbolic
+    array base and an element-granular index, so distinct arrays never
+    alias. *)
+
+type reg = { id : string; ty : Types.t }
+
+type operand =
+  | Reg of reg
+  | Imm_int of int
+  | Imm_float of float
+  | Imm_bool of bool
+
+(** A memory reference: [base] names a program global (array), [index] is
+    an element index into it. *)
+type mem_ref = { base : string; index : operand }
+
+type t =
+  | Assign of reg * operand
+  | Unary of reg * Op.un * operand
+  | Binary of reg * Op.bin * operand * operand
+  | Compare of reg * Op.cmp * operand * operand
+  | Select of reg * operand * operand * operand  (** [r = c ? a : b] *)
+  | Load of reg * mem_ref
+  | Store of mem_ref * operand
+  | Call of reg option * string * operand list
+
+(** Block terminators. *)
+type term =
+  | Jump of string
+  | Branch of operand * string * string  (** [Branch (cond, if_true, if_false)] *)
+  | Return of operand option
+
+val reg : string -> Types.t -> reg
+val reg_equal : reg -> reg -> bool
+val operand_ty : operand -> Types.t
+
+(** Register defined by the instruction, if any. *)
+val def : t -> reg option
+
+(** Registers read by the instruction. *)
+val uses : t -> reg list
+
+val term_uses : term -> reg list
+val term_succs : term -> string list
+
+(** Memory reference of a load/store, if any. *)
+val mem_ref_of : t -> mem_ref option
+
+val is_mem : t -> bool
+val is_call : t -> bool
+
+(** Hardware resource class of a compute instruction; [None] for moves,
+    memory operations and calls. *)
+val unit_kind : t -> Op.unit_kind option
+
+val pp_reg : Format.formatter -> reg -> unit
+val pp_operand : Format.formatter -> operand -> unit
+val pp_mem_ref : Format.formatter -> mem_ref -> unit
+val pp : Format.formatter -> t -> unit
+val pp_term : Format.formatter -> term -> unit

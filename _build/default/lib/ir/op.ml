@@ -1,0 +1,151 @@
+type bin =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Shr
+  | Fadd
+  | Fsub
+  | Fmul
+  | Fdiv
+
+type cmp =
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Feq
+  | Fne
+  | Flt
+  | Fle
+  | Fgt
+  | Fge
+
+type un =
+  | Neg
+  | Fneg
+  | Not
+  | Int_of_float
+  | Float_of_int
+
+let bin_is_float = function
+  | Fadd | Fsub | Fmul | Fdiv -> true
+  | Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr -> false
+
+let cmp_is_float = function
+  | Feq | Fne | Flt | Fle | Fgt | Fge -> true
+  | Eq | Ne | Lt | Le | Gt | Ge -> false
+
+let bin_operand_ty op = if bin_is_float op then Types.F32 else Types.I32
+let bin_result_ty = bin_operand_ty
+let cmp_operand_ty op = if cmp_is_float op then Types.F32 else Types.I32
+
+let un_sig = function
+  | Neg -> Types.I32, Types.I32
+  | Fneg -> Types.F32, Types.F32
+  | Not -> Types.Bool, Types.Bool
+  | Int_of_float -> Types.F32, Types.I32
+  | Float_of_int -> Types.I32, Types.F32
+
+let bin_to_string = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Rem -> "rem"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Shl -> "shl"
+  | Shr -> "shr"
+  | Fadd -> "fadd"
+  | Fsub -> "fsub"
+  | Fmul -> "fmul"
+  | Fdiv -> "fdiv"
+
+let cmp_to_string = function
+  | Eq -> "eq"
+  | Ne -> "ne"
+  | Lt -> "lt"
+  | Le -> "le"
+  | Gt -> "gt"
+  | Ge -> "ge"
+  | Feq -> "feq"
+  | Fne -> "fne"
+  | Flt -> "flt"
+  | Fle -> "fle"
+  | Fgt -> "fgt"
+  | Fge -> "fge"
+
+let un_to_string = function
+  | Neg -> "neg"
+  | Fneg -> "fneg"
+  | Not -> "not"
+  | Int_of_float -> "int_of_float"
+  | Float_of_int -> "float_of_int"
+
+let pp_bin fmt op = Format.pp_print_string fmt (bin_to_string op)
+let pp_cmp fmt op = Format.pp_print_string fmt (cmp_to_string op)
+let pp_un fmt op = Format.pp_print_string fmt (un_to_string op)
+
+(* Datapath unit kinds: the hardware resource class an operation maps to.
+   This is the granularity at which the technology table assigns delay and
+   area, and at which accelerator merging shares units. *)
+type unit_kind =
+  | U_int_add (* add/sub/neg *)
+  | U_int_mul
+  | U_int_div (* div/rem *)
+  | U_int_logic (* and/or/xor/not *)
+  | U_int_shift
+  | U_int_cmp
+  | U_float_add (* fadd/fsub/fneg *)
+  | U_float_mul
+  | U_float_div
+  | U_float_cmp
+  | U_convert
+  | U_select
+
+let all_unit_kinds =
+  [ U_int_add; U_int_mul; U_int_div; U_int_logic; U_int_shift; U_int_cmp;
+    U_float_add; U_float_mul; U_float_div; U_float_cmp; U_convert; U_select ]
+
+let unit_of_bin = function
+  | Add | Sub -> U_int_add
+  | Mul -> U_int_mul
+  | Div | Rem -> U_int_div
+  | And | Or | Xor -> U_int_logic
+  | Shl | Shr -> U_int_shift
+  | Fadd | Fsub -> U_float_add
+  | Fmul -> U_float_mul
+  | Fdiv -> U_float_div
+
+let unit_of_cmp op = if cmp_is_float op then U_float_cmp else U_int_cmp
+
+let unit_of_un = function
+  | Neg -> U_int_add
+  | Fneg -> U_float_add
+  | Not -> U_int_logic
+  | Int_of_float | Float_of_int -> U_convert
+
+let unit_kind_to_string = function
+  | U_int_add -> "int_add"
+  | U_int_mul -> "int_mul"
+  | U_int_div -> "int_div"
+  | U_int_logic -> "int_logic"
+  | U_int_shift -> "int_shift"
+  | U_int_cmp -> "int_cmp"
+  | U_float_add -> "float_add"
+  | U_float_mul -> "float_mul"
+  | U_float_div -> "float_div"
+  | U_float_cmp -> "float_cmp"
+  | U_convert -> "convert"
+  | U_select -> "select"
+
+let pp_unit_kind fmt k = Format.pp_print_string fmt (unit_kind_to_string k)

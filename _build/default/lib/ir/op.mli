@@ -1,0 +1,83 @@
+(** Operators of the IR and their datapath resource classes. *)
+
+(** Binary arithmetic / bitwise operators. [F]-prefixed operators work on
+    {!Types.F32}; all others on {!Types.I32}. *)
+type bin =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Shr
+  | Fadd
+  | Fsub
+  | Fmul
+  | Fdiv
+
+(** Comparison operators; result type is always {!Types.Bool}. *)
+type cmp =
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Feq
+  | Fne
+  | Flt
+  | Fle
+  | Fgt
+  | Fge
+
+(** Unary operators, including int/float conversions. *)
+type un =
+  | Neg
+  | Fneg
+  | Not
+  | Int_of_float
+  | Float_of_int
+
+val bin_is_float : bin -> bool
+val cmp_is_float : cmp -> bool
+
+val bin_operand_ty : bin -> Types.t
+val bin_result_ty : bin -> Types.t
+val cmp_operand_ty : cmp -> Types.t
+
+(** [un_sig op] is [(operand_ty, result_ty)]. *)
+val un_sig : un -> Types.t * Types.t
+
+val bin_to_string : bin -> string
+val cmp_to_string : cmp -> string
+val un_to_string : un -> string
+val pp_bin : Format.formatter -> bin -> unit
+val pp_cmp : Format.formatter -> cmp -> unit
+val pp_un : Format.formatter -> un -> unit
+
+(** Hardware resource class of an operation: the granularity at which the
+    technology table assigns delay/area and at which accelerator merging
+    shares datapath units. *)
+type unit_kind =
+  | U_int_add
+  | U_int_mul
+  | U_int_div
+  | U_int_logic
+  | U_int_shift
+  | U_int_cmp
+  | U_float_add
+  | U_float_mul
+  | U_float_div
+  | U_float_cmp
+  | U_convert
+  | U_select
+
+val all_unit_kinds : unit_kind list
+val unit_of_bin : bin -> unit_kind
+val unit_of_cmp : cmp -> unit_kind
+val unit_of_un : un -> unit_kind
+val unit_kind_to_string : unit_kind -> string
+val pp_unit_kind : Format.formatter -> unit_kind -> unit

@@ -1,0 +1,42 @@
+type global = { gname : string; elem : Types.t; dims : int list }
+
+let global_size g = List.fold_left ( * ) 1 g.dims
+
+type t = { globals : global list; funcs : Func.t list; main : string }
+
+let v ~globals ~funcs ~main = { globals; funcs; main }
+
+let find_func p name =
+  List.find_opt (fun (f : Func.t) -> String.equal f.Func.name name) p.funcs
+
+let func_exn p name =
+  match find_func p name with
+  | Some f -> f
+  | None -> invalid_arg ("Program.func_exn: no function " ^ name)
+
+let main_func p = func_exn p p.main
+
+let find_global p name =
+  List.find_opt (fun g -> String.equal g.gname name) p.globals
+
+let global_exn p name =
+  match find_global p name with
+  | Some g -> g
+  | None -> invalid_arg ("Program.global_exn: no global " ^ name)
+
+let pp fmt p =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun g ->
+      Format.fprintf fmt "global %a %s[%s]@,"
+        Types.pp g.elem g.gname
+        (String.concat "][" (List.map string_of_int g.dims)))
+    p.globals;
+  List.iteri
+    (fun i f ->
+      if i > 0 then Format.pp_print_cut fmt ();
+      Func.pp fmt f)
+    p.funcs;
+  Format.fprintf fmt "@]"
+
+let to_string p = Format.asprintf "%a" pp p

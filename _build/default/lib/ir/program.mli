@@ -1,0 +1,24 @@
+(** Whole programs: global arrays plus functions, with a designated entry
+    function. *)
+
+type global = { gname : string; elem : Types.t; dims : int list }
+
+(** Number of elements (product of dims). *)
+val global_size : global -> int
+
+type t = { globals : global list; funcs : Func.t list; main : string }
+
+val v : globals:global list -> funcs:Func.t list -> main:string -> t
+val find_func : t -> string -> Func.t option
+
+(** @raise Invalid_argument if the function does not exist. *)
+val func_exn : t -> string -> Func.t
+
+val main_func : t -> Func.t
+val find_global : t -> string -> global option
+
+(** @raise Invalid_argument if the global does not exist. *)
+val global_exn : t -> string -> global
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,20 @@
+type t =
+  | I32
+  | F32
+  | Bool
+
+let equal a b =
+  match a, b with
+  | I32, I32 | F32, F32 | Bool, Bool -> true
+  | (I32 | F32 | Bool), _ -> false
+
+let to_string = function
+  | I32 -> "i32"
+  | F32 -> "f32"
+  | Bool -> "bool"
+
+let pp fmt ty = Format.pp_print_string fmt (to_string ty)
+
+let is_numeric = function
+  | I32 | F32 -> true
+  | Bool -> false

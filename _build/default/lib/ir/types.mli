@@ -1,0 +1,17 @@
+(** Value types of the IR.
+
+    The IR is deliberately small: machine integers ([I32], also used for
+    array indices), floating point ([F32]) and booleans produced by
+    comparisons. *)
+
+type t =
+  | I32
+  | F32
+  | Bool
+
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** [is_numeric ty] is true for [I32] and [F32]. *)
+val is_numeric : t -> bool

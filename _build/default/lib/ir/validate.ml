@@ -1,0 +1,255 @@
+module String_set = Set.Make (String)
+module String_map = Map.Make (String)
+
+type error = { where : string; message : string }
+
+let err where fmt = Format.kasprintf (fun message -> { where; message }) fmt
+
+let pp_error fmt e = Format.fprintf fmt "%s: %s" e.where e.message
+
+(* Per-function checks that do not need data-flow: label uniqueness, branch
+   targets, operand/instruction typing, global and call references. *)
+let check_structure (p : Program.t) (f : Func.t) =
+  let errors = ref [] in
+  let add e = errors := e :: !errors in
+  let where label = Printf.sprintf "%s/%s" f.Func.name label in
+  let labels = Func.labels f in
+  let label_set = String_set.of_list labels in
+  if List.length labels <> String_set.cardinal label_set then
+    add (err f.Func.name "duplicate block labels");
+  if f.Func.blocks = [] then add (err f.Func.name "function has no blocks");
+  (* Register typing: each register id must have a single type. *)
+  let reg_ty : Types.t String_map.t ref = ref String_map.empty in
+  let note_reg w (r : Instr.reg) =
+    match String_map.find_opt r.Instr.id !reg_ty with
+    | None -> reg_ty := String_map.add r.Instr.id r.Instr.ty !reg_ty
+    | Some ty ->
+      if not (Types.equal ty r.Instr.ty) then
+        add
+          (err w "register %%%s used at both %s and %s" r.Instr.id
+             (Types.to_string ty)
+             (Types.to_string r.Instr.ty))
+  in
+  List.iter (note_reg f.Func.name) f.Func.params;
+  let expect w what want (o : Instr.operand) =
+    let got = Instr.operand_ty o in
+    if not (Types.equal want got) then
+      add
+        (err w "%s: expected %s, got %s" what (Types.to_string want)
+           (Types.to_string got))
+  in
+  let check_mem w (m : Instr.mem_ref) =
+    (match Program.find_global p m.Instr.base with
+     | Some _ -> ()
+     | None -> add (err w "unknown global %s" m.Instr.base));
+    expect w "memory index" Types.I32 m.Instr.index
+  in
+  let elem_ty (m : Instr.mem_ref) =
+    match Program.find_global p m.Instr.base with
+    | Some g -> Some g.Program.elem
+    | None -> None
+  in
+  let check_instr w (i : Instr.t) =
+    List.iter (note_reg w) (Instr.uses i);
+    Option.iter (note_reg w) (Instr.def i);
+    match i with
+    | Instr.Assign (r, a) -> expect w "assign" r.Instr.ty a
+    | Instr.Unary (r, op, a) ->
+      let arg_ty, ret_ty = Op.un_sig op in
+      expect w (Op.un_to_string op) arg_ty a;
+      if not (Types.equal r.Instr.ty ret_ty) then
+        add (err w "%s result must be %s" (Op.un_to_string op)
+               (Types.to_string ret_ty))
+    | Instr.Binary (r, op, a, b) ->
+      let ty = Op.bin_operand_ty op in
+      expect w (Op.bin_to_string op) ty a;
+      expect w (Op.bin_to_string op) ty b;
+      if not (Types.equal r.Instr.ty (Op.bin_result_ty op)) then
+        add (err w "%s result type mismatch" (Op.bin_to_string op))
+    | Instr.Compare (r, op, a, b) ->
+      let ty = Op.cmp_operand_ty op in
+      expect w (Op.cmp_to_string op) ty a;
+      expect w (Op.cmp_to_string op) ty b;
+      if not (Types.equal r.Instr.ty Types.Bool) then
+        add (err w "compare result must be bool")
+    | Instr.Select (r, c, a, b) ->
+      expect w "select condition" Types.Bool c;
+      expect w "select" r.Instr.ty a;
+      expect w "select" r.Instr.ty b
+    | Instr.Load (r, m) ->
+      check_mem w m;
+      (match elem_ty m with
+       | Some ty when not (Types.equal ty r.Instr.ty) ->
+         add (err w "load type mismatch on %s" m.Instr.base)
+       | Some _ | None -> ())
+    | Instr.Store (m, v) ->
+      check_mem w m;
+      (match elem_ty m with
+       | Some ty -> expect w "store value" ty v
+       | None -> ())
+    | Instr.Call (r, callee, args) ->
+      (match Program.find_func p callee with
+       | None -> add (err w "unknown function %s" callee)
+       | Some g ->
+         if List.length args <> List.length g.Func.params then
+           add (err w "call %s: arity mismatch" callee)
+         else
+           List.iter2
+             (fun (param : Instr.reg) a ->
+               expect w ("call " ^ callee) param.Instr.ty a)
+             g.Func.params args;
+         (match r, g.Func.ret with
+          | Some r, Some ty when not (Types.equal r.Instr.ty ty) ->
+            add (err w "call %s: result type mismatch" callee)
+          | Some _, None -> add (err w "call %s: void result used" callee)
+          | Some _, Some _ | None, (Some _ | None) -> ()))
+  in
+  let check_term w (t : Instr.term) =
+    List.iter (note_reg w) (Instr.term_uses t);
+    List.iter
+      (fun s ->
+        if not (String_set.mem s label_set) then
+          add (err w "branch to unknown block %s" s))
+      (Instr.term_succs t);
+    match t with
+    | Instr.Branch (c, _, _) ->
+      if not (Types.equal (Instr.operand_ty c) Types.Bool) then
+        add (err w "branch condition must be bool")
+    | Instr.Return (Some v) ->
+      (match f.Func.ret with
+       | Some ty ->
+         if not (Types.equal (Instr.operand_ty v) ty) then
+           add (err w "return type mismatch")
+       | None -> add (err w "value returned from void function"))
+    | Instr.Return None ->
+      (match f.Func.ret with
+       | Some _ -> add (err w "missing return value")
+       | None -> ())
+    | Instr.Jump _ -> ()
+  in
+  List.iter
+    (fun (b : Block.t) ->
+      let w = where b.Block.label in
+      List.iter (check_instr w) b.Block.instrs;
+      check_term w b.Block.term)
+    f.Func.blocks;
+  List.rev !errors
+
+(* Forward must-defined analysis: flags registers that may be read before
+   any write on some path from the entry. *)
+let check_init (f : Func.t) =
+  let errors = ref [] in
+  let params = String_set.of_list (List.map (fun (r : Instr.reg) -> r.Instr.id) f.Func.params) in
+  let in_sets : (string, String_set.t) Hashtbl.t = Hashtbl.create 16 in
+  let preds = Func.preds f in
+  let entry = (Func.entry f).Block.label in
+  let all_regs =
+    List.fold_left
+      (fun acc (b : Block.t) ->
+        List.fold_left
+          (fun acc i ->
+            match Instr.def i with
+            | Some r -> String_set.add r.Instr.id acc
+            | None -> acc)
+          acc b.Block.instrs)
+      params f.Func.blocks
+  in
+  List.iter
+    (fun (b : Block.t) ->
+      Hashtbl.replace in_sets b.Block.label
+        (if String.equal b.Block.label entry then params else all_regs))
+    f.Func.blocks;
+  let out_of label =
+    let b = Func.block_exn f label in
+    let init = Hashtbl.find in_sets label in
+    List.fold_left
+      (fun acc i ->
+        match Instr.def i with
+        | Some r -> String_set.add r.Instr.id acc
+        | None -> acc)
+      init b.Block.instrs
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (b : Block.t) ->
+        let label = b.Block.label in
+        if not (String.equal label entry) then begin
+          let ps = try Hashtbl.find preds label with Not_found -> [] in
+          let inter =
+            match ps with
+            | [] -> params
+            | p0 :: rest ->
+              List.fold_left
+                (fun acc p -> String_set.inter acc (out_of p))
+                (out_of p0) rest
+          in
+          let old = Hashtbl.find in_sets label in
+          if not (String_set.equal old inter) then begin
+            Hashtbl.replace in_sets label inter;
+            changed := true
+          end
+        end)
+      f.Func.blocks
+  done;
+  List.iter
+    (fun (b : Block.t) ->
+      let w = Printf.sprintf "%s/%s" f.Func.name b.Block.label in
+      let defined = ref (Hashtbl.find in_sets b.Block.label) in
+      let check_use (r : Instr.reg) =
+        if not (String_set.mem r.Instr.id !defined) then
+          errors :=
+            err w "register %%%s may be read before it is written" r.Instr.id
+            :: !errors
+      in
+      List.iter
+        (fun i ->
+          List.iter check_use (Instr.uses i);
+          match Instr.def i with
+          | Some r -> defined := String_set.add r.Instr.id !defined
+          | None -> ())
+        b.Block.instrs;
+      List.iter check_use (Instr.term_uses b.Block.term))
+    f.Func.blocks;
+  List.rev !errors
+
+let check_func p f =
+  if f.Func.blocks = [] then [ err f.Func.name "function has no blocks" ]
+  else check_structure p f @ check_init f
+
+let check (p : Program.t) =
+  let errors = ref [] in
+  (match Program.find_func p p.Program.main with
+   | None -> errors := [ err "program" "missing main function %s" p.Program.main ]
+   | Some _ -> ());
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (g : Program.global) ->
+      if Hashtbl.mem seen g.Program.gname then
+        errors := err "program" "duplicate global %s" g.Program.gname :: !errors;
+      Hashtbl.replace seen g.Program.gname ();
+      if Program.global_size g <= 0 then
+        errors := err g.Program.gname "global has non-positive size" :: !errors)
+    p.Program.globals;
+  let fseen = Hashtbl.create 8 in
+  List.iter
+    (fun (f : Func.t) ->
+      if Hashtbl.mem fseen f.Func.name then
+        errors := err "program" "duplicate function %s" f.Func.name :: !errors;
+      Hashtbl.replace fseen f.Func.name ();
+      errors := List.rev_append (List.rev (check_func p f)) !errors)
+    p.Program.funcs;
+  match List.rev !errors with
+  | [] -> Ok ()
+  | es -> Error es
+
+let check_exn p =
+  match check p with
+  | Ok () -> ()
+  | Error es ->
+    let msg =
+      String.concat "\n"
+        (List.map (fun e -> Format.asprintf "%a" pp_error e) es)
+    in
+    invalid_arg ("Validate.check_exn:\n" ^ msg)

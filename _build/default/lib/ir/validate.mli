@@ -1,0 +1,16 @@
+(** Well-formedness checks for IR programs.
+
+    Checks per function: non-empty body, unique labels, branch targets
+    exist, operand and instruction typing, known globals and callees, and
+    a forward must-defined data-flow analysis that flags registers possibly
+    read before written. Program-level: main exists, globals are unique
+    with positive sizes, function names are unique. *)
+
+type error = { where : string; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+val check : Program.t -> (unit, error list) result
+val check_func : Program.t -> Func.t -> error list
+
+(** @raise Invalid_argument listing all errors if the program is ill-formed. *)
+val check_exn : Program.t -> unit

@@ -1,0 +1,1 @@
+lib/sim/interp.ml: Array Cache Cayman_ir Cpu_model Hashtbl List Memory Option Printf Profile Value

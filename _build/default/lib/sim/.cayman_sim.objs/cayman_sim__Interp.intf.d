@@ -1,0 +1,1 @@
+lib/sim/interp.mli: Cache Cayman_ir Memory Profile Value

@@ -1,0 +1,1 @@
+lib/sim/memory.ml: Array Cayman_ir Hashtbl List Printf Value

@@ -1,0 +1,1 @@
+lib/sim/profile.ml: Cayman_analysis Cayman_ir Cpu_model Hashtbl List

@@ -1,0 +1,1 @@
+lib/sim/value.ml: Cayman_ir Float Format

@@ -1,0 +1,112 @@
+module Ir = Cayman_ir
+
+(* A small set-associative cache simulator with LRU replacement, used to
+   sanity-check the fixed memory costs of {!Cpu_model}: the interpreter
+   can drive it with the program's real access trace and report hit rates
+   and the implied average access latency. Addresses are element-granular
+   over a flat allocation of the program's globals. *)
+
+type config = {
+  line_words : int;  (* power of two *)
+  sets : int;  (* power of two *)
+  ways : int;
+  hit_cycles : int;
+  miss_cycles : int;
+}
+
+let default_l1 =
+  { line_words = 8; sets = 64; ways = 2; hit_cycles = 2; miss_cycles = 24 }
+
+type stats = {
+  accesses : int;
+  hits : int;
+  misses : int;
+}
+
+let hit_rate s =
+  if s.accesses = 0 then 1.0
+  else float_of_int s.hits /. float_of_int s.accesses
+
+(* Average cycles per access under the configuration. *)
+let avg_cycles config s =
+  if s.accesses = 0 then float_of_int config.hit_cycles
+  else
+    (float_of_int (s.hits * config.hit_cycles)
+     +. float_of_int (s.misses * config.miss_cycles))
+    /. float_of_int s.accesses
+
+type t = {
+  config : config;
+  base_of : (string, int) Hashtbl.t;
+  (* tags.(set * ways + way); -1 = invalid. ages for LRU. *)
+  tags : int array;
+  ages : int array;
+  mutable clock : int;
+  mutable accesses : int;
+  mutable hits : int;
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let create ?(config = default_l1) (p : Ir.Program.t) =
+  if not (is_pow2 config.line_words && is_pow2 config.sets) then
+    invalid_arg "Cache.create: line_words and sets must be powers of two";
+  if config.ways < 1 then invalid_arg "Cache.create: ways must be positive";
+  let base_of = Hashtbl.create 16 in
+  let next = ref 0 in
+  List.iter
+    (fun (g : Ir.Program.global) ->
+      Hashtbl.replace base_of g.Ir.Program.gname !next;
+      (* pad allocations to line boundaries so arrays never share lines *)
+      let size = Ir.Program.global_size g in
+      let padded =
+        (size + config.line_words - 1)
+        / config.line_words * config.line_words
+      in
+      next := !next + padded)
+    p.Ir.Program.globals;
+  { config;
+    base_of;
+    tags = Array.make (config.sets * config.ways) (-1);
+    ages = Array.make (config.sets * config.ways) 0;
+    clock = 0;
+    accesses = 0;
+    hits = 0 }
+
+(* Access one element; returns [true] on hit. Write misses allocate
+   (write-allocate, write-back behaviourally irrelevant here). *)
+let access t ~base ~index =
+  let base_addr =
+    match Hashtbl.find_opt t.base_of base with
+    | Some b -> b
+    | None -> 0
+  in
+  let addr = base_addr + index in
+  let line = addr / t.config.line_words in
+  let set = line land (t.config.sets - 1) in
+  let tag = line in
+  t.clock <- t.clock + 1;
+  t.accesses <- t.accesses + 1;
+  let first = set * t.config.ways in
+  let hit_way = ref (-1) in
+  for w = 0 to t.config.ways - 1 do
+    if t.tags.(first + w) = tag then hit_way := w
+  done;
+  if !hit_way >= 0 then begin
+    t.ages.(first + !hit_way) <- t.clock;
+    t.hits <- t.hits + 1;
+    true
+  end
+  else begin
+    (* evict the least recently used way *)
+    let victim = ref 0 in
+    for w = 1 to t.config.ways - 1 do
+      if t.ages.(first + w) < t.ages.(first + !victim) then victim := w
+    done;
+    t.tags.(first + !victim) <- tag;
+    t.ages.(first + !victim) <- t.clock;
+    false
+  end
+
+let stats t =
+  { accesses = t.accesses; hits = t.hits; misses = t.accesses - t.hits }

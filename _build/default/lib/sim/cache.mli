@@ -1,0 +1,37 @@
+(** Set-associative LRU cache simulator driven by the interpreter's real
+    access trace. Used to validate the fixed average memory costs of
+    {!Cpu_model} against each benchmark's locality (see the
+    [ablation-cache] bench target). *)
+
+type config = {
+  line_words : int;  (** elements per line, power of two *)
+  sets : int;  (** power of two *)
+  ways : int;
+  hit_cycles : int;
+  miss_cycles : int;
+}
+
+(** 8-element lines, 64 sets, 2 ways, 2-cycle hits, 24-cycle misses. *)
+val default_l1 : config
+
+type stats = {
+  accesses : int;
+  hits : int;
+  misses : int;
+}
+
+val hit_rate : stats -> float
+
+(** Average cycles per access implied by the trace. *)
+val avg_cycles : config -> stats -> float
+
+type t
+
+(** Allocates each global at a line-aligned base address.
+    @raise Invalid_argument on non-power-of-two geometry. *)
+val create : ?config:config -> Cayman_ir.Program.t -> t
+
+(** Simulate one element access; [true] on hit. *)
+val access : t -> base:string -> index:int -> bool
+
+val stats : t -> stats

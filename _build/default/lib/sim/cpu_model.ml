@@ -1,0 +1,54 @@
+module Ir = Cayman_ir
+
+(* In-order scalar host model, one instruction at a time, fixed per-op
+   costs. Load/store costs are averages over the memory hierarchy
+   (hit-dominated but including miss stalls), which is what makes off-core
+   data access interfaces worth specializing in the first place. The host
+   runs at 1 GHz, matching the application-class embedded profile of the
+   CVA6 tile the paper normalizes against. *)
+
+let cpu_freq_hz = 1.0e9
+
+let call_overhead = 2
+
+let bin_cycles (op : Ir.Op.bin) =
+  match op with
+  | Ir.Op.Add | Ir.Op.Sub | Ir.Op.And | Ir.Op.Or | Ir.Op.Xor | Ir.Op.Shl
+  | Ir.Op.Shr ->
+    1
+  | Ir.Op.Mul -> 3
+  | Ir.Op.Div | Ir.Op.Rem -> 12
+  | Ir.Op.Fadd | Ir.Op.Fsub -> 3
+  | Ir.Op.Fmul -> 4
+  | Ir.Op.Fdiv -> 15
+
+let un_cycles (op : Ir.Op.un) =
+  match op with
+  | Ir.Op.Neg | Ir.Op.Not -> 1
+  | Ir.Op.Fneg -> 1
+  | Ir.Op.Int_of_float | Ir.Op.Float_of_int -> 2
+
+let cmp_cycles (op : Ir.Op.cmp) = if Ir.Op.cmp_is_float op then 2 else 1
+
+let instr_cycles (i : Ir.Instr.t) =
+  match i with
+  | Ir.Instr.Assign _ -> 1
+  | Ir.Instr.Unary (_, op, _) -> un_cycles op
+  | Ir.Instr.Binary (_, op, _, _) -> bin_cycles op
+  | Ir.Instr.Compare (_, op, _, _) -> cmp_cycles op
+  | Ir.Instr.Select _ -> 1
+  | Ir.Instr.Load _ -> 8
+  | Ir.Instr.Store _ -> 3
+  | Ir.Instr.Call _ -> call_overhead
+
+let term_cycles (t : Ir.Instr.term) =
+  match t with
+  | Ir.Instr.Jump _ -> 1
+  | Ir.Instr.Branch _ -> 1
+  | Ir.Instr.Return _ -> 1
+
+let block_cycles (b : Ir.Block.t) =
+  List.fold_left (fun acc i -> acc + instr_cycles i) 0 b.Ir.Block.instrs
+  + term_cycles b.Ir.Block.term
+
+let seconds_of_cycles c = float_of_int c /. cpu_freq_hz

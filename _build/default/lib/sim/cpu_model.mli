@@ -1,0 +1,15 @@
+(** Cycle cost model of the host CPU (in-order scalar core at 1 GHz).
+
+    Used both to attribute profiled durations to program regions and as
+    the baseline the accelerators are compared against in Eq. (1). *)
+
+val cpu_freq_hz : float
+val call_overhead : int
+val instr_cycles : Cayman_ir.Instr.t -> int
+val term_cycles : Cayman_ir.Instr.term -> int
+
+(** Static cost of one execution of the block (instructions plus
+    terminator). *)
+val block_cycles : Cayman_ir.Block.t -> int
+
+val seconds_of_cycles : int -> float

@@ -1,0 +1,26 @@
+(** Deterministic IR interpreter with built-in profiling.
+
+    Executes [main] of a program, recording block, edge and call counts
+    plus host cycles (per {!Cpu_model}) into a {!Profile.t}. This replaces
+    the paper's native instrumented execution; being deterministic, it
+    makes the entire evaluation reproducible. *)
+
+exception Runtime_error of string
+exception Out_of_fuel
+
+type result = {
+  return_value : Value.t option;
+  memory : Memory.t;
+  profile : Profile.t;
+  cache_stats : Cache.stats option;
+      (** present when [cache_config] was given *)
+}
+
+(** [run ?fuel p] interprets [p] from [main]. [fuel] bounds the number of
+    dynamic instructions (default 2e9). [cache_config] additionally
+    drives a {!Cache} simulator with the access trace.
+    @raise Runtime_error on dynamic errors (division by zero, bad memory
+    access, unknown callee, uninitialized register).
+    @raise Out_of_fuel when the budget is exhausted. *)
+val run :
+  ?fuel:int -> ?cache_config:Cache.config -> Cayman_ir.Program.t -> result

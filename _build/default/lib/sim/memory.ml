@@ -1,0 +1,70 @@
+module Ir = Cayman_ir
+
+exception Fault of string
+
+type cell =
+  | Ints of int array
+  | Floats of float array
+
+type t = (string, cell) Hashtbl.t
+
+let create (p : Ir.Program.t) : t =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (g : Ir.Program.global) ->
+      let n = Ir.Program.global_size g in
+      let cell =
+        match g.Ir.Program.elem with
+        | Ir.Types.F32 -> Floats (Array.make n 0.0)
+        | Ir.Types.I32 | Ir.Types.Bool -> Ints (Array.make n 0)
+      in
+      Hashtbl.replace tbl g.Ir.Program.gname cell)
+    p.Ir.Program.globals;
+  tbl
+
+let cell_exn t base =
+  match Hashtbl.find_opt t base with
+  | Some c -> c
+  | None -> raise (Fault ("unknown array " ^ base))
+
+let bounds base idx n =
+  if idx < 0 || idx >= n then
+    raise
+      (Fault (Printf.sprintf "index %d out of bounds for %s[%d]" idx base n))
+
+let load t ~base ~index =
+  match cell_exn t base with
+  | Ints a ->
+    bounds base index (Array.length a);
+    Value.Vint a.(index)
+  | Floats a ->
+    bounds base index (Array.length a);
+    Value.Vfloat a.(index)
+
+let store t ~base ~index v =
+  match cell_exn t base, v with
+  | Ints a, Value.Vint n ->
+    bounds base index (Array.length a);
+    a.(index) <- n
+  | Floats a, Value.Vfloat x ->
+    bounds base index (Array.length a);
+    a.(index) <- x
+  | Ints _, (Value.Vfloat _ | Value.Vbool _) ->
+    raise (Fault ("type mismatch storing to int array " ^ base))
+  | Floats _, (Value.Vint _ | Value.Vbool _) ->
+    raise (Fault ("type mismatch storing to float array " ^ base))
+
+let size t base =
+  match cell_exn t base with
+  | Ints a -> Array.length a
+  | Floats a -> Array.length a
+
+let to_float_array t base =
+  match cell_exn t base with
+  | Floats a -> Array.copy a
+  | Ints a -> Array.map float_of_int a
+
+let to_int_array t base =
+  match cell_exn t base with
+  | Ints a -> Array.copy a
+  | Floats a -> Array.map int_of_float a

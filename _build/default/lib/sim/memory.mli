@@ -1,0 +1,18 @@
+(** Program memory: one flat, element-granular array per global. *)
+
+exception Fault of string
+
+type t
+
+val create : Cayman_ir.Program.t -> t
+
+(** @raise Fault on unknown array or out-of-bounds access. *)
+val load : t -> base:string -> index:int -> Value.t
+
+val store : t -> base:string -> index:int -> Value.t -> unit
+val size : t -> string -> int
+
+(** Snapshot of an array's contents (for checking example results). *)
+val to_float_array : t -> string -> float array
+
+val to_int_array : t -> string -> int array

@@ -1,0 +1,40 @@
+(** Execution profile: block, edge and call counts gathered by the
+    interpreter, with region-level aggregation.
+
+    Stands in for the paper's LLVM instrumentation pass: it yields, for
+    every wPST region, its execution count and duration, which feed kernel
+    selection and Eq. (1). *)
+
+type t
+
+val create : unit -> t
+
+(** Recording (used by the interpreter). *)
+
+val note_block : t -> func:string -> label:string -> unit
+val note_edge : t -> func:string -> src:string -> dst:string -> unit
+val note_call : t -> string -> unit
+val add_cycles : t -> int -> unit
+val add_instrs : t -> int -> unit
+
+(** Queries. *)
+
+val block_exec : t -> func:string -> label:string -> int
+val edge_exec : t -> func:string -> src:string -> dst:string -> int
+val func_calls : t -> string -> int
+val total_cycles : t -> int
+val total_instrs : t -> int
+
+(** Whole-program duration in seconds ([T_all] of Eq. (1)). *)
+val total_seconds : t -> float
+
+val block_cycles : Cayman_ir.Func.t -> t -> label:string -> int
+
+(** Host cycles spent in the region's own blocks across the run. *)
+val region_cycles : Cayman_ir.Func.t -> t -> Cayman_analysis.Region.t -> int
+
+(** Executions of the region (entries from outside). *)
+val region_entries : Cayman_ir.Func.t -> t -> Cayman_analysis.Region.t -> int
+
+(** Average body iterations per loop entry. *)
+val avg_trip : Cayman_ir.Func.t -> t -> Cayman_analysis.Loops.loop -> float

@@ -1,0 +1,44 @@
+type t =
+  | Vint of int
+  | Vfloat of float
+  | Vbool of bool
+
+exception Type_error of string
+
+let to_int = function
+  | Vint n -> n
+  | Vfloat _ -> raise (Type_error "expected int, got float")
+  | Vbool _ -> raise (Type_error "expected int, got bool")
+
+let to_float = function
+  | Vfloat x -> x
+  | Vint _ -> raise (Type_error "expected float, got int")
+  | Vbool _ -> raise (Type_error "expected float, got bool")
+
+let to_bool = function
+  | Vbool b -> b
+  | Vint _ -> raise (Type_error "expected bool, got int")
+  | Vfloat _ -> raise (Type_error "expected bool, got float")
+
+let zero_of (ty : Cayman_ir.Types.t) =
+  match ty with
+  | Cayman_ir.Types.I32 -> Vint 0
+  | Cayman_ir.Types.F32 -> Vfloat 0.0
+  | Cayman_ir.Types.Bool -> Vbool false
+
+let ty_of = function
+  | Vint _ -> Cayman_ir.Types.I32
+  | Vfloat _ -> Cayman_ir.Types.F32
+  | Vbool _ -> Cayman_ir.Types.Bool
+
+let equal a b =
+  match a, b with
+  | Vint x, Vint y -> x = y
+  | Vfloat x, Vfloat y -> Float.equal x y
+  | Vbool x, Vbool y -> x = y
+  | (Vint _ | Vfloat _ | Vbool _), _ -> false
+
+let pp fmt = function
+  | Vint n -> Format.pp_print_int fmt n
+  | Vfloat x -> Format.fprintf fmt "%g" x
+  | Vbool b -> Format.pp_print_bool fmt b

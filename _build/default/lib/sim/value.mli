@@ -1,0 +1,18 @@
+(** Dynamic values of the interpreter. *)
+
+type t =
+  | Vint of int
+  | Vfloat of float
+  | Vbool of bool
+
+exception Type_error of string
+
+(** @raise Type_error on kind mismatch. *)
+val to_int : t -> int
+
+val to_float : t -> float
+val to_bool : t -> bool
+val zero_of : Cayman_ir.Types.t -> t
+val ty_of : t -> Cayman_ir.Types.t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

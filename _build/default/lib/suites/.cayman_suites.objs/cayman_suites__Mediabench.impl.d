@@ -1,0 +1,1 @@
+lib/suites/mediabench.ml:

@@ -1,0 +1,1 @@
+lib/suites/suite.ml: Cayman_frontend Coremark List Machsuite Mediabench Polybench String

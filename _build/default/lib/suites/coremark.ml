@@ -1,0 +1,551 @@
+(* CoreMark-Pro workloads in MiniC.
+
+   loops-all-mid-10k-sp is deliberately built from many small single-
+   precision loops whose bodies carry floating-point recurrences (IIR,
+   prefix sums, Horner), reproducing the paper's observation that its
+   pipeline II is recurrence-limited so coupled-only Cayman nearly matches
+   full Cayman on this workload. *)
+
+let cjpeg_rose =
+  {|
+const int W = 40;
+const int H = 40;
+
+int rgb_r[W][H]; int rgb_g[W][H]; int rgb_b[W][H];
+float ylum[W][H]; float cb[W][H]; float cr[W][H];
+float dct_mat[8][8];
+float block[8][8]; float tmp[8][8]; float coef[8][8];
+int bits[4096];
+
+float my_cos(float x) {
+  while (x > 3.14159265) { x -= 6.2831853; }
+  while (x < -3.14159265) { x += 6.2831853; }
+  float x2 = x * x;
+  return 1.0 - x2 / 2.0 * (1.0 - x2 / 12.0 * (1.0 - x2 / 30.0));
+}
+
+void init() {
+  int seed = 99;
+  for (int i = 0; i < W; i++) {
+    for (int j = 0; j < H; j++) {
+      seed = (seed * 1103515245 + 12345) % 2147483648;
+      rgb_r[i][j] = seed % 256;
+      rgb_g[i][j] = (seed / 256) % 256;
+      rgb_b[i][j] = (seed / 65536) % 256;
+    }
+  }
+  for (int u = 0; u < 8; u++) {
+    for (int x = 0; x < 8; x++) {
+      float c = 0.5;
+      if (u == 0) { c = 0.353553391; }
+      dct_mat[u][x] = c * my_cos((2.0 * (float)x + 1.0) * (float)u
+                                 * 3.14159265 / 16.0);
+    }
+  }
+}
+
+void color_convert() {
+  for (int i = 0; i < W; i++) {
+    for (int j = 0; j < H; j++) {
+      float r = (float)rgb_r[i][j];
+      float g = (float)rgb_g[i][j];
+      float b = (float)rgb_b[i][j];
+      ylum[i][j] = 0.299 * r + 0.587 * g + 0.114 * b - 128.0;
+      cb[i][j] = -0.16874 * r - 0.33126 * g + 0.5 * b;
+      cr[i][j] = 0.5 * r - 0.41869 * g - 0.08131 * b;
+    }
+  }
+}
+
+void dct_block() {
+  for (int u = 0; u < 8; u++) {
+    for (int x = 0; x < 8; x++) {
+      float acc = 0.0;
+      for (int y = 0; y < 8; y++) { acc += dct_mat[u][y] * block[y][x]; }
+      tmp[u][x] = acc;
+    }
+  }
+  for (int u = 0; u < 8; u++) {
+    for (int v = 0; v < 8; v++) {
+      float acc = 0.0;
+      for (int y = 0; y < 8; y++) { acc += tmp[u][y] * dct_mat[v][y]; }
+      coef[u][v] = acc;
+    }
+  }
+}
+
+int encode() {
+  int n = 0;
+  for (int bi = 0; bi < W / 8; bi++) {
+    for (int bj = 0; bj < H / 8; bj++) {
+      for (int i = 0; i < 8; i++) {
+        for (int j = 0; j < 8; j++) {
+          block[i][j] = ylum[bi * 8 + i][bj * 8 + j];
+        }
+      }
+      dct_block();
+      for (int i = 0; i < 8; i++) {
+        for (int j = 0; j < 8; j++) {
+          int q = (int)(coef[i][j]) / (6 + i + j);
+          if (q != 0) {
+            bits[n % 4096] = q;
+            n++;
+          }
+        }
+      }
+    }
+  }
+  return n;
+}
+
+int main() {
+  init();
+  int total = 0;
+  for (int t = 0; t < 24; t++) {
+    color_convert();
+    total += encode();
+  }
+  return total % 65536;
+}
+|}
+
+let zip_test =
+  {|
+const int LEN = 4096;
+const int HASH_SIZE = 1024;
+const int MIN_MATCH = 3;
+const int MAX_MATCH = 32;
+
+int data[LEN];
+int head[HASH_SIZE];
+int prev[LEN];
+int lit_count[1];
+int match_count[1];
+int match_bytes[1];
+
+void init() {
+  int seed = 4242;
+  for (int i = 0; i < LEN; i++) {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    if (seed % 4 == 0) {
+      data[i] = seed % 8;
+    } else {
+      data[i] = (seed / 64) % 24;
+    }
+  }
+}
+
+int hash3(int pos) {
+  int h = data[pos] * 33 + data[pos + 1];
+  h = h * 33 + data[pos + 2];
+  return (h * 2654435761) % HASH_SIZE;
+}
+
+void deflate() {
+  for (int i = 0; i < HASH_SIZE; i++) { head[i] = -1; }
+  for (int i = 0; i < LEN; i++) { prev[i] = -1; }
+  lit_count[0] = 0;
+  match_count[0] = 0;
+  match_bytes[0] = 0;
+  int pos = 0;
+  while (pos < LEN - MAX_MATCH) {
+    int h = hash3(pos);
+    if (h < 0) { h = h + HASH_SIZE; }
+    int cand = head[h];
+    int best_len = 0;
+    int chain = 0;
+    while (cand >= 0 && chain < 8) {
+      int len = 0;
+      while (len < MAX_MATCH && data[cand + len] == data[pos + len]) {
+        len++;
+      }
+      if (len > best_len) { best_len = len; }
+      cand = prev[cand];
+      chain++;
+    }
+    prev[pos] = head[h];
+    head[h] = pos;
+    if (best_len >= MIN_MATCH) {
+      match_count[0] += 1;
+      match_bytes[0] += best_len;
+      pos += best_len;
+    } else {
+      lit_count[0] += 1;
+      pos++;
+    }
+  }
+}
+
+int main() {
+  init();
+  for (int t = 0; t < 60; t++) { deflate(); }
+  return (match_count[0] * 3 + lit_count[0] + match_bytes[0]) % 65536;
+}
+|}
+
+let parser_125k =
+  {|
+const int LEN = 6144;
+const int NCLASS = 6; // letter digit space open close punct
+const int NSTATE = 3; // idle in-word in-number
+
+int text[LEN];
+int char_class[128];
+int next_state[18];   // NSTATE * NCLASS
+int starts_token[18]; // 1 when the transition begins a new token
+int counts[NCLASS];
+int depth_hist[8];
+
+void build_tables() {
+  for (int c = 0; c < 128; c++) {
+    if (c >= 97 && c <= 122) { char_class[c] = 0; }
+    else if (c >= 48 && c <= 57) { char_class[c] = 1; }
+    else if (c == 32) { char_class[c] = 2; }
+    else if (c == 40) { char_class[c] = 3; }
+    else if (c == 41) { char_class[c] = 4; }
+    else { char_class[c] = 5; }
+  }
+  for (int st = 0; st < NSTATE; st++) {
+    for (int cl = 0; cl < NCLASS; cl++) {
+      int ns = 0;
+      if (cl == 0) { ns = 1; }
+      if (cl == 1) { ns = 2; }
+      next_state[st * NCLASS + cl] = ns;
+      int starts = 0;
+      if (cl == 0 && st != 1) { starts = 1; }
+      if (cl == 1 && st != 2) { starts = 1; }
+      if (cl >= 2) { starts = 1; }
+      starts_token[st * NCLASS + cl] = starts;
+    }
+  }
+}
+
+void init() {
+  int seed = 31415;
+  for (int i = 0; i < LEN; i++) {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    int r = seed % 100;
+    if (r < 40) { text[i] = 97 + seed % 26; }       // letter
+    else if (r < 60) { text[i] = 48 + seed % 10; }  // digit
+    else if (r < 75) { text[i] = 32; }              // space
+    else if (r < 85) { text[i] = 40; }              // '('
+    else if (r < 95) { text[i] = 41; }              // ')'
+    else { text[i] = 46; }                          // '.'
+  }
+}
+
+// Table-driven tokenizer: the hot loop is branch-free, all control is
+// folded into the transition tables (the way production scanners are
+// written), plus a parenthesis-depth histogram.
+void tokenize() {
+  for (int i = 0; i < NCLASS; i++) { counts[i] = 0; }
+  for (int i = 0; i < 8; i++) { depth_hist[i] = 0; }
+  int state = 0;
+  int depth = 0;
+  for (int i = 0; i < LEN; i++) {
+    int cls = char_class[text[i]];
+    int t = state * NCLASS + cls;
+    counts[cls] += starts_token[t];
+    state = next_state[t];
+    int delta = 0;
+    if (cls == 3) { delta = 1; }
+    if (cls == 4) { delta = -1; }
+    depth += delta;
+    if (depth < 0) { depth = 0; }
+    if (depth > 7) { depth = 7; }
+    depth_hist[depth] += 1;
+  }
+}
+
+int main() {
+  build_tables();
+  init();
+  for (int t = 0; t < 120; t++) { tokenize(); }
+  int s = 0;
+  for (int i = 0; i < NCLASS; i++) { s += counts[i] * (i + 1); }
+  for (int i = 0; i < 8; i++) { s += depth_hist[i] * i; }
+  return s % 65536;
+}
+|}
+
+let nnet_test =
+  {|
+const int NIN = 24;
+const int NHID = 16;
+const int NOUT = 8;
+const int NSAMPLES = 16;
+
+float w1[NHID][NIN]; float w2[NOUT][NHID];
+float input[NSAMPLES][NIN]; float target[NSAMPLES][NOUT];
+float hidden[NHID]; float output[NOUT];
+float delta_out[NOUT]; float delta_hid[NHID];
+
+float sigmoid(float x) {
+  if (x > 6.0) { return 1.0; }
+  if (x < -6.0) { return 0.0; }
+  float a = 1.0 + x / 16.0 * (1.0 + x / 48.0 * x / 2.0);
+  // rational approximation of the logistic function
+  float e = a * a;
+  e = e * e;
+  e = e * e;
+  e = e * e;
+  return e / (1.0 + e);
+}
+
+void init() {
+  int seed = 777;
+  for (int i = 0; i < NHID; i++) {
+    for (int j = 0; j < NIN; j++) {
+      seed = (seed * 1103515245 + 12345) % 2147483648;
+      w1[i][j] = (float)(seed % 200 - 100) / 500.0;
+    }
+  }
+  for (int i = 0; i < NOUT; i++) {
+    for (int j = 0; j < NHID; j++) {
+      seed = (seed * 1103515245 + 12345) % 2147483648;
+      w2[i][j] = (float)(seed % 200 - 100) / 500.0;
+    }
+  }
+  for (int s = 0; s < NSAMPLES; s++) {
+    for (int j = 0; j < NIN; j++) {
+      seed = (seed * 1103515245 + 12345) % 2147483648;
+      input[s][j] = (float)(seed % 1000) / 1000.0;
+    }
+    for (int j = 0; j < NOUT; j++) {
+      seed = (seed * 1103515245 + 12345) % 2147483648;
+      target[s][j] = (float)(seed % 1000) / 1000.0;
+    }
+  }
+}
+
+void forward(int s) {
+  for (int i = 0; i < NHID; i++) {
+    float acc = 0.0;
+    for (int j = 0; j < NIN; j++) { acc += w1[i][j] * input[s][j]; }
+    hidden[i] = sigmoid(acc);
+  }
+  for (int i = 0; i < NOUT; i++) {
+    float acc = 0.0;
+    for (int j = 0; j < NHID; j++) { acc += w2[i][j] * hidden[j]; }
+    output[i] = sigmoid(acc);
+  }
+}
+
+void backward(int s, float lr) {
+  for (int i = 0; i < NOUT; i++) {
+    float err = target[s][i] - output[i];
+    delta_out[i] = err * output[i] * (1.0 - output[i]);
+  }
+  for (int j = 0; j < NHID; j++) {
+    float acc = 0.0;
+    for (int i = 0; i < NOUT; i++) { acc += delta_out[i] * w2[i][j]; }
+    delta_hid[j] = acc * hidden[j] * (1.0 - hidden[j]);
+  }
+  for (int i = 0; i < NOUT; i++) {
+    for (int j = 0; j < NHID; j++) {
+      w2[i][j] += lr * delta_out[i] * hidden[j];
+    }
+  }
+  for (int i = 0; i < NHID; i++) {
+    for (int j = 0; j < NIN; j++) {
+      w1[i][j] += lr * delta_hid[i] * input[s][j];
+    }
+  }
+}
+
+int main() {
+  init();
+  for (int epoch = 0; epoch < 60; epoch++) {
+    for (int s = 0; s < NSAMPLES; s++) {
+      forward(s);
+      backward(s, 0.1);
+    }
+  }
+  float acc = 0.0;
+  for (int i = 0; i < NOUT; i++) { acc += output[i]; }
+  return (int)(acc * 1000.0);
+}
+|}
+
+let linear_alg =
+  {|
+const int N = 40;
+
+float A[N][N]; float LUmat[N][N]; float b[N]; float x[N]; float y[N];
+
+void init() {
+  for (int i = 0; i < N; i++) {
+    b[i] = (float)((i * 7 + 3) % 19) / 19.0;
+    for (int j = 0; j < N; j++) {
+      if (i == j) { A[i][j] = (float)N + 1.0; }
+      else { A[i][j] = (float)((i * j + i + j) % 13) / 13.0; }
+    }
+  }
+}
+
+void decompose() {
+  for (int i = 0; i < N; i++) {
+    for (int j = 0; j < N; j++) { LUmat[i][j] = A[i][j]; }
+  }
+  for (int k = 0; k < N; k++) {
+    for (int i = k + 1; i < N; i++) {
+      LUmat[i][k] = LUmat[i][k] / LUmat[k][k];
+      for (int j = k + 1; j < N; j++) {
+        LUmat[i][j] -= LUmat[i][k] * LUmat[k][j];
+      }
+    }
+  }
+}
+
+void solve() {
+  for (int i = 0; i < N; i++) {
+    y[i] = b[i];
+    for (int j = 0; j < i; j++) { y[i] -= LUmat[i][j] * y[j]; }
+  }
+  for (int i = N - 1; i >= 0; i--) {
+    x[i] = y[i];
+    for (int j = i + 1; j < N; j++) { x[i] -= LUmat[i][j] * x[j]; }
+    x[i] = x[i] / LUmat[i][i];
+  }
+}
+
+float residual() {
+  float r = 0.0;
+  for (int i = 0; i < N; i++) {
+    float acc = 0.0;
+    for (int j = 0; j < N; j++) { acc += A[i][j] * x[j]; }
+    float d = acc - b[i];
+    r += d * d;
+  }
+  return r;
+}
+
+int main() {
+  init();
+  float total = 0.0;
+  for (int t = 0; t < 24; t++) {
+    decompose();
+    solve();
+    total += residual();
+  }
+  float s = total;
+  for (int i = 0; i < N; i++) { s += x[i]; }
+  return (int)(s * 100.0);
+}
+|}
+
+let loops_all =
+  {|
+const int N = 2048;
+
+float a[N]; float b[N]; float c[N]; float d[N];
+
+void init() {
+  int seed = 2024;
+  for (int i = 0; i < N; i++) {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    a[i] = (float)(seed % 1000) / 1000.0;
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    b[i] = (float)(seed % 1000) / 1000.0;
+    c[i] = 0.0;
+    d[i] = 0.0;
+  }
+}
+
+// Prefix sum: carried dependency through memory.
+void prefix() {
+  c[0] = a[0];
+  for (int i = 1; i < N; i++) { c[i] = c[i - 1] + a[i]; }
+}
+
+// First-order IIR filter: carried dependency through a register.
+float iir(float alpha) {
+  float state = 0.0;
+  for (int i = 0; i < N; i++) {
+    state = alpha * state + (1.0 - alpha) * a[i];
+    d[i] = state;
+  }
+  return state;
+}
+
+// Dot product: floating-point reduction.
+float dot() {
+  float acc = 0.0;
+  for (int i = 0; i < N; i++) { acc += a[i] * b[i]; }
+  return acc;
+}
+
+// Horner polynomial evaluation per element, recurrence inside.
+void horner() {
+  for (int i = 0; i < N; i++) {
+    float p = 0.0;
+    float xv = a[i];
+    p = 0.5;
+    p = p * xv + 0.25;
+    p = p * xv + 0.125;
+    p = p * xv + 0.0625;
+    b[i] = p;
+  }
+}
+
+// Running maximum: compare-select recurrence.
+float running_max() {
+  float m = a[0];
+  for (int i = 1; i < N; i++) {
+    if (a[i] > m) { m = a[i]; }
+  }
+  return m;
+}
+
+// Alternating-sign accumulation.
+float alt_sum() {
+  float acc = 0.0;
+  float sign = 1.0;
+  for (int i = 0; i < N; i++) {
+    acc += sign * c[i];
+    sign = -sign;
+  }
+  return acc;
+}
+
+// Second-order recurrence (Fibonacci-like smoothing).
+void smooth2() {
+  d[0] = a[0];
+  d[1] = a[1];
+  for (int i = 2; i < N; i++) {
+    d[i] = 0.5 * d[i - 1] + 0.3 * d[i - 2] + 0.2 * a[i];
+  }
+}
+
+// Scaled copy with strided access.
+void strided() {
+  for (int i = 0; i < N / 2; i++) {
+    b[2 * i] = 0.9 * a[2 * i] + 0.1;
+    b[2 * i + 1] = 0.9 * a[2 * i + 1] - 0.1;
+  }
+}
+
+int main() {
+  init();
+  float acc = 0.0;
+  for (int t = 0; t < 60; t++) {
+    prefix();
+    acc += iir(0.9);
+    acc += dot();
+    horner();
+    acc += running_max();
+    acc += alt_sum();
+    smooth2();
+    strided();
+  }
+  return (int)acc;
+}
+|}
+
+let all =
+  [ "cjpeg-rose7-preset", cjpeg_rose;
+    "zip-test", zip_test;
+    "parser-125k", parser_125k;
+    "nnet-test", nnet_test;
+    "linear-alg-mid-100x100-sp", linear_alg;
+    "loops-all-mid-10k-sp", loops_all ]

@@ -1,0 +1,245 @@
+(* MachSuite kernels in MiniC: fft (iterative radix-2), md (Lennard-Jones
+   with neighbor lists, irregular access), spmv (CSR, irregular), and nw
+   (Needleman-Wunsch integer DP). *)
+
+let fft =
+  {|
+const int N = 512;
+const int LOGN = 9;
+
+float re[N]; float im[N];
+float tw_re[N]; float tw_im[N];
+int bitrev[N];
+
+float my_sin(float x) {
+  while (x > 3.14159265) { x -= 6.2831853; }
+  while (x < -3.14159265) { x += 6.2831853; }
+  float x2 = x * x;
+  return x * (1.0 - x2 / 6.0 * (1.0 - x2 / 20.0 * (1.0 - x2 / 42.0)));
+}
+
+float my_cos(float x) { return my_sin(x + 1.57079632); }
+
+void init() {
+  for (int i = 0; i < N; i++) {
+    re[i] = (float)((i * 37 + 11) % 256) / 256.0 - 0.5;
+    im[i] = 0.0;
+    float ang = -6.2831853 * (float)i / (float)N;
+    tw_re[i] = my_cos(ang);
+    tw_im[i] = my_sin(ang);
+  }
+  for (int i = 0; i < N; i++) {
+    int x = i;
+    int r = 0;
+    for (int b = 0; b < LOGN; b++) {
+      r = (r << 1) | (x & 1);
+      x = x >> 1;
+    }
+    bitrev[i] = r;
+  }
+}
+
+void reorder() {
+  for (int i = 0; i < N; i++) {
+    int j = bitrev[i];
+    if (j > i) {
+      float tr = re[i]; re[i] = re[j]; re[j] = tr;
+      float ti = im[i]; im[i] = im[j]; im[j] = ti;
+    }
+  }
+}
+
+void butterflies() {
+  int span = 1;
+  int stride = N >> 1;
+  for (int stage = 0; stage < LOGN; stage++) {
+    for (int base = 0; base < N; base += 2 * span) {
+      for (int k = 0; k < span; k++) {
+        int a = base + k;
+        int b = a + span;
+        int t = k * stride;
+        float wr = tw_re[t];
+        float wi = tw_im[t];
+        float xr = re[b] * wr - im[b] * wi;
+        float xi = re[b] * wi + im[b] * wr;
+        re[b] = re[a] - xr;
+        im[b] = im[a] - xi;
+        re[a] = re[a] + xr;
+        im[a] = im[a] + xi;
+      }
+    }
+    span = span << 1;
+    stride = stride >> 1;
+  }
+}
+
+int main() {
+  init();
+  for (int t = 0; t < 30; t++) {
+    reorder();
+    butterflies();
+  }
+  float s = 0.0;
+  for (int i = 0; i < 16; i++) { s += re[i] * re[i] + im[i] * im[i]; }
+  return (int)s;
+}
+|}
+
+let md =
+  {|
+const int NATOMS = 96;
+const int NNEIGH = 12;
+
+float px[NATOMS]; float py[NATOMS]; float pz[NATOMS];
+float fx[NATOMS]; float fy[NATOMS]; float fz[NATOMS];
+int neigh[NATOMS][NNEIGH];
+
+void init() {
+  int seed = 7;
+  for (int i = 0; i < NATOMS; i++) {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    px[i] = (float)(seed % 1000) / 500.0 - 1.0;
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    py[i] = (float)(seed % 1000) / 500.0 - 1.0;
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    pz[i] = (float)(seed % 1000) / 500.0 - 1.0;
+    for (int k = 0; k < NNEIGH; k++) {
+      seed = (seed * 1103515245 + 12345) % 2147483648;
+      int j = seed % NATOMS;
+      if (j == i) { j = (j + 1) % NATOMS; }
+      neigh[i][k] = j;
+    }
+  }
+}
+
+void forces() {
+  for (int i = 0; i < NATOMS; i++) {
+    float fxi = 0.0;
+    float fyi = 0.0;
+    float fzi = 0.0;
+    float xi = px[i];
+    float yi = py[i];
+    float zi = pz[i];
+    for (int k = 0; k < NNEIGH; k++) {
+      int j = neigh[i][k];
+      float dx = px[j] - xi;
+      float dy = py[j] - yi;
+      float dz = pz[j] - zi;
+      float r2 = dx * dx + dy * dy + dz * dz + 0.01;
+      float r2inv = 1.0 / r2;
+      float r6inv = r2inv * r2inv * r2inv;
+      float pot = r6inv * (1.5 * r6inv - 2.0);
+      float force = r2inv * pot;
+      fxi += force * dx;
+      fyi += force * dy;
+      fzi += force * dz;
+    }
+    fx[i] = fxi;
+    fy[i] = fyi;
+    fz[i] = fzi;
+  }
+}
+
+int main() {
+  init();
+  for (int t = 0; t < 120; t++) { forces(); }
+  float s = 0.0;
+  for (int i = 0; i < NATOMS; i++) { s += fx[i] + fy[i] + fz[i]; }
+  return (int)s;
+}
+|}
+
+let spmv =
+  {|
+const int NROWS = 128;
+const int NNZ_PER_ROW = 9;
+const int NNZ = 1152;
+
+float vals[NNZ]; int cols[NNZ]; int row_ptr[129];
+float vec[NROWS]; float out[NROWS];
+
+void init() {
+  int seed = 13;
+  for (int i = 0; i < NROWS; i++) {
+    row_ptr[i] = i * NNZ_PER_ROW;
+    vec[i] = (float)((i * 29 + 7) % 100) / 100.0;
+  }
+  row_ptr[NROWS] = NNZ;
+  for (int k = 0; k < NNZ; k++) {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    cols[k] = seed % NROWS;
+    vals[k] = (float)(seed % 1000) / 1000.0;
+  }
+}
+
+void kernel() {
+  for (int i = 0; i < NROWS; i++) {
+    float sum = 0.0;
+    int start = row_ptr[i];
+    int end = row_ptr[i + 1];
+    for (int k = start; k < end; k++) {
+      sum += vals[k] * vec[cols[k]];
+    }
+    out[i] = sum;
+  }
+}
+
+int main() {
+  init();
+  for (int t = 0; t < 260; t++) { kernel(); }
+  float s = 0.0;
+  for (int i = 0; i < NROWS; i++) { s += out[i]; }
+  return (int)s;
+}
+|}
+
+let nw =
+  {|
+const int ALEN = 96;
+const int BLEN = 96;
+const int GAP = -1;
+const int MATCH = 2;
+const int MISMATCH = -1;
+
+int seqa[ALEN]; int seqb[BLEN];
+int score[97][97];
+
+void init() {
+  int seed = 5;
+  for (int i = 0; i < ALEN; i++) {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    seqa[i] = seed % 4;
+  }
+  for (int j = 0; j < BLEN; j++) {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    seqb[j] = seed % 4;
+  }
+}
+
+void kernel() {
+  for (int i = 0; i <= ALEN; i++) { score[i][0] = i * GAP; }
+  for (int j = 0; j <= BLEN; j++) { score[0][j] = j * GAP; }
+  for (int i = 1; i <= ALEN; i++) {
+    for (int j = 1; j <= BLEN; j++) {
+      int sub = MISMATCH;
+      if (seqa[i - 1] == seqb[j - 1]) { sub = MATCH; }
+      int d = score[i - 1][j - 1] + sub;
+      int u = score[i - 1][j] + GAP;
+      int l = score[i][j - 1] + GAP;
+      int best = d;
+      if (u > best) { best = u; }
+      if (l > best) { best = l; }
+      score[i][j] = best;
+    }
+  }
+}
+
+int main() {
+  init();
+  for (int t = 0; t < 40; t++) { kernel(); }
+  return score[ALEN][BLEN];
+}
+|}
+
+let all =
+  [ "fft", fft; "md", md; "spmv", spmv; "nw", nw ]

@@ -1,0 +1,195 @@
+(* MediaBench workloads in MiniC: cjpeg (8x8 block DCT + quantization +
+   zigzag run-length) and epic (separable pyramid filter + quantization). *)
+
+let cjpeg =
+  {|
+const int W = 48;
+const int H = 48;
+const int NB = 36; // (W/8)*(H/8)
+
+float image[W][H];
+float dct_mat[8][8];
+float block[8][8]; float tmp[8][8]; float coef[8][8];
+int quant[8][8];
+int zigzag_i[64]; int zigzag_j[64];
+int out_syms[4096];
+
+float my_cos(float x) {
+  while (x > 3.14159265) { x -= 6.2831853; }
+  while (x < -3.14159265) { x += 6.2831853; }
+  float x2 = x * x;
+  return 1.0 - x2 / 2.0 * (1.0 - x2 / 12.0 * (1.0 - x2 / 30.0));
+}
+
+void init() {
+  for (int i = 0; i < W; i++) {
+    for (int j = 0; j < H; j++) {
+      image[i][j] = (float)((i * 17 + j * 31 + (i * j) % 5) % 256);
+    }
+  }
+  for (int u = 0; u < 8; u++) {
+    for (int x = 0; x < 8; x++) {
+      float c = 0.5;
+      if (u == 0) { c = 0.353553391; }
+      dct_mat[u][x] = c * my_cos((2.0 * (float)x + 1.0) * (float)u
+                                 * 3.14159265 / 16.0);
+    }
+  }
+  for (int u = 0; u < 8; u++) {
+    for (int v = 0; v < 8; v++) {
+      quant[u][v] = 8 + u + v + (u * v) / 2;
+    }
+  }
+  int k = 0;
+  for (int s = 0; s < 15; s++) {
+    for (int i = 0; i <= s; i++) {
+      int j = s - i;
+      if (i < 8 && j < 8) {
+        zigzag_i[k] = i;
+        zigzag_j[k] = j;
+        k++;
+      }
+    }
+  }
+}
+
+// 2D DCT of one 8x8 block by two matrix products.
+void dct_block() {
+  for (int u = 0; u < 8; u++) {
+    for (int x = 0; x < 8; x++) {
+      float acc = 0.0;
+      for (int y = 0; y < 8; y++) { acc += dct_mat[u][y] * block[y][x]; }
+      tmp[u][x] = acc;
+    }
+  }
+  for (int u = 0; u < 8; u++) {
+    for (int v = 0; v < 8; v++) {
+      float acc = 0.0;
+      for (int y = 0; y < 8; y++) { acc += tmp[u][y] * dct_mat[v][y]; }
+      coef[u][v] = acc;
+    }
+  }
+}
+
+int compress() {
+  int nsym = 0;
+  for (int bi = 0; bi < W / 8; bi++) {
+    for (int bj = 0; bj < H / 8; bj++) {
+      for (int i = 0; i < 8; i++) {
+        for (int j = 0; j < 8; j++) {
+          block[i][j] = image[bi * 8 + i][bj * 8 + j] - 128.0;
+        }
+      }
+      dct_block();
+      int run = 0;
+      for (int k = 0; k < 64; k++) {
+        int zi = zigzag_i[k];
+        int zj = zigzag_j[k];
+        int q = (int)(coef[zi][zj]) / quant[zi][zj];
+        if (q == 0) { run++; }
+        else {
+          out_syms[nsym % 4096] = (run << 8) | (q & 255);
+          nsym++;
+          run = 0;
+        }
+      }
+      if (run > 0) {
+        out_syms[nsym % 4096] = 0;
+        nsym++;
+      }
+    }
+  }
+  return nsym;
+}
+
+int main() {
+  init();
+  int total = 0;
+  for (int t = 0; t < 20; t++) { total += compress(); }
+  return total % 65536;
+}
+|}
+
+let epic =
+  {|
+const int W = 64;
+const int H = 64;
+
+float src[W][H]; float lo[W][H]; float tmp[W][H];
+float lev1[32][32]; float lev2[16][16];
+int qcount[16];
+
+void init() {
+  for (int i = 0; i < W; i++) {
+    for (int j = 0; j < H; j++) {
+      src[i][j] = (float)((i * 11 + j * 7 + (i * j) % 13) % 256) / 256.0;
+    }
+  }
+  for (int i = 0; i < 16; i++) { qcount[i] = 0; }
+}
+
+// Separable 5-tap binomial lowpass over src into lo (clamped borders).
+void lowpass() {
+  for (int i = 0; i < W; i++) {
+    for (int j = 2; j < H - 2; j++) {
+      tmp[i][j] = (src[i][j - 2] + 4.0 * src[i][j - 1] + 6.0 * src[i][j]
+                   + 4.0 * src[i][j + 1] + src[i][j + 2]) / 16.0;
+    }
+    tmp[i][0] = src[i][0];
+    tmp[i][1] = src[i][1];
+    tmp[i][H - 2] = src[i][H - 2];
+    tmp[i][H - 1] = src[i][H - 1];
+  }
+  for (int j = 0; j < H; j++) {
+    for (int i = 2; i < W - 2; i++) {
+      lo[i][j] = (tmp[i - 2][j] + 4.0 * tmp[i - 1][j] + 6.0 * tmp[i][j]
+                  + 4.0 * tmp[i + 1][j] + tmp[i + 2][j]) / 16.0;
+    }
+    lo[0][j] = tmp[0][j];
+    lo[1][j] = tmp[1][j];
+    lo[W - 2][j] = tmp[W - 2][j];
+    lo[W - 1][j] = tmp[W - 1][j];
+  }
+}
+
+void pyramid() {
+  lowpass();
+  for (int i = 0; i < 32; i++) {
+    for (int j = 0; j < 32; j++) {
+      lev1[i][j] = lo[2 * i][2 * j];
+    }
+  }
+  for (int i = 0; i < 16; i++) {
+    for (int j = 0; j < 16; j++) {
+      lev2[i][j] = (lev1[2 * i][2 * j] + lev1[2 * i + 1][2 * j]
+                    + lev1[2 * i][2 * j + 1] + lev1[2 * i + 1][2 * j + 1])
+                   / 4.0;
+    }
+  }
+}
+
+void quantize() {
+  for (int i = 0; i < W; i++) {
+    for (int j = 0; j < H; j++) {
+      float d = src[i][j] - lo[i][j];
+      int q = (int)(d * 32.0 + 8.0);
+      if (q < 0) { q = 0; }
+      if (q > 15) { q = 15; }
+      qcount[q]++;
+    }
+  }
+}
+
+int main() {
+  init();
+  for (int t = 0; t < 40; t++) {
+    pyramid();
+    quantize();
+  }
+  int s = 0;
+  for (int i = 0; i < 16; i++) { s += qcount[i] * i; }
+  return s % 65536;
+}
+|}
+
+let all = [ "cjpeg", cjpeg; "epic", epic ]

@@ -1,0 +1,685 @@
+(* PolyBench kernels re-implemented in MiniC. Loop nests, dependence
+   structure and access patterns follow the originals; problem sizes are
+   scaled for the IR interpreter. Each program initializes its own data
+   deterministically and returns a checksum-derived int so no computation
+   is dead. *)
+
+let three_mm =
+  {|
+const int N = 28;
+
+float A[N][N]; float B[N][N]; float C[N][N]; float D[N][N];
+float E[N][N]; float F[N][N]; float G[N][N];
+
+void init() {
+  for (int i = 0; i < N; i++) {
+    for (int j = 0; j < N; j++) {
+      A[i][j] = (float)((i * j + 1) % 7) / 7.0;
+      B[i][j] = (float)((i * (j + 1)) % 9) / 9.0;
+      C[i][j] = (float)((i * (j + 3) + 1) % 5) / 5.0;
+      D[i][j] = (float)((i * (j + 2)) % 11) / 11.0;
+    }
+  }
+}
+
+void mm1() {
+  for (int i = 0; i < N; i++) {
+    for (int j = 0; j < N; j++) {
+      E[i][j] = 0.0;
+      for (int k = 0; k < N; k++) { E[i][j] += A[i][k] * B[k][j]; }
+    }
+  }
+}
+
+void mm2() {
+  for (int i = 0; i < N; i++) {
+    for (int j = 0; j < N; j++) {
+      F[i][j] = 0.0;
+      for (int k = 0; k < N; k++) { F[i][j] += C[i][k] * D[k][j]; }
+    }
+  }
+}
+
+void mm3() {
+  for (int i = 0; i < N; i++) {
+    for (int j = 0; j < N; j++) {
+      G[i][j] = 0.0;
+      for (int k = 0; k < N; k++) { G[i][j] += E[i][k] * F[k][j]; }
+    }
+  }
+}
+
+int main() {
+  init();
+  for (int r = 0; r < 6; r++) { mm1(); mm2(); mm3(); }
+  float s = 0.0;
+  for (int i = 0; i < N; i++) { s += G[i][i]; }
+  return (int)s;
+}
+|}
+
+let atax =
+  {|
+const int N = 56;
+
+float A[N][N]; float x[N]; float y[N]; float tmp[N];
+
+void init() {
+  for (int i = 0; i < N; i++) {
+    x[i] = 1.0 + (float)i / (float)N;
+    for (int j = 0; j < N; j++) {
+      A[i][j] = (float)((i + j) % 13) / 13.0;
+    }
+  }
+}
+
+void kernel() {
+  for (int i = 0; i < N; i++) { y[i] = 0.0; }
+  for (int i = 0; i < N; i++) {
+    tmp[i] = 0.0;
+    for (int j = 0; j < N; j++) { tmp[i] += A[i][j] * x[j]; }
+    for (int j = 0; j < N; j++) { y[j] = y[j] + A[i][j] * tmp[i]; }
+  }
+}
+
+int main() {
+  init();
+  for (int r = 0; r < 40; r++) { kernel(); }
+  float s = 0.0;
+  for (int i = 0; i < N; i++) { s += y[i]; }
+  return (int)s;
+}
+|}
+
+let bicg =
+  {|
+const int N = 56;
+
+float A[N][N]; float s[N]; float q[N]; float p[N]; float r[N];
+
+void init() {
+  for (int i = 0; i < N; i++) {
+    p[i] = (float)(i % 11) / 11.0;
+    r[i] = (float)(i % 7) / 7.0;
+    for (int j = 0; j < N; j++) {
+      A[i][j] = (float)((i * (j + 1)) % 17) / 17.0;
+    }
+  }
+}
+
+void kernel() {
+  for (int i = 0; i < N; i++) { s[i] = 0.0; }
+  for (int i = 0; i < N; i++) {
+    q[i] = 0.0;
+    for (int j = 0; j < N; j++) {
+      s[j] = s[j] + r[i] * A[i][j];
+      q[i] = q[i] + A[i][j] * p[j];
+    }
+  }
+}
+
+int main() {
+  init();
+  for (int t = 0; t < 40; t++) { kernel(); }
+  float acc = 0.0;
+  for (int i = 0; i < N; i++) { acc += s[i] + q[i]; }
+  return (int)acc;
+}
+|}
+
+let doitgen =
+  {|
+const int NR = 14;
+const int NQ = 14;
+const int NP = 14;
+
+float A[NR][NQ][NP]; float C4[NP][NP]; float sum[NP];
+
+void init() {
+  for (int r = 0; r < NR; r++) {
+    for (int q = 0; q < NQ; q++) {
+      for (int p = 0; p < NP; p++) {
+        A[r][q][p] = (float)((r * q + p) % 9) / 9.0;
+      }
+    }
+  }
+  for (int i = 0; i < NP; i++) {
+    for (int j = 0; j < NP; j++) {
+      C4[i][j] = (float)((i * j) % 7) / 7.0;
+    }
+  }
+}
+
+void kernel() {
+  for (int r = 0; r < NR; r++) {
+    for (int q = 0; q < NQ; q++) {
+      for (int p = 0; p < NP; p++) {
+        sum[p] = 0.0;
+        for (int ss = 0; ss < NP; ss++) { sum[p] += A[r][q][ss] * C4[ss][p]; }
+      }
+      for (int p = 0; p < NP; p++) { A[r][q][p] = sum[p]; }
+    }
+  }
+}
+
+int main() {
+  init();
+  for (int t = 0; t < 12; t++) { kernel(); }
+  float s = 0.0;
+  for (int p = 0; p < NP; p++) { s += A[1][2][p]; }
+  return (int)(s * 100.0);
+}
+|}
+
+let mvt =
+  {|
+const int N = 56;
+
+float A[N][N]; float x1[N]; float x2[N]; float y1[N]; float y2[N];
+
+void init() {
+  for (int i = 0; i < N; i++) {
+    x1[i] = (float)(i % 5) / 5.0;
+    x2[i] = (float)(i % 3) / 3.0;
+    y1[i] = (float)(i % 9) / 9.0;
+    y2[i] = (float)(i % 13) / 13.0;
+    for (int j = 0; j < N; j++) {
+      A[i][j] = (float)((i * j + 2) % 19) / 19.0;
+    }
+  }
+}
+
+void kernel() {
+  for (int i = 0; i < N; i++) {
+    for (int j = 0; j < N; j++) { x1[i] = x1[i] + A[i][j] * y1[j]; }
+  }
+  for (int i = 0; i < N; i++) {
+    for (int j = 0; j < N; j++) { x2[i] = x2[i] + A[j][i] * y2[j]; }
+  }
+}
+
+int main() {
+  init();
+  for (int t = 0; t < 40; t++) { kernel(); }
+  float s = 0.0;
+  for (int i = 0; i < N; i++) { s += x1[i] + x2[i]; }
+  return (int)s;
+}
+|}
+
+let symm =
+  {|
+const int N = 36;
+
+float A[N][N]; float B[N][N]; float C[N][N];
+
+void init() {
+  for (int i = 0; i < N; i++) {
+    for (int j = 0; j < N; j++) {
+      A[i][j] = (float)((i + j) % 11) / 11.0;
+      B[i][j] = (float)((i * j + 1) % 7) / 7.0;
+      C[i][j] = (float)((i - j + 40) % 13) / 13.0;
+    }
+  }
+}
+
+void kernel(float alpha, float beta) {
+  for (int i = 0; i < N; i++) {
+    for (int j = 0; j < N; j++) {
+      float temp2 = 0.0;
+      for (int k = 0; k < i; k++) {
+        C[k][j] += alpha * B[i][j] * A[i][k];
+        temp2 += B[k][j] * A[i][k];
+      }
+      C[i][j] = beta * C[i][j] + alpha * B[i][j] * A[i][i]
+              + alpha * temp2;
+    }
+  }
+}
+
+int main() {
+  init();
+  for (int t = 0; t < 14; t++) { kernel(1.5, 1.2); }
+  float s = 0.0;
+  for (int i = 0; i < N; i++) { s += C[i][N - 1 - i]; }
+  return (int)s;
+}
+|}
+
+let syrk =
+  {|
+const int N = 36;
+
+float A[N][N]; float C[N][N];
+
+void init() {
+  for (int i = 0; i < N; i++) {
+    for (int j = 0; j < N; j++) {
+      A[i][j] = (float)((i * j + 3) % 9) / 9.0;
+      C[i][j] = (float)((i + j) % 5) / 5.0;
+    }
+  }
+}
+
+void kernel(float alpha, float beta) {
+  for (int i = 0; i < N; i++) {
+    for (int j = 0; j <= i; j++) { C[i][j] = C[i][j] * beta; }
+    for (int k = 0; k < N; k++) {
+      for (int j = 0; j <= i; j++) {
+        C[i][j] += alpha * A[i][k] * A[j][k];
+      }
+    }
+  }
+}
+
+int main() {
+  init();
+  for (int t = 0; t < 16; t++) { kernel(1.1, 0.9); }
+  float s = 0.0;
+  for (int i = 0; i < N; i++) { s += C[i][i / 2]; }
+  return (int)s;
+}
+|}
+
+let trmm =
+  {|
+const int N = 36;
+
+float A[N][N]; float B[N][N];
+
+void init() {
+  for (int i = 0; i < N; i++) {
+    for (int j = 0; j < N; j++) {
+      A[i][j] = (float)((i * j + 1) % 13) / 13.0;
+      B[i][j] = (float)((i + 2 * j) % 7) / 7.0;
+    }
+  }
+}
+
+void kernel(float alpha) {
+  for (int i = 0; i < N; i++) {
+    for (int j = 0; j < N; j++) {
+      for (int k = i + 1; k < N; k++) {
+        B[i][j] += A[k][i] * B[k][j];
+      }
+      B[i][j] = alpha * B[i][j];
+    }
+  }
+}
+
+int main() {
+  init();
+  for (int t = 0; t < 16; t++) { kernel(1.02); }
+  float s = 0.0;
+  for (int i = 0; i < N; i++) { s += B[i][0]; }
+  return (int)s;
+}
+|}
+
+let cholesky =
+  {|
+const int N = 40;
+
+float A[N][N];
+
+void init() {
+  for (int i = 0; i < N; i++) {
+    for (int j = 0; j < N; j++) {
+      if (i == j) { A[i][j] = (float)N + 2.0; }
+      else { A[i][j] = 1.0 / (float)(1 + (i + j) % 7); }
+    }
+  }
+}
+
+float my_sqrt(float v) {
+  float g = v;
+  for (int it = 0; it < 12; it++) { g = 0.5 * (g + v / g); }
+  return g;
+}
+
+void kernel() {
+  for (int i = 0; i < N; i++) {
+    for (int j = 0; j < i; j++) {
+      for (int k = 0; k < j; k++) {
+        A[i][j] -= A[i][k] * A[j][k];
+      }
+      A[i][j] = A[i][j] / A[j][j];
+    }
+    for (int k = 0; k < i; k++) {
+      A[i][i] -= A[i][k] * A[i][k];
+    }
+    A[i][i] = my_sqrt(A[i][i]);
+  }
+}
+
+int main() {
+  init();
+  for (int t = 0; t < 20; t++) { init(); kernel(); }
+  float s = 0.0;
+  for (int i = 0; i < N; i++) { s += A[i][i]; }
+  return (int)s;
+}
+|}
+
+let gramschmidt =
+  {|
+const int N = 28;
+
+float A[N][N]; float R[N][N]; float Q[N][N];
+
+void init() {
+  for (int i = 0; i < N; i++) {
+    for (int j = 0; j < N; j++) {
+      A[i][j] = (float)(((i * 3 + j * 7) % 19) + 1) / 19.0;
+      R[i][j] = 0.0;
+      Q[i][j] = 0.0;
+    }
+  }
+}
+
+float my_sqrt(float v) {
+  float g = v;
+  for (int it = 0; it < 12; it++) { g = 0.5 * (g + v / g); }
+  return g;
+}
+
+void kernel() {
+  for (int k = 0; k < N; k++) {
+    float nrm = 0.0;
+    for (int i = 0; i < N; i++) { nrm += A[i][k] * A[i][k]; }
+    R[k][k] = my_sqrt(nrm);
+    for (int i = 0; i < N; i++) { Q[i][k] = A[i][k] / R[k][k]; }
+    for (int j = k + 1; j < N; j++) {
+      R[k][j] = 0.0;
+      for (int i = 0; i < N; i++) { R[k][j] += Q[i][k] * A[i][j]; }
+      for (int i = 0; i < N; i++) { A[i][j] = A[i][j] - Q[i][k] * R[k][j]; }
+    }
+  }
+}
+
+int main() {
+  for (int t = 0; t < 16; t++) { init(); kernel(); }
+  float s = 0.0;
+  for (int i = 0; i < N; i++) { s += R[i][i]; }
+  return (int)s;
+}
+|}
+
+let lu =
+  {|
+const int N = 36;
+
+float A[N][N];
+
+void init() {
+  for (int i = 0; i < N; i++) {
+    for (int j = 0; j < N; j++) {
+      if (i == j) { A[i][j] = (float)N * 2.0; }
+      else { A[i][j] = (float)(((i + j) % 9) + 1) / 9.0; }
+    }
+  }
+}
+
+void kernel() {
+  for (int i = 0; i < N; i++) {
+    for (int j = 0; j < i; j++) {
+      for (int k = 0; k < j; k++) { A[i][j] -= A[i][k] * A[k][j]; }
+      A[i][j] = A[i][j] / A[j][j];
+    }
+    for (int j = i; j < N; j++) {
+      for (int k = 0; k < i; k++) { A[i][j] -= A[i][k] * A[k][j]; }
+    }
+  }
+}
+
+int main() {
+  for (int t = 0; t < 24; t++) { init(); kernel(); }
+  float s = 0.0;
+  for (int i = 0; i < N; i++) { s += A[i][i]; }
+  return (int)s;
+}
+|}
+
+let trisolv =
+  {|
+const int N = 64;
+
+float L[N][N]; float x[N]; float b[N];
+
+void init() {
+  for (int i = 0; i < N; i++) {
+    b[i] = (float)(i % 17) / 17.0;
+    for (int j = 0; j <= i; j++) {
+      L[i][j] = (float)((i + j) % 11 + 1) / 11.0;
+    }
+    L[i][i] = 2.0 + (float)(i % 3);
+  }
+}
+
+void kernel() {
+  for (int i = 0; i < N; i++) {
+    x[i] = b[i];
+    for (int j = 0; j < i; j++) { x[i] -= L[i][j] * x[j]; }
+    x[i] = x[i] / L[i][i];
+  }
+}
+
+int main() {
+  init();
+  for (int t = 0; t < 240; t++) { kernel(); }
+  float s = 0.0;
+  for (int i = 0; i < N; i++) { s += x[i]; }
+  return (int)(s * 10.0);
+}
+|}
+
+let covariance =
+  {|
+const int M = 32;
+const int N = 40;
+
+float data[N][M]; float cov[M][M]; float mean[M];
+
+void init() {
+  for (int i = 0; i < N; i++) {
+    for (int j = 0; j < M; j++) {
+      data[i][j] = (float)((i * j + i + 3) % 23) / 23.0;
+    }
+  }
+}
+
+void kernel() {
+  for (int j = 0; j < M; j++) {
+    mean[j] = 0.0;
+    for (int i = 0; i < N; i++) { mean[j] += data[i][j]; }
+    mean[j] = mean[j] / (float)N;
+  }
+  for (int i = 0; i < N; i++) {
+    for (int j = 0; j < M; j++) { data[i][j] -= mean[j]; }
+  }
+  for (int i = 0; i < M; i++) {
+    for (int j = i; j < M; j++) {
+      cov[i][j] = 0.0;
+      for (int k = 0; k < N; k++) { cov[i][j] += data[k][i] * data[k][j]; }
+      cov[i][j] = cov[i][j] / (float)(N - 1);
+      cov[j][i] = cov[i][j];
+    }
+  }
+}
+
+int main() {
+  for (int t = 0; t < 20; t++) { init(); kernel(); }
+  float s = 0.0;
+  for (int i = 0; i < M; i++) { s += cov[i][i]; }
+  return (int)(s * 10.0);
+}
+|}
+
+let jacobi_2d =
+  {|
+const int N = 40;
+const int STEPS = 60;
+
+float A[N][N]; float B[N][N];
+
+void init() {
+  for (int i = 0; i < N; i++) {
+    for (int j = 0; j < N; j++) {
+      A[i][j] = (float)(i * (j + 2) % 17) / 17.0;
+      B[i][j] = A[i][j];
+    }
+  }
+}
+
+void kernel() {
+  for (int t = 0; t < STEPS; t++) {
+    for (int i = 1; i < N - 1; i++) {
+      for (int j = 1; j < N - 1; j++) {
+        B[i][j] = 0.2 * (A[i][j] + A[i][j - 1] + A[i][j + 1]
+                         + A[i + 1][j] + A[i - 1][j]);
+      }
+    }
+    for (int i = 1; i < N - 1; i++) {
+      for (int j = 1; j < N - 1; j++) {
+        A[i][j] = 0.2 * (B[i][j] + B[i][j - 1] + B[i][j + 1]
+                         + B[i + 1][j] + B[i - 1][j]);
+      }
+    }
+  }
+}
+
+int main() {
+  init();
+  for (int r = 0; r < 3; r++) { kernel(); }
+  float s = 0.0;
+  for (int i = 0; i < N; i++) { s += A[i][i]; }
+  return (int)(s * 100.0);
+}
+|}
+
+let deriche =
+  {|
+const int W = 48;
+const int H = 36;
+
+float img_in[W][H]; float img_out[W][H]; float y1[W][H]; float y2[W][H];
+
+void init() {
+  for (int i = 0; i < W; i++) {
+    for (int j = 0; j < H; j++) {
+      img_in[i][j] = (float)((313 * i + 991 * j) % 65536) / 65536.0;
+    }
+  }
+}
+
+void kernel(float a1, float a2, float b1, float b2) {
+  for (int i = 0; i < W; i++) {
+    float ym1 = 0.0;
+    float xm1 = 0.0;
+    for (int j = 0; j < H; j++) {
+      y1[i][j] = a1 * img_in[i][j] + a2 * xm1 + b1 * ym1;
+      xm1 = img_in[i][j];
+      ym1 = y1[i][j];
+    }
+  }
+  for (int i = 0; i < W; i++) {
+    float yp1 = 0.0;
+    float xp1 = 0.0;
+    for (int j = H - 1; j >= 0; j--) {
+      y2[i][j] = a2 * xp1 + b2 * yp1;
+      xp1 = img_in[i][j];
+      yp1 = y2[i][j];
+    }
+  }
+  for (int i = 0; i < W; i++) {
+    for (int j = 0; j < H; j++) {
+      img_out[i][j] = y1[i][j] + y2[i][j];
+    }
+  }
+  for (int j = 0; j < H; j++) {
+    float tm1 = 0.0;
+    float ym1 = 0.0;
+    for (int i = 0; i < W; i++) {
+      y1[i][j] = a1 * img_out[i][j] + a2 * tm1 + b1 * ym1;
+      tm1 = img_out[i][j];
+      ym1 = y1[i][j];
+    }
+  }
+  for (int j = 0; j < H; j++) {
+    float tp1 = 0.0;
+    float yp1 = 0.0;
+    for (int i = W - 1; i >= 0; i--) {
+      y2[i][j] = a2 * tp1 + b2 * yp1;
+      tp1 = img_out[i][j];
+      yp1 = y2[i][j];
+    }
+  }
+  for (int i = 0; i < W; i++) {
+    for (int j = 0; j < H; j++) {
+      img_out[i][j] = y1[i][j] + y2[i][j];
+    }
+  }
+}
+
+int main() {
+  init();
+  for (int t = 0; t < 40; t++) { kernel(0.2, 0.3, 0.25, 0.15); }
+  float s = 0.0;
+  for (int i = 0; i < W; i++) { s += img_out[i][i % H]; }
+  return (int)(s * 10.0);
+}
+|}
+
+let floyd_warshall =
+  {|
+const int N = 40;
+
+int path[N][N];
+
+void init() {
+  for (int i = 0; i < N; i++) {
+    for (int j = 0; j < N; j++) {
+      if (i == j) { path[i][j] = 0; }
+      else { path[i][j] = (i * j + i + j) % 97 + 1; }
+    }
+  }
+}
+
+void kernel() {
+  for (int k = 0; k < N; k++) {
+    for (int i = 0; i < N; i++) {
+      for (int j = 0; j < N; j++) {
+        int cur = path[i][j];
+        int alt = path[i][k] + path[k][j];
+        if (alt < cur) { cur = alt; }
+        path[i][j] = cur;
+      }
+    }
+  }
+}
+
+int main() {
+  for (int t = 0; t < 10; t++) { init(); kernel(); }
+  int s = 0;
+  for (int i = 0; i < N; i++) { s += path[i][N - 1 - i]; }
+  return s % 1000;
+}
+|}
+
+let all =
+  [ "3mm", three_mm;
+    "atax", atax;
+    "bicg", bicg;
+    "doitgen", doitgen;
+    "mvt", mvt;
+    "symm", symm;
+    "syrk", syrk;
+    "trmm", trmm;
+    "cholesky", cholesky;
+    "gramschmidt", gramschmidt;
+    "lu", lu;
+    "trisolv", trisolv;
+    "covariance", covariance;
+    "jacobi-2d", jacobi_2d;
+    "deriche", deriche;
+    "floyd-warshall", floyd_warshall ]

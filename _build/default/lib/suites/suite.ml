@@ -1,0 +1,27 @@
+type benchmark = {
+  name : string;
+  suite : string;
+  source : string;
+}
+
+let make suite (name, source) = { name; suite; source }
+
+let all =
+  List.map (make "PolyBench") Polybench.all
+  @ List.map (make "MachSuite") Machsuite.all
+  @ List.map (make "MediaBench") Mediabench.all
+  @ List.map (make "CoreMark-Pro") Coremark.all
+
+let find name = List.find_opt (fun b -> String.equal b.name name) all
+
+let find_exn name =
+  match find name with
+  | Some b -> b
+  | None -> invalid_arg ("Suite.find_exn: unknown benchmark " ^ name)
+
+let names = List.map (fun b -> b.name) all
+
+(* The four benchmarks (one per suite) whose Pareto fronts Fig. 6 plots. *)
+let fig6 = [ "3mm"; "fft"; "epic"; "nnet-test" ]
+
+let compile b = Cayman_frontend.Lower.compile b.source

@@ -1,0 +1,1 @@
+test/main.ml: Alcotest Test_analysis Test_cache_dse Test_e2e Test_frontend Test_hls Test_ifconv Test_ir Test_merge Test_netlist Test_random Test_scev Test_select Test_sim Test_suites

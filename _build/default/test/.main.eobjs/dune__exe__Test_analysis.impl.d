@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Cayman_analysis Cayman_frontend Cayman_ir Cayman_suites Hashtbl List Printf String Testutil

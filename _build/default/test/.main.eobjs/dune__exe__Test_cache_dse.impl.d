@@ -1,0 +1,1 @@
+test/test_cache_dse.ml: Alcotest Cayman_analysis Cayman_frontend Cayman_hls Cayman_ir Cayman_sim Hashtbl List Option Testutil

@@ -1,0 +1,1 @@
+test/test_e2e.ml: Alcotest Cayman_frontend Cayman_hls Cayman_suites Core Float List Printf

@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Cayman_frontend Cayman_ir List Testutil

@@ -1,0 +1,1 @@
+test/test_hls.ml: Alcotest Array Cayman_analysis Cayman_frontend Cayman_hls Cayman_ir Cayman_sim Hashtbl List Option Printf Testutil

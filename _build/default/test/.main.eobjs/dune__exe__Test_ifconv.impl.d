@@ -1,0 +1,1 @@
+test/test_ifconv.ml: Alcotest Cayman_analysis Cayman_frontend Cayman_hls Cayman_ir Cayman_sim Cayman_suites Core List

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Cayman_ir Format List Option Testutil

@@ -1,0 +1,1 @@
+test/test_merge.ml: Alcotest Cayman_hls Cayman_ir Cayman_suites Core List Printf

@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Cayman_analysis Cayman_frontend Cayman_hls Cayman_ir Cayman_sim Cayman_suites Core Hashtbl List Option Printf String Testutil

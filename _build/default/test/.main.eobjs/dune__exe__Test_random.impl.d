@@ -1,0 +1,1 @@
+test/test_random.ml: Buffer Cayman_analysis Cayman_frontend Cayman_hls Cayman_ir Cayman_sim Core List Printf QCheck String Testutil

@@ -1,0 +1,1 @@
+test/test_scev.ml: Alcotest Cayman_analysis Cayman_ir List String Testutil

@@ -1,0 +1,1 @@
+test/test_select.ml: Alcotest Cayman_analysis Cayman_baselines Cayman_hls Cayman_suites Core Float Hashtbl List Printf QCheck Testutil

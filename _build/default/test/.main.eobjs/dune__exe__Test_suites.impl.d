@@ -1,0 +1,1 @@
+test/test_suites.ml: Alcotest Cayman_analysis Cayman_frontend Cayman_ir Cayman_sim Cayman_suites List String

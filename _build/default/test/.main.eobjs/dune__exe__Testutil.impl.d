@@ -1,0 +1,1 @@
+test/testutil.ml: Alcotest Cayman_frontend Cayman_hls Cayman_sim Hashtbl QCheck QCheck_alcotest String

@@ -1,0 +1,16 @@
+let () =
+  Alcotest.run "cayman"
+    [ "ir", Test_ir.tests;
+      "frontend", Test_frontend.tests;
+      "analysis", Test_analysis.tests;
+      "scev", Test_scev.tests;
+      "ifconv", Test_ifconv.tests;
+      "sim", Test_sim.tests;
+      "hls", Test_hls.tests;
+      "select", Test_select.tests;
+      "merge", Test_merge.tests;
+      "netlist", Test_netlist.tests;
+      "random", Test_random.tests;
+      "cache-dse", Test_cache_dse.tests;
+      "suites", Test_suites.tests;
+      "e2e", Test_e2e.tests ]

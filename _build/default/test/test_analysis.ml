@@ -1,0 +1,250 @@
+(* Tests for the CFG analyses: dominance, loops, SESE regions / PST,
+   wPST, liveness. *)
+
+module Ir = Cayman_ir
+module An = Cayman_analysis
+
+(* A diamond CFG with a loop around it:
+     entry -> head
+     head -> a | exit
+     a -> b | c ;  b -> join ; c -> join ; join -> head (latch)
+*)
+let diamond_loop_func () =
+  let reg = Ir.Instr.reg in
+  let c = reg "c" Ir.Types.Bool in
+  let i = reg "i" Ir.Types.I32 in
+  let block label instrs term = Ir.Block.v ~label ~instrs ~term in
+  Ir.Func.v ~name:"main" ~params:[] ~ret:None
+    ~blocks:
+      [ block "entry"
+          [ Ir.Instr.Assign (i, Ir.Instr.Imm_int 0) ]
+          (Ir.Instr.Jump "head");
+        block "head"
+          [ Ir.Instr.Compare (c, Ir.Op.Lt, Ir.Instr.Reg i, Ir.Instr.Imm_int 10) ]
+          (Ir.Instr.Branch (Ir.Instr.Reg c, "a", "exit"));
+        block "a"
+          [ Ir.Instr.Compare (c, Ir.Op.Eq, Ir.Instr.Reg i, Ir.Instr.Imm_int 3) ]
+          (Ir.Instr.Branch (Ir.Instr.Reg c, "b", "cc"));
+        block "b" [] (Ir.Instr.Jump "join");
+        block "cc" [] (Ir.Instr.Jump "join");
+        block "join"
+          [ Ir.Instr.Binary (i, Ir.Op.Add, Ir.Instr.Reg i, Ir.Instr.Imm_int 1) ]
+          (Ir.Instr.Jump "head");
+        block "exit" [] (Ir.Instr.Return None) ]
+
+let test_dominators () =
+  let f = diamond_loop_func () in
+  let dom = An.Dominance.dominators f in
+  let idom l = An.Dominance.idom dom l in
+  Alcotest.(check (option string)) "idom head" (Some "entry") (idom "head");
+  Alcotest.(check (option string)) "idom a" (Some "head") (idom "a");
+  Alcotest.(check (option string)) "idom b" (Some "a") (idom "b");
+  Alcotest.(check (option string)) "idom join" (Some "a") (idom "join");
+  Alcotest.(check (option string)) "idom exit" (Some "head") (idom "exit");
+  Alcotest.(check (option string)) "entry has no idom" None (idom "entry");
+  Alcotest.(check bool) "entry dominates all" true
+    (List.for_all (An.Dominance.dominates dom "entry") (Ir.Func.labels f));
+  Alcotest.(check bool) "dominance is reflexive" true
+    (An.Dominance.dominates dom "a" "a");
+  Alcotest.(check bool) "b does not dominate join" false
+    (An.Dominance.dominates dom "b" "join")
+
+let test_postdominators () =
+  let f = diamond_loop_func () in
+  let pdom = An.Dominance.postdominators f in
+  Alcotest.(check bool) "exit postdominates head" true
+    (An.Dominance.dominates pdom "exit" "head");
+  Alcotest.(check bool) "join postdominates a" true
+    (An.Dominance.dominates pdom "join" "a");
+  Alcotest.(check bool) "b does not postdominate a" false
+    (An.Dominance.dominates pdom "b" "a")
+
+let test_natural_loops () =
+  let f = diamond_loop_func () in
+  let dom = An.Dominance.dominators f in
+  let loops = An.Loops.find f dom in
+  Alcotest.(check int) "one loop" 1 (List.length loops);
+  let l = List.hd loops in
+  Alcotest.(check string) "header" "head" l.An.Loops.header;
+  Alcotest.(check (list string)) "latches" [ "join" ] l.An.Loops.latches;
+  Alcotest.(check int) "loop blocks" 5
+    (An.Loops.String_set.cardinal l.An.Loops.blocks);
+  Alcotest.(check (option string)) "preheader" (Some "entry")
+    l.An.Loops.preheader;
+  Alcotest.(check bool) "exit edge head->exit" true
+    (List.mem ("head", "exit") l.An.Loops.exits);
+  Alcotest.(check bool) "innermost" true (An.Loops.is_innermost loops l)
+
+let test_nested_loops () =
+  let _, res, program =
+    Testutil.compile_run
+      {|const int N = 4;
+        int a[N];
+        int main() {
+          for (int i = 0; i < N; i++) {
+            for (int j = 0; j < N; j++) { a[j] = i + j; }
+          }
+          return a[0];
+        }|}
+  in
+  ignore res;
+  let f = Ir.Program.func_exn program "main" in
+  let dom = An.Dominance.dominators f in
+  let loops = An.Loops.find f dom in
+  Alcotest.(check int) "two loops" 2 (List.length loops);
+  let inner =
+    List.find (fun l -> An.Loops.is_innermost loops l) loops
+  in
+  let outer =
+    List.find (fun l -> not (An.Loops.is_innermost loops l)) loops
+  in
+  Alcotest.(check (option string)) "inner parent" (Some outer.An.Loops.header)
+    inner.An.Loops.parent;
+  Alcotest.(check int) "outer depth" 1 (An.Loops.depth loops outer);
+  Alcotest.(check int) "inner depth" 2 (An.Loops.depth loops inner)
+
+(* PST invariants checked on every suite benchmark's functions:
+   1. children of a region are disjoint and contained in the parent;
+   2. every block of a region is covered by exactly one child (partition),
+      counting bb leaves;
+   3. ids are unique. *)
+let check_pst_invariants (f : Ir.Func.t) =
+  let root = An.Region.pst f in
+  let ids = Hashtbl.create 64 in
+  An.Region.iter
+    (fun r ->
+      if Hashtbl.mem ids r.An.Region.id then
+        Alcotest.failf "duplicate region id %d in %s" r.An.Region.id
+          f.Ir.Func.name;
+      Hashtbl.replace ids r.An.Region.id ())
+    root;
+  An.Region.iter
+    (fun r ->
+      match r.An.Region.kind with
+      | An.Region.Basic_block -> ()
+      | An.Region.Whole_function | An.Region.Loop_region | An.Region.Cond_region ->
+        let covered = ref An.Region.String_set.empty in
+        List.iter
+          (fun c ->
+            if
+              not
+                (An.Region.String_set.subset c.An.Region.blocks
+                   r.An.Region.blocks)
+            then
+              Alcotest.failf "%s: child %s escapes parent %s" f.Ir.Func.name
+                (An.Region.name c) (An.Region.name r);
+            if
+              not
+                (An.Region.String_set.is_empty
+                   (An.Region.String_set.inter !covered c.An.Region.blocks))
+            then
+              Alcotest.failf "%s: overlapping children under %s"
+                f.Ir.Func.name (An.Region.name r);
+            covered := An.Region.String_set.union !covered c.An.Region.blocks)
+          r.An.Region.children;
+        if not (An.Region.String_set.equal !covered r.An.Region.blocks) then
+          Alcotest.failf "%s: children of %s do not cover it" f.Ir.Func.name
+            (An.Region.name r))
+    root
+
+let test_pst_invariants_suite () =
+  List.iter
+    (fun (b : Cayman_suites.Suite.benchmark) ->
+      let program = Cayman_suites.Suite.compile b in
+      List.iter check_pst_invariants program.Ir.Program.funcs)
+    Cayman_suites.Suite.all
+
+let test_pst_loop_kinds () =
+  let program =
+    Cayman_frontend.Lower.compile
+      {|const int N = 4;
+        int a[N];
+        int main() {
+          for (int i = 0; i < N; i++) { a[i] = i; }
+          if (a[0] > 1) { a[1] = 0; } else { a[2] = 0; }
+          return a[1];
+        }|}
+  in
+  let f = Ir.Program.func_exn program "main" in
+  let root = An.Region.pst f in
+  let kinds = ref [] in
+  An.Region.iter (fun r -> kinds := r.An.Region.kind :: !kinds) root;
+  Alcotest.(check bool) "has a loop region" true
+    (List.mem An.Region.Loop_region !kinds);
+  Alcotest.(check bool) "has a cond region" true
+    (List.mem An.Region.Cond_region !kinds);
+  Alcotest.(check bool) "has bb regions" true
+    (List.mem An.Region.Basic_block !kinds)
+
+let test_wpst_reachability () =
+  let program =
+    Cayman_frontend.Lower.compile
+      {|int used() { return 1; }
+        int dead() { return 2; }
+        int main() { return used(); }|}
+  in
+  let names = An.Wpst.reachable_funcs program in
+  Alcotest.(check (list string)) "main first, dead excluded"
+    [ "main"; "used" ] names;
+  let wpst = An.Wpst.build program in
+  Alcotest.(check int) "two function trees" 2 (List.length wpst.An.Wpst.funcs);
+  Alcotest.(check bool) "region lookup works" true
+    (An.Wpst.region wpst { An.Wpst.vfunc = "main"; vid = 0 } <> None)
+
+let test_liveness () =
+  let f = diamond_loop_func () in
+  let live = An.Liveness.compute f in
+  (* i is live around the loop: live into head, a, join. *)
+  List.iter
+    (fun label ->
+      Alcotest.(check bool)
+        ("i live into " ^ label)
+        true
+        (An.Liveness.String_set.mem "i" (An.Liveness.live_in live label)))
+    [ "head"; "a"; "join" ];
+  Alcotest.(check bool) "i dead into exit" false
+    (An.Liveness.String_set.mem "i" (An.Liveness.live_in live "exit"));
+  Alcotest.(check bool) "c not live into entry" false
+    (An.Liveness.String_set.mem "c" (An.Liveness.live_in live "entry"))
+
+(* Dominance sanity on every suite benchmark: entry dominates all
+   reachable blocks; idom depth decreases. *)
+let test_dominance_suite_properties () =
+  List.iter
+    (fun name ->
+      let b = Cayman_suites.Suite.find_exn name in
+      let program = Cayman_suites.Suite.compile b in
+      List.iter
+        (fun (f : Ir.Func.t) ->
+          let dom = An.Dominance.dominators f in
+          let entry = (Ir.Func.entry f).Ir.Block.label in
+          List.iter
+            (fun l ->
+              if An.Dominance.reachable dom l then begin
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s/%s entry dominates %s" name
+                     f.Ir.Func.name l)
+                  true
+                  (An.Dominance.dominates dom entry l);
+                match An.Dominance.idom dom l with
+                | Some p ->
+                  Alcotest.(check bool) "idom strictly dominates" true
+                    (An.Dominance.dominates dom p l && not (String.equal p l))
+                | None -> ()
+              end)
+            (Ir.Func.labels f))
+        program.Ir.Program.funcs)
+    [ "3mm"; "nw"; "zip-test"; "fft" ]
+
+let tests =
+  [ Alcotest.test_case "dominators on diamond loop" `Quick test_dominators;
+    Alcotest.test_case "postdominators" `Quick test_postdominators;
+    Alcotest.test_case "natural loop detection" `Quick test_natural_loops;
+    Alcotest.test_case "nested loop structure" `Quick test_nested_loops;
+    Alcotest.test_case "PST invariants on all 28 benchmarks" `Slow
+      test_pst_invariants_suite;
+    Alcotest.test_case "PST region kinds" `Quick test_pst_loop_kinds;
+    Alcotest.test_case "wPST reachability" `Quick test_wpst_reachability;
+    Alcotest.test_case "liveness on diamond loop" `Quick test_liveness;
+    Alcotest.test_case "dominance properties on benchmarks" `Quick
+      test_dominance_suite_properties ]

@@ -1,0 +1,404 @@
+(* Tests for the accelerator model: DFGs, scheduling, pipelining, and the
+   kernel estimator. *)
+
+module Ir = Cayman_ir
+module An = Cayman_analysis
+module Sim = Cayman_sim
+module Hls = Cayman_hls
+
+let compile_ctx src fname =
+  let program = Cayman_frontend.Lower.compile src in
+  let res = Sim.Interp.run program in
+  let ctxs = Hls.Ctx.for_program program res.Sim.Interp.profile in
+  Hashtbl.find ctxs fname
+
+(* The innermost (first) loop region of a function's PST. *)
+let first_loop_region (ctx : Hls.Ctx.t) =
+  let root = An.Region.pst ctx.Hls.Ctx.func in
+  let found = ref None in
+  An.Region.iter
+    (fun r ->
+      if r.An.Region.kind = An.Region.Loop_region && !found = None then
+        found := Some r)
+    root;
+  match !found with
+  | Some r -> r
+  | None -> Alcotest.fail "no loop region"
+
+(* --- DFG --- *)
+
+let mac_src =
+  {|const int N = 64;
+    float a[N]; float b[N]; float out[1];
+    void kernel() {
+      float acc = 0.0;
+      for (int i = 0; i < N; i++) { acc += a[i] * b[i]; }
+      out[0] = acc;
+    }
+    int main() {
+      for (int i = 0; i < N; i++) { a[i] = 1.0; b[i] = 0.5; }
+      for (int t = 0; t < 4; t++) { kernel(); }
+      return (int)out[0];
+    }|}
+
+let body_dfg ctx =
+  let region = first_loop_region ctx in
+  let body =
+    An.Region.String_set.elements region.An.Region.blocks
+    |> List.find (fun l -> Testutil.contains l "body")
+  in
+  Hls.Ctx.dfg ctx body
+
+let test_dfg_structure () =
+  let ctx = compile_ctx mac_src "kernel" in
+  let dfg = body_dfg ctx in
+  Alcotest.(check int) "two memory nodes" 2
+    (List.length (Hls.Dfg.mem_nodes dfg));
+  Alcotest.(check bool) "no calls" false (Hls.Dfg.has_call dfg);
+  let units = Hls.Dfg.unit_counts dfg in
+  Alcotest.(check (option int)) "one fmul" (Some 1)
+    (List.assoc_opt Ir.Op.U_float_mul units);
+  Alcotest.(check (option int)) "one fadd" (Some 1)
+    (List.assoc_opt Ir.Op.U_float_add units);
+  (* acc is a live-in of the body *)
+  Alcotest.(check bool) "acc is live-in" true
+    (Hashtbl.fold
+       (fun rid _ acc -> acc || Testutil.contains rid "acc")
+       dfg.Hls.Dfg.live_in_uses false)
+
+let test_dfg_dependencies_respected () =
+  (* in the schedule, every node issues at or after its predecessors'
+     issue and no earlier than their finish when crossing cycles *)
+  let ctx = compile_ctx mac_src "kernel" in
+  let dfg = body_dfg ctx in
+  let sched = Hls.Schedule.run dfg ~iface:(fun _ -> Hls.Iface.Coupled) in
+  Array.iteri
+    (fun i preds ->
+      List.iter
+        (fun p ->
+          Alcotest.(check bool)
+            (Printf.sprintf "node %d after pred %d" i p)
+            true
+            (sched.Hls.Schedule.finish_cycle.(i)
+             >= sched.Hls.Schedule.issue_cycle.(p)))
+        preds)
+    dfg.Hls.Dfg.preds
+
+let test_memory_ordering () =
+  (* store then load on the same array must keep order in the DFG *)
+  let src =
+    {|const int N = 8;
+      float a[N];
+      void kernel() {
+        for (int i = 1; i < N; i++) {
+          a[i] = a[i] + 1.0;
+          a[i - 1] = a[i] * 2.0;
+        }
+      }
+      int main() {
+        for (int i = 0; i < N; i++) { a[i] = 1.0; }
+        kernel();
+        return (int)a[0];
+      }|}
+  in
+  let ctx = compile_ctx src "kernel" in
+  let dfg = body_dfg ctx in
+  let mem = Hls.Dfg.mem_nodes dfg in
+  (* the later load depends (transitively) on the earlier store *)
+  let stores =
+    List.filter
+      (fun i ->
+        match dfg.Hls.Dfg.instrs.(i) with
+        | Ir.Instr.Store _ -> true
+        | _ -> false)
+      mem
+  in
+  Alcotest.(check int) "two stores" 2 (List.length stores);
+  let first_store = List.hd stores in
+  let later_loads =
+    List.filter
+      (fun i ->
+        i > first_store
+        &&
+        match dfg.Hls.Dfg.instrs.(i) with
+        | Ir.Instr.Load _ -> true
+        | _ -> false)
+      mem
+  in
+  List.iter
+    (fun ld ->
+      let rec reaches n =
+        n = first_store || List.exists reaches dfg.Hls.Dfg.preds.(n)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "load %d ordered after store %d" ld first_store)
+        true (reaches ld))
+    later_loads
+
+(* --- scheduling --- *)
+
+let test_chaining_packs_cheap_ops () =
+  (* a chain of 4 int adds fits in far fewer cycles than 4 *)
+  let src =
+    {|const int N = 4;
+      int a[N];
+      void kernel(int x) {
+        for (int i = 0; i < N; i++) {
+          a[i] = x + 1 + i + x + i;
+        }
+      }
+      int main() { kernel(3); return a[1]; }|}
+  in
+  let ctx = compile_ctx src "kernel" in
+  let dfg = body_dfg ctx in
+  let sched = Hls.Schedule.run dfg ~iface:(fun _ -> Hls.Iface.Scratchpad) in
+  Alcotest.(check bool) "chained adds take <= 4 cycles" true
+    (sched.Hls.Schedule.length <= 4)
+
+let test_interface_latency_ordering () =
+  (* block latency: scan >= coupled >= decoupled >= scratchpad *)
+  let ctx = compile_ctx mac_src "kernel" in
+  let dfg = body_dfg ctx in
+  let len k = (Hls.Schedule.run dfg ~iface:(fun _ -> k)).Hls.Schedule.length in
+  let scan = len Hls.Iface.Scan in
+  let coupled = len Hls.Iface.Coupled in
+  let decoupled = len Hls.Iface.Decoupled in
+  let scratchpad = len Hls.Iface.Scratchpad in
+  Alcotest.(check bool) "scan slowest" true (scan >= coupled);
+  Alcotest.(check bool) "coupled >= decoupled" true (coupled >= decoupled);
+  Alcotest.(check bool) "decoupled >= scratchpad" true
+    (decoupled >= scratchpad)
+
+let test_coupled_port_serializes () =
+  (* with one shared port, many loads serialize: latency grows with the
+     number of coupled accesses *)
+  let src =
+    {|const int N = 16;
+      float a[N]; float o[N];
+      void kernel() {
+        for (int i = 4; i < N - 4; i++) {
+          o[i] = a[i - 2] + a[i - 1] + a[i] + a[i + 1] + a[i + 2];
+        }
+      }
+      int main() {
+        for (int i = 0; i < N; i++) { a[i] = 1.0; }
+        kernel();
+        return (int)o[5];
+      }|}
+  in
+  let ctx = compile_ctx src "kernel" in
+  let dfg = body_dfg ctx in
+  let coupled =
+    (Hls.Schedule.run dfg ~iface:(fun _ -> Hls.Iface.Coupled)).Hls.Schedule.length
+  in
+  let decoupled =
+    (Hls.Schedule.run dfg ~iface:(fun _ -> Hls.Iface.Decoupled)).Hls.Schedule.length
+  in
+  Alcotest.(check bool) "5 loads serialize on the coupled port" true
+    (coupled >= decoupled + 4)
+
+(* --- pipelining --- *)
+
+let test_rec_mii_accumulator () =
+  let ctx = compile_ctx mac_src "kernel" in
+  let dfg = body_dfg ctx in
+  let loop =
+    List.find
+      (fun (l : An.Loops.loop) -> An.Loops.is_innermost ctx.Hls.Ctx.loops l)
+      ctx.Hls.Ctx.loops
+  in
+  let mii =
+    Hls.Pipeline.rec_mii ctx dfg ~iface:(fun _ -> Hls.Iface.Decoupled) loop
+  in
+  (* the acc += ... recurrence is one float add: latency 2 cycles *)
+  Alcotest.(check int) "RecMII = fadd latency"
+    (Hls.Tech.latency_cycles Ir.Op.U_float_add) mii
+
+let test_res_mii_scaling () =
+  let ctx = compile_ctx mac_src "kernel" in
+  let dfg = body_dfg ctx in
+  let coupled = fun _ -> Hls.Iface.Coupled in
+  let m1 = Hls.Pipeline.res_mii dfg ~iface:coupled ~unroll:1 ~sp_banks:1 in
+  let m4 = Hls.Pipeline.res_mii dfg ~iface:coupled ~unroll:4 ~sp_banks:1 in
+  Alcotest.(check int) "coupled ResMII scales with unroll" (4 * m1) m4;
+  let sp = fun _ -> Hls.Iface.Scratchpad in
+  let s1 = Hls.Pipeline.res_mii dfg ~iface:sp ~unroll:1 ~sp_banks:1 in
+  let s4 = Hls.Pipeline.res_mii dfg ~iface:sp ~unroll:4 ~sp_banks:4 in
+  Alcotest.(check int) "banked scratchpad ResMII stays flat" s1 s4;
+  let d = fun _ -> Hls.Iface.Decoupled in
+  Alcotest.(check int) "decoupled ResMII is 1" 1
+    (Hls.Pipeline.res_mii dfg ~iface:d ~unroll:8 ~sp_banks:1)
+
+(* --- kernel estimation --- *)
+
+let test_estimate_basic () =
+  let ctx = compile_ctx mac_src "kernel" in
+  let region = first_loop_region ctx in
+  let config =
+    { Hls.Kernel.unroll = 1; pipeline = true; mode = Hls.Kernel.Heuristic }
+  in
+  match Hls.Kernel.estimate ctx region config with
+  | None -> Alcotest.fail "estimate must succeed"
+  | Some p ->
+    Alcotest.(check bool) "positive cycles" true (p.Hls.Kernel.accel_cycles > 0.0);
+    Alcotest.(check bool) "positive area" true (p.Hls.Kernel.area > 0.0);
+    Alcotest.(check int) "one pipelined region" 1 p.Hls.Kernel.n_pipelined;
+    Alcotest.(check int) "4 invocations" 4 p.Hls.Kernel.invocations;
+    Alcotest.(check bool) "has datapath units" true (p.Hls.Kernel.units <> [])
+
+let test_pipeline_beats_sequential () =
+  let ctx = compile_ctx mac_src "kernel" in
+  let region = first_loop_region ctx in
+  let est pipeline =
+    match
+      Hls.Kernel.estimate ctx region
+        { Hls.Kernel.unroll = 1; pipeline; mode = Hls.Kernel.Heuristic }
+    with
+    | Some p -> p.Hls.Kernel.accel_cycles
+    | None -> Alcotest.fail "estimate failed"
+  in
+  Alcotest.(check bool) "pipelined is faster" true (est true < est false)
+
+let test_coupled_only_not_faster () =
+  let ctx = compile_ctx mac_src "kernel" in
+  let region = first_loop_region ctx in
+  let est mode =
+    match
+      Hls.Kernel.estimate ctx region
+        { Hls.Kernel.unroll = 1; pipeline = true; mode }
+    with
+    | Some p -> p.Hls.Kernel.accel_cycles
+    | None -> Alcotest.fail "estimate failed"
+  in
+  Alcotest.(check bool) "heuristic <= coupled-only" true
+    (est Hls.Kernel.Heuristic <= est Hls.Kernel.Coupled_only);
+  Alcotest.(check bool) "coupled-only <= scan-only" true
+    (est Hls.Kernel.Coupled_only <= est Hls.Kernel.Scan_only)
+
+let test_region_with_call_rejected () =
+  let src =
+    {|const int N = 8;
+      float a[N];
+      float helper(float x) { return x * 2.0; }
+      void kernel() {
+        for (int i = 0; i < N; i++) { a[i] = helper(a[i]); }
+      }
+      int main() {
+        for (int i = 0; i < N; i++) { a[i] = 1.0; }
+        kernel();
+        return (int)a[0];
+      }|}
+  in
+  let ctx = compile_ctx src "kernel" in
+  let region = first_loop_region ctx in
+  Alcotest.(check bool) "region with call has no design points" true
+    (Hls.Kernel.estimate ctx region
+       { Hls.Kernel.unroll = 1; pipeline = true; mode = Hls.Kernel.Heuristic }
+     = None)
+
+let test_unroll_blocked_by_carried_dep () =
+  (* the MAC loop has an accumulator: unroll must silently stay at 1, so
+     u=4 and u=1 give identical unit counts *)
+  let ctx = compile_ctx mac_src "kernel" in
+  let region = first_loop_region ctx in
+  let units u =
+    match
+      Hls.Kernel.estimate ctx region
+        { Hls.Kernel.unroll = u; pipeline = true; mode = Hls.Kernel.Heuristic }
+    with
+    | Some p -> p.Hls.Kernel.units
+    | None -> Alcotest.fail "estimate failed"
+  in
+  Alcotest.(check bool) "no replication under carried dep" true
+    (units 1 = units 4)
+
+let test_unroll_replicates_dep_free_loop () =
+  let src =
+    {|const int N = 64;
+      float a[N]; float b[N];
+      void kernel() {
+        for (int i = 0; i < N; i++) { b[i] = a[i] * 2.0 + 1.0; }
+      }
+      int main() {
+        for (int i = 0; i < N; i++) { a[i] = 1.0; }
+        for (int t = 0; t < 4; t++) { kernel(); }
+        return (int)b[0];
+      }|}
+  in
+  let ctx = compile_ctx src "kernel" in
+  let region = first_loop_region ctx in
+  let point u =
+    match
+      Hls.Kernel.estimate ctx region
+        { Hls.Kernel.unroll = u; pipeline = true; mode = Hls.Kernel.Heuristic }
+    with
+    | Some p -> p
+    | None -> Alcotest.fail "estimate failed"
+  in
+  let p1 = point 1 and p4 = point 4 in
+  let count p k = Option.value (List.assoc_opt k p.Hls.Kernel.units) ~default:0 in
+  Alcotest.(check int) "fmul replicated x4"
+    (4 * count p1 Ir.Op.U_float_mul)
+    (count p4 Ir.Op.U_float_mul);
+  Alcotest.(check bool) "unrolled area larger" true
+    (p4.Hls.Kernel.area > p1.Hls.Kernel.area);
+  Alcotest.(check bool) "unrolled not slower" true
+    (p4.Hls.Kernel.accel_cycles <= p1.Hls.Kernel.accel_cycles)
+
+let test_tech_sanity () =
+  Alcotest.(check bool) "fdiv slower than fadd" true
+    (Hls.Tech.delay_ns Ir.Op.U_float_div > Hls.Tech.delay_ns Ir.Op.U_float_add);
+  Alcotest.(check bool) "fmul bigger than int add" true
+    (Hls.Tech.area Ir.Op.U_float_mul > Hls.Tech.area Ir.Op.U_int_add);
+  Alcotest.(check int) "sub-cycle op takes 1 cycle" 1
+    (Hls.Tech.latency_cycles Ir.Op.U_int_add);
+  Alcotest.(check (float 1e-9)) "frequency is 500 MHz" 0.5e9
+    Hls.Tech.accel_freq_hz;
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (Ir.Op.unit_kind_to_string k ^ " positive tables")
+        true
+        (Hls.Tech.delay_ns k > 0.0 && Hls.Tech.area k > 0.0
+         && Hls.Tech.latency_cycles k >= 1))
+    Ir.Op.all_unit_kinds
+
+let test_saved_seconds_sign () =
+  let ctx = compile_ctx mac_src "kernel" in
+  let region = first_loop_region ctx in
+  match
+    Hls.Kernel.estimate ctx region
+      { Hls.Kernel.unroll = 1; pipeline = true; mode = Hls.Kernel.Heuristic }
+  with
+  | Some p ->
+    Alcotest.(check bool) "pipelined MAC saves time" true
+      (Hls.Kernel.saved_seconds p > 0.0)
+  | None -> Alcotest.fail "estimate failed"
+
+let tests =
+  [ Alcotest.test_case "DFG structure" `Quick test_dfg_structure;
+    Alcotest.test_case "schedule respects dependencies" `Quick
+      test_dfg_dependencies_respected;
+    Alcotest.test_case "memory ordering in DFG" `Quick test_memory_ordering;
+    Alcotest.test_case "chaining packs cheap ops" `Quick
+      test_chaining_packs_cheap_ops;
+    Alcotest.test_case "interface latency ordering" `Quick
+      test_interface_latency_ordering;
+    Alcotest.test_case "coupled port serializes" `Quick
+      test_coupled_port_serializes;
+    Alcotest.test_case "RecMII of accumulator" `Quick test_rec_mii_accumulator;
+    Alcotest.test_case "ResMII scaling" `Quick test_res_mii_scaling;
+    Alcotest.test_case "kernel estimate basics" `Quick test_estimate_basic;
+    Alcotest.test_case "pipelining beats sequential" `Quick
+      test_pipeline_beats_sequential;
+    Alcotest.test_case "interface modes ordered" `Quick
+      test_coupled_only_not_faster;
+    Alcotest.test_case "calls reject synthesis" `Quick
+      test_region_with_call_rejected;
+    Alcotest.test_case "carried dep blocks unroll" `Quick
+      test_unroll_blocked_by_carried_dep;
+    Alcotest.test_case "unroll replicates datapath" `Quick
+      test_unroll_replicates_dep_free_loop;
+    Alcotest.test_case "tech table sanity" `Quick test_tech_sanity;
+    Alcotest.test_case "saved seconds positive for MAC" `Quick
+      test_saved_seconds_sign ]

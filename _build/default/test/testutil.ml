@@ -1,0 +1,46 @@
+(* Shared helpers for the test suites. *)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec scan i =
+    if i + nn > nh then false
+    else if String.equal (String.sub haystack i nn) needle then true
+    else scan (i + 1)
+  in
+  nn = 0 || scan 0
+
+(* Compile MiniC and run it, returning the int exit value and the
+   interpreter result. *)
+let compile_run ?fuel src =
+  let program = Cayman_frontend.Lower.compile src in
+  let res = Cayman_sim.Interp.run ?fuel program in
+  let value =
+    match res.Cayman_sim.Interp.return_value with
+    | Some (Cayman_sim.Value.Vint n) -> n
+    | Some (Cayman_sim.Value.Vfloat _ | Cayman_sim.Value.Vbool _) | None ->
+      Alcotest.fail "main must return an int"
+  in
+  value, res, program
+
+(* Compile MiniC, run main, and check its integer return value. *)
+let check_main_returns name src expected =
+  let value, _, _ = compile_run src in
+  Alcotest.(check int) name expected value
+
+let expect_frontend_error name src =
+  match Cayman_frontend.Lower.compile src with
+  | _ -> Alcotest.failf "%s: expected a frontend error" name
+  | exception Cayman_frontend.Lower.Error _ -> ()
+
+(* First function with the given name, with its analyses. *)
+let func_ctx program res name =
+  let ctxs =
+    Cayman_hls.Ctx.for_program program res.Cayman_sim.Interp.profile
+  in
+  match Hashtbl.find_opt ctxs name with
+  | Some ctx -> ctx
+  | None -> Alcotest.failf "no context for function %s" name
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count ~name gen prop)
