@@ -24,16 +24,17 @@ let budgets = [ 0.25; 0.65 ]
 
 type method_run = {
   m_frontier : Core.Solution.t list;
-  m_runtime : float;
+  m_runtime : float;  (* wall-clock seconds; [Sys.time] is CPU time and
+                         over-reports under the parallel engine *)
 }
 
 let run_gen (gen : Core.Select.accel_gen) (a : Core.Cayman.analyzed) =
-  let t0 = Sys.time () in
-  let frontier, _ =
-    Core.Select.select ~gen a.Core.Cayman.ctxs a.Core.Cayman.wpst
-      a.Core.Cayman.profile
+  let (frontier, _), m_runtime =
+    Engine.Clock.timed (fun () ->
+        Core.Select.select ~gen a.Core.Cayman.ctxs a.Core.Cayman.wpst
+          a.Core.Cayman.profile)
   in
-  { m_frontier = frontier; m_runtime = Sys.time () -. t0 }
+  { m_frontier = frontier; m_runtime }
 
 type eval = {
   bench : Suite.benchmark;
@@ -282,6 +283,9 @@ let table2_row (e : eval) =
     r_cells = cells;
     r_runtime = e.full.m_runtime +. e.coupled.m_runtime }
 
+(* Selection runtimes are wall-clock measurements and vary run to run,
+   so they go to stderr: stdout stays byte-identical for any
+   CAYMAN_JOBS value (the engine's determinism contract). *)
 let print_table2_header () =
   Printf.printf "%-26s %-12s" "benchmark" "suite";
   List.iter
@@ -290,8 +294,8 @@ let print_table2_header () =
         " | x/NOVIA x/QsCor  #SB  #PR   #C   #D   #S save%% (@%.0f%%)"
         (100.0 *. b))
     budgets;
-  Printf.printf " | runtime(s)\n";
-  Printf.printf "%s\n" (String.make 160 '-')
+  Printf.printf "\n";
+  Printf.printf "%s\n" (String.make 150 '-')
 
 let print_table2_row r =
   Printf.printf "%-26s %-12s" r.r_name r.r_suite;
@@ -301,7 +305,7 @@ let print_table2_row r =
         rn rq t.Core.Report.sb t.Core.Report.pr t.Core.Report.c
         t.Core.Report.d t.Core.Report.s save)
     r.r_cells;
-  Printf.printf " | %8.2f\n" r.r_runtime
+  Printf.printf "\n"
 
 let print_table2_average rows =
   let n = float_of_int (List.length rows) in
@@ -333,18 +337,43 @@ let table2 ?(benchmarks = Suite.all) () =
   print_endline
     "== Table II: speedup over NOVIA / QsCores, configurations, merging ==";
   print_table2_header ();
-  let rows =
-    List.map
-      (fun b ->
-        let e = evaluate b in
-        let r = table2_row e in
-        print_table2_row r;
-        flush stdout;
-        r)
-      benchmarks
+  (* One task per benchmark across the domain pool; rows come back in
+     suite order, so the printed table is independent of the worker
+     count and of task completion order. *)
+  let (evals : eval list), wall =
+    Engine.Clock.timed (fun () -> Engine.Pool.map evaluate benchmarks)
   in
-  Printf.printf "%s\n" (String.make 160 '-');
-  print_table2_average rows
+  let rows = List.map table2_row evals in
+  List.iter print_table2_row rows;
+  Printf.printf "%s\n" (String.make 150 '-');
+  print_table2_average rows;
+  flush stdout;
+  (* Timing report (stderr, excluded from the deterministic stdout):
+     per-benchmark selection wall times plus the serial-equivalent total
+     (the jobs=1 wall time) next to the actual elapsed wall time. *)
+  let serial_equiv =
+    List.fold_left
+      (fun acc e ->
+        acc +. e.full.m_runtime +. e.coupled.m_runtime +. e.novia.m_runtime
+        +. e.qscores.m_runtime)
+      0.0 evals
+  in
+  List.iter
+    (fun e ->
+      Printf.eprintf "  %-26s selection %8.2f s (full %.2f coupled %.2f \
+                      novia %.2f qscores %.2f)\n"
+        e.bench.Suite.name
+        (e.full.m_runtime +. e.coupled.m_runtime +. e.novia.m_runtime
+         +. e.qscores.m_runtime)
+        e.full.m_runtime e.coupled.m_runtime e.novia.m_runtime
+        e.qscores.m_runtime)
+    evals;
+  Printf.eprintf
+    "table2 timing: selection %.2f s serial-equivalent (jobs=1), whole \
+     table %.2f s wall with %d job(s)\n"
+    serial_equiv wall
+    (Engine.Config.jobs ());
+  flush stderr
 
 (* ------------------------------------------------------------------ *)
 (* Fig 6: Pareto fronts of four benchmarks                             *)
@@ -353,9 +382,11 @@ let table2 ?(benchmarks = Suite.all) () =
 let fig6 () =
   print_endline
     "== Fig 6: speedup (y) vs area ratio (x) Pareto fronts ==";
-  List.iter
-    (fun name ->
-      let e = evaluate (Suite.find_exn name) in
+  let evals =
+    Engine.Pool.map (fun name -> evaluate (Suite.find_exn name)) Suite.fig6
+  in
+  List.iter2
+    (fun name e ->
       Printf.printf "benchmark %s (T_all = %.4fs)\n" name e.a.Core.Cayman.t_all;
       let series label (m : method_run) =
         Printf.printf "  %-16s" label;
@@ -371,7 +402,7 @@ let fig6 () =
       series "QsCores" e.qscores;
       series "Cayman-coupled" e.coupled;
       series "Cayman-full" e.full)
-    Suite.fig6
+    Suite.fig6 evals
 
 (* ------------------------------------------------------------------ *)
 (* Ablation A: the alpha filter                                        *)
@@ -386,13 +417,12 @@ let ablation_filter () =
   List.iter
     (fun alpha ->
       let params = { Core.Select.default_params with Core.Select.alpha } in
-      let t0 = Sys.time () in
-      let frontier, stats =
-        Core.Select.select ~params
-          ~gen:(Core.Cayman.gen Hls.Kernel.Heuristic)
-          a.Core.Cayman.ctxs a.Core.Cayman.wpst a.Core.Cayman.profile
+      let (frontier, stats), dt =
+        Engine.Clock.timed (fun () ->
+            Core.Select.select ~params
+              ~gen:(Core.Cayman.gen Hls.Kernel.Heuristic)
+              a.Core.Cayman.ctxs a.Core.Cayman.wpst a.Core.Cayman.profile)
       in
-      let dt = Sys.time () -. t0 in
       Printf.printf "%-8.2f %-10d %-10d %-12.4f %-12.3f\n" alpha
         (List.length frontier)
         stats.Core.Select.points_evaluated dt
@@ -465,8 +495,11 @@ let ablation_dse () =
   Printf.printf "%-28s %14s %14s %8s\n" "benchmark" "fast cycles"
     "exhaustive" "gap";
   let cap = 0.25 *. Hls.Tech.cva6_tile_area in
-  List.iter
-    (fun name ->
+  (* Each benchmark's analyze + exhaustive sweep is independent: fan the
+     DSE calls out across the pool and print the rows in list order. *)
+  let rows =
+    Engine.Pool.map
+      (fun name ->
       let b = Suite.find_exn name in
       let a = Core.Cayman.analyze (Suite.compile b) in
       (* hottest synthesizable loop region across all functions *)
@@ -496,15 +529,17 @@ let ablation_dse () =
               ft.An.Wpst.root)
         a.Core.Cayman.ctxs;
       match !bestr with
-      | None -> Printf.printf "%-28s (no synthesizable loop)\n" name
+      | None -> Printf.sprintf "%-28s (no synthesizable loop)" name
       | Some (ctx, region, _) ->
         (match Hls.Dse.heuristic_vs_exhaustive ctx region ~area:cap with
          | Some (fast, exhaustive) ->
-           Printf.printf "%-28s %14.0f %14.0f %7.1f%%\n" name fast exhaustive
+           Printf.sprintf "%-28s %14.0f %14.0f %7.1f%%" name fast exhaustive
              (100.0 *. (fast -. exhaustive) /. Float.max exhaustive 1.0)
-         | None -> Printf.printf "%-28s (no feasible point)\n" name))
-    [ "3mm"; "atax"; "jacobi-2d"; "fft"; "spmv"; "nnet-test";
-      "loops-all-mid-10k-sp" ];
+         | None -> Printf.sprintf "%-28s (no feasible point)" name))
+      [ "3mm"; "atax"; "jacobi-2d"; "fft"; "spmv"; "nnet-test";
+        "loops-all-mid-10k-sp" ]
+  in
+  List.iter print_endline rows;
   print_endline
     "(small gaps validate the paper's claim that the pruned strategy\n\
     \ explores the space efficiently without losing much quality)"
@@ -593,7 +628,9 @@ let usage () =
   print_endline
     "usage: main.exe [--bechamel] [table1|fig2|fig4|table2|fig6|\n\
     \                 ablation-filter|ablation-merge|ablation-cache|\n\
-    \                 ablation-dse|all]"
+    \                 ablation-dse|all]\n\
+     CAYMAN_JOBS=N parallelizes evaluation across N domains; stdout is\n\
+     byte-identical for every N (wall-time reports go to stderr)."
 
 let () =
   (* The first spurious stdout line keeps the output diff-stable when the

@@ -55,6 +55,18 @@ let alpha_arg =
   let doc = "Pareto filter spacing ratio (Algorithm 1's alpha)." in
   Arg.(value & opt float 1.08 & info [ "alpha" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for parallel evaluation (0 = auto: \\$(b,CAYMAN_JOBS) \
+     or the recommended domain count). Results are identical for every \
+     value."
+  in
+  Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~doc ~docv:"N")
+
+(* Install an explicit --jobs as the process-wide default so every
+   engine entry point (selection, merging sweeps) sees it. *)
+let apply_jobs jobs = if jobs > 0 then Engine.Config.set_jobs jobs
+
 let gen_of_mode = function
   | "full" -> Ok (Core.Cayman.gen Hls.Kernel.Heuristic)
   | "coupled-only" -> Ok (Core.Cayman.gen Hls.Kernel.Coupled_only)
@@ -62,7 +74,8 @@ let gen_of_mode = function
   | "qscores" -> Ok Cayman_baselines.Qscores.gen
   | other -> Error (Printf.sprintf "unknown mode %s" other)
 
-let run_cmd bench file budget mode alpha =
+let run_cmd bench file budget mode alpha jobs =
+  apply_jobs jobs;
   match load_program ~bench ~file with
   | Error m -> prerr_endline ("cayman: " ^ m); 1
   | Ok program ->
@@ -118,7 +131,8 @@ let out_arg =
   let doc = "Output directory for generated Verilog." in
   Arg.(value & opt string "cayman_rtl" & info [ "o"; "out" ] ~doc)
 
-let emit_cmd bench file budget out =
+let emit_cmd bench file budget out jobs =
+  apply_jobs jobs;
   match load_program ~bench ~file with
   | Error m -> prerr_endline ("cayman: " ^ m); 1
   | Ok program ->
@@ -211,7 +225,7 @@ let list_cmd () =
 let run_t =
   Cmd.v (Cmd.info "run" ~doc:"Run the full Cayman flow on a program")
     Term.(const run_cmd $ bench_arg $ file_arg $ budget_arg $ mode_arg
-          $ alpha_arg)
+          $ alpha_arg $ jobs_arg)
 
 let dump_t =
   Cmd.v (Cmd.info "dump" ~doc:"Dump IR, wPST and profile of a program")
@@ -221,7 +235,8 @@ let emit_t =
   Cmd.v
     (Cmd.info "emit"
        ~doc:"Emit Verilog netlists for the selected accelerators")
-    Term.(const emit_cmd $ bench_arg $ file_arg $ budget_arg $ out_arg)
+    Term.(const emit_cmd $ bench_arg $ file_arg $ budget_arg $ out_arg
+          $ jobs_arg)
 
 let graph_t =
   Cmd.v

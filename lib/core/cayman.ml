@@ -41,12 +41,14 @@ type run_result = {
   runtime_s : float;
 }
 
-let run ?(params = Select.default_params) ?beta ~mode (a : analyzed) =
-  let t0 = Sys.time () in
+let run ?(params = Select.default_params) ?beta ?jobs ~mode (a : analyzed) =
+  (* Wall clock, not [Sys.time]: CPU time sums over every worker domain
+     and would over-report under the parallel engine. *)
+  let t0 = Engine.Clock.wall () in
   let frontier, stats =
-    Select.select ~params ~gen:(gen ?beta mode) a.ctxs a.wpst a.profile
+    Select.select ~params ?jobs ~gen:(gen ?beta mode) a.ctxs a.wpst a.profile
   in
-  let runtime_s = Sys.time () -. t0 in
+  let runtime_s = Engine.Clock.wall () -. t0 in
   { frontier; stats; runtime_s }
 
 (* Best solution within an area budget expressed as a fraction of the

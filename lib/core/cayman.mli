@@ -27,12 +27,16 @@ val gen : ?beta:float -> Cayman_hls.Kernel.mode -> Select.accel_gen
 type run_result = {
   frontier : Solution.t list;  (** filtered Pareto frontier F(root) *)
   stats : Select.stats;
-  runtime_s : float;  (** selection runtime (this process, CPU seconds) *)
+  runtime_s : float;  (** selection runtime, wall-clock seconds *)
 }
 
+(** Run selection; [jobs] is forwarded to {!Select.select}'s parallel
+    candidate-generation phase (the frontier is identical for every job
+    count — see the engine's determinism contract). *)
 val run :
   ?params:Select.params ->
   ?beta:float ->
+  ?jobs:int ->
   mode:Cayman_hls.Kernel.mode ->
   analyzed ->
   run_result

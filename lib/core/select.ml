@@ -23,30 +23,77 @@ type stats = {
 (* Algorithm 1: bottom-up dynamic programming over the wPST. [F v] is the
    filtered Pareto sequence of solutions accelerating kernels from [v]'s
    subtree; sibling sequences combine with ⊗ and a ctrl-flow region may
-   instead be accelerated whole via [gen]. *)
-let select ?(params = default_params) ~(gen : accel_gen)
+   instead be accelerated whole via [gen].
+
+   The expensive part — evaluating [gen] on every non-pruned region — is
+   embarrassingly parallel, so selection runs in three phases:
+
+   1. a sequential walk that mirrors the DP's pruning exactly and lists
+      the regions needing candidate generation, in visit order;
+   2. [Engine.Pool.map] over that list ([gen] only reads the immutable
+      analysis context, so tasks are independent; results come back in
+      task order, making the phase deterministic for any job count);
+   3. the sequential DP itself, now just combining and filtering the
+      precomputed candidate lists — identical to the single-threaded
+      formulation solution-for-solution. *)
+let select ?(params = default_params) ?jobs ~(gen : accel_gen)
     (ctxs : (string, Hls.Ctx.t) Hashtbl.t) (wpst : An.Wpst.t)
     (profile : Sim.Profile.t) : Solution.t list * stats =
   let alpha = params.alpha in
   let total_cycles = float_of_int (Sim.Profile.total_cycles profile) in
   let prune_cycles = params.prune_threshold *. total_cycles in
+  let pruned_region (ctx : Hls.Ctx.t) (r : An.Region.t) =
+    let cycles = Sim.Profile.region_cycles ctx.Hls.Ctx.func profile r in
+    float_of_int cycles < prune_cycles
+  in
+  (* Phase 1: replay the DP's traversal to collect generation tasks. *)
   let visited = ref 0 in
   let pruned = ref 0 in
-  let points = ref 0 in
-  let rec dp (ctx : Hls.Ctx.t) (r : An.Region.t) : Solution.t list =
+  let tasks = ref [] in
+  let rec walk (ctx : Hls.Ctx.t) (r : An.Region.t) =
     incr visited;
-    let cycles = Sim.Profile.region_cycles ctx.Hls.Ctx.func profile r in
-    if float_of_int cycles < prune_cycles then begin
-      incr pruned;
-      [ Solution.empty ]
+    if pruned_region ctx r then incr pruned
+    else begin
+      (match r.An.Region.kind with
+       | An.Region.Whole_function -> ()
+       | An.Region.Basic_block | An.Region.Loop_region | An.Region.Cond_region ->
+         tasks := (ctx, r) :: !tasks);
+      List.iter (walk ctx) r.An.Region.children
     end
+  in
+  List.iter
+    (fun (ft : An.Wpst.func_tree) ->
+      match Hashtbl.find_opt ctxs ft.An.Wpst.fname with
+      | Some ctx -> walk ctx ft.An.Wpst.root
+      | None -> ())
+    wpst.An.Wpst.funcs;
+  let tasks = List.rev !tasks in
+  (* Phase 2: evaluate all candidate generators across the domain pool.
+     Keyed by (function, region id) — region ids are unique per PST. *)
+  let own_points :
+      (string * int, Hls.Kernel.point list) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let points = ref 0 in
+  List.iter2
+    (fun ((ctx : Hls.Ctx.t), (r : An.Region.t)) pts ->
+      points := !points + List.length pts;
+      Hashtbl.replace own_points
+        (ctx.Hls.Ctx.func.Cayman_ir.Func.name, r.An.Region.id)
+        pts)
+    tasks
+    (Engine.Pool.map ?jobs (fun (ctx, r) -> gen ctx r) tasks);
+  (* Phase 3: the DP proper, consuming precomputed candidates. *)
+  let rec dp (ctx : Hls.Ctx.t) (r : An.Region.t) : Solution.t list =
+    if pruned_region ctx r then [ Solution.empty ]
     else begin
       let own =
-        match r.An.Region.kind with
-        | An.Region.Whole_function -> []
-        | An.Region.Basic_block | An.Region.Loop_region | An.Region.Cond_region ->
-          let pts = gen ctx r in
-          points := !points + List.length pts;
+        match
+          Hashtbl.find_opt own_points
+            (ctx.Hls.Ctx.func.Cayman_ir.Func.name, r.An.Region.id)
+        with
+        | None -> []
+        | Some pts ->
           List.filter_map
             (fun p ->
               let a =

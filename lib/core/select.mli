@@ -25,9 +25,17 @@ type stats = {
 }
 
 (** [select ~gen ctxs wpst profile] returns the filtered Pareto frontier
-    [F(root)] of the whole application plus search statistics. *)
+    [F(root)] of the whole application plus search statistics.
+
+    Candidate generation — the [gen] call on every non-pruned region —
+    runs across [jobs] domains via [Engine.Pool.map] (default: the
+    engine's resolution of [CAYMAN_JOBS] /
+    [Domain.recommended_domain_count]). The result is deterministic:
+    any [jobs] value yields the same frontier and stats,
+    solution-for-solution, as [~jobs:1]. *)
 val select :
   ?params:params ->
+  ?jobs:int ->
   gen:accel_gen ->
   (string, Cayman_hls.Ctx.t) Hashtbl.t ->
   Cayman_analysis.Wpst.t ->

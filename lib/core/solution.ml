@@ -105,6 +105,19 @@ let best_under ~budget solutions =
       else best)
     None solutions
 
+(* Bit-exact equality — [Kernel.point] is pure immutable data, so the
+   polymorphic compare is reliable here. Determinism across job counts
+   means identical bits, hence no epsilon. *)
+let equal_accel (a : accel) (b : accel) = a = b
+
+let equal (s1 : t) (s2 : t) =
+  s1.area = s2.area && s1.saved = s2.saved
+  && List.length s1.accels = List.length s2.accels
+  && List.for_all2 equal_accel s1.accels s2.accels
+
+let equal_frontier f1 f2 =
+  List.length f1 = List.length f2 && List.for_all2 equal f1 f2
+
 let pp fmt s =
   Format.fprintf fmt "@[<v 2>solution: area=%.0f um^2 (%.3f tiles) saved=%.3e s"
     s.area

@@ -49,4 +49,14 @@ val combine : alpha:float -> t list -> t list -> t list
 (** Best (max saved) solution within the area budget (um^2). *)
 val best_under : budget:float -> t list -> t option
 
+(** Bit-exact structural equality (floats compared with [=], no
+    tolerance): the determinism contract of the parallel engine is that
+    frontiers match under this predicate for every job count. *)
+val equal_accel : accel -> accel -> bool
+
+val equal : t -> t -> bool
+
+(** Solution-by-solution equality of two frontiers (order included). *)
+val equal_frontier : t list -> t list -> bool
+
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,6 @@
+let wall () = Unix.gettimeofday ()
+
+let timed f =
+  let t0 = wall () in
+  let v = f () in
+  v, wall () -. t0

@@ -1,0 +1,13 @@
+(** Wall-clock timing for the engine and the bench harness.
+
+    [Sys.time] measures CPU time summed over every domain, so under the
+    parallel engine it over-reports by roughly the worker count. All
+    method-runtime measurement goes through this module instead. *)
+
+val wall : unit -> float
+(** Wall-clock seconds since the epoch ([Unix.gettimeofday]). Only
+    differences of two readings are meaningful. *)
+
+val timed : (unit -> 'a) -> 'a * float
+(** [timed f] runs [f ()] and returns its result together with the
+    elapsed wall-clock seconds. *)

@@ -1,0 +1,31 @@
+let env_var = "CAYMAN_JOBS"
+
+(* More domains than this never helps (the container has far fewer
+   cores) and each domain carries its own minor heap. *)
+let max_jobs = 64
+
+let clamp n = max 1 (min max_jobs n)
+
+let override : int option Atomic.t = Atomic.make None
+
+let set_jobs n = Atomic.set override (Some (clamp n))
+let clear_jobs () = Atomic.set override None
+
+let from_env () =
+  match Sys.getenv_opt env_var with
+  | None -> None
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some n when n >= 1 -> Some (clamp n)
+     | Some _ | None -> None)
+
+let jobs ?jobs () =
+  match jobs with
+  | Some n when n >= 1 -> clamp n
+  | Some _ | None ->
+    (match Atomic.get override with
+     | Some n -> n
+     | None ->
+       (match from_env () with
+        | Some n -> n
+        | None -> clamp (Domain.recommended_domain_count ())))

@@ -1,0 +1,33 @@
+(** Global parallelism configuration for the evaluation engine.
+
+    The worker count used by {!Pool} when none is given explicitly is
+    resolved in this order:
+
+    + a process-wide override installed with {!set_jobs} (the CLI's
+      [--jobs] flag),
+    + the [CAYMAN_JOBS] environment variable,
+    + [Domain.recommended_domain_count ()].
+
+    A resolved count of [1] means "run sequentially in the calling
+    domain"; no worker domains are ever spawned in that case, so single-
+    job runs behave exactly like the pre-engine code. *)
+
+val env_var : string
+(** Name of the environment variable consulted by {!jobs}
+    (["CAYMAN_JOBS"]). *)
+
+val max_jobs : int
+(** Upper bound on any resolved worker count (guards against absurd
+    [CAYMAN_JOBS] values spawning hundreds of domains). *)
+
+val set_jobs : int -> unit
+(** [set_jobs n] installs a process-wide override, clamped to
+    [1..max_jobs]. Used by the CLI's [--jobs] flag. *)
+
+val clear_jobs : unit -> unit
+(** Remove the override installed by {!set_jobs}. *)
+
+val jobs : ?jobs:int -> unit -> int
+(** [jobs ()] resolves the effective worker count as documented above.
+    [jobs ~jobs:n ()] short-circuits resolution with [n] (still
+    clamped); non-positive [n] falls through to normal resolution. *)

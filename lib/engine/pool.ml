@@ -1,0 +1,193 @@
+(* Fixed-size domain pool over a chunked work queue.
+
+   One batch at a time is attached to the pool; workers (the spawned
+   domains plus the submitting caller) repeatedly grab a chunk of task
+   indices under the mutex, run it unlocked, and report completion.
+   Everything observable — result order, which exception surfaces when
+   tasks fail — depends only on task indices, never on the schedule. *)
+
+type batch = {
+  b_run : int -> unit;  (* run task [i]; must never raise *)
+  b_n : int;
+  b_chunk : int;
+  mutable b_next : int;  (* next unclaimed task index *)
+  mutable b_done : int;  (* completed task count *)
+}
+
+type t = {
+  p_jobs : int;
+  p_mutex : Mutex.t;
+  p_todo : Condition.t;  (* new batch attached, or shutdown *)
+  p_fin : Condition.t;   (* a batch completed *)
+  mutable p_batch : batch option;
+  mutable p_shutdown : bool;
+  mutable p_workers : unit Domain.t list;
+}
+
+(* Claim a chunk of [b]; the caller must hold the mutex. *)
+let claim b =
+  let lo = b.b_next in
+  if lo >= b.b_n then None
+  else begin
+    let hi = min b.b_n (lo + b.b_chunk) in
+    b.b_next <- hi;
+    Some (lo, hi)
+  end
+
+(* Run one claimed chunk with the mutex released, then account for it.
+   Returns with the mutex held again. *)
+let run_chunk t b (lo, hi) =
+  Mutex.unlock t.p_mutex;
+  for i = lo to hi - 1 do
+    b.b_run i
+  done;
+  Mutex.lock t.p_mutex;
+  b.b_done <- b.b_done + (hi - lo);
+  if b.b_done = b.b_n then begin
+    (* Detach only if this batch is still the attached one; the
+       submitter may already have replaced it with a later batch. *)
+    (match t.p_batch with
+     | Some b' when b' == b -> t.p_batch <- None
+     | Some _ | None -> ());
+    Condition.broadcast t.p_fin
+  end
+
+let worker_loop t =
+  Mutex.lock t.p_mutex;
+  let rec loop () =
+    if t.p_shutdown then Mutex.unlock t.p_mutex
+    else
+      match t.p_batch with
+      | Some b ->
+        (match claim b with
+         | Some chunk ->
+           run_chunk t b chunk;
+           loop ()
+         | None ->
+           (* batch fully claimed but not finished: wait for either its
+              completion (p_todo is also signalled on submit) *)
+           Condition.wait t.p_todo t.p_mutex;
+           loop ())
+      | None ->
+        Condition.wait t.p_todo t.p_mutex;
+        loop ()
+  in
+  loop ()
+
+let create ?jobs () =
+  let jobs = Config.jobs ?jobs () in
+  let t =
+    { p_jobs = jobs;
+      p_mutex = Mutex.create ();
+      p_todo = Condition.create ();
+      p_fin = Condition.create ();
+      p_batch = None;
+      p_shutdown = false;
+      p_workers = [] }
+  in
+  if jobs > 1 then
+    t.p_workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let jobs t = t.p_jobs
+
+let shutdown t =
+  Mutex.lock t.p_mutex;
+  t.p_shutdown <- true;
+  Condition.broadcast t.p_todo;
+  Mutex.unlock t.p_mutex;
+  let workers = t.p_workers in
+  t.p_workers <- [];
+  List.iter Domain.join workers
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* Submit a batch and participate in running it until every task has
+   completed (not merely been claimed). *)
+let run_batch t b =
+  if b.b_n = 0 then ()
+  else begin
+    Mutex.lock t.p_mutex;
+    if t.p_shutdown then begin
+      Mutex.unlock t.p_mutex;
+      invalid_arg "Engine.Pool: pool already shut down"
+    end;
+    (* One batch at a time; a concurrent submitter waits its turn. *)
+    while t.p_batch <> None do
+      Condition.wait t.p_fin t.p_mutex
+    done;
+    t.p_batch <- Some b;
+    Condition.broadcast t.p_todo;
+    let rec help () =
+      match claim b with
+      | Some chunk ->
+        run_chunk t b chunk;
+        help ()
+      | None ->
+        while b.b_done < b.b_n do
+          Condition.wait t.p_fin t.p_mutex
+        done;
+        (* wake workers parked on p_todo with this batch attached *)
+        Condition.broadcast t.p_todo;
+        Mutex.unlock t.p_mutex
+    in
+    help ()
+  end
+
+(* Small chunks keep uneven tasks balanced; coarse task lists (the
+   common case: one task per benchmark or per wPST region) get chunk
+   size 1 so every worker stays busy until the queue drains. *)
+let chunk_size n jobs = max 1 (n / (jobs * 8))
+
+let run_tasks t (tasks : (unit -> 'b) array) : 'b array =
+  let n = Array.length tasks in
+  let results : 'b option array = Array.make n None in
+  let errors : (exn * Printexc.raw_backtrace) option array = Array.make n None in
+  let run i =
+    match tasks.(i) () with
+    | v -> results.(i) <- Some v
+    | exception e -> errors.(i) <- Some (e, Printexc.get_raw_backtrace ())
+  in
+  run_batch t
+    { b_run = run; b_n = n; b_chunk = chunk_size n t.p_jobs;
+      b_next = 0; b_done = 0 };
+  (* Lowest failing index wins, independent of the schedule. *)
+  Array.iter
+    (function
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ())
+    errors;
+  Array.map
+    (function
+      | Some v -> v
+      | None -> assert false (* every task stored a result or an error *))
+    results
+
+let seq_mapi f xs = List.mapi f xs
+
+let run_mapi t f xs =
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f 0 x ]
+  | _ when t.p_jobs <= 1 -> seq_mapi f xs
+  | _ ->
+    let items = Array.of_list xs in
+    let tasks = Array.mapi (fun i x () -> f i x) items in
+    Array.to_list (run_tasks t tasks)
+
+let run_map t f xs = run_mapi t (fun _ x -> f x) xs
+
+let mapi ?jobs f xs =
+  let n_jobs = Config.jobs ?jobs () in
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f 0 x ]
+  | _ when n_jobs <= 1 -> seq_mapi f xs
+  | _ -> with_pool ~jobs:n_jobs (fun t -> run_mapi t f xs)
+
+let map ?jobs f xs = mapi ?jobs (fun _ x -> f x) xs
+
+let map_reduce ?jobs ~map:mapf ~combine ~init xs =
+  List.fold_left combine init (map ?jobs mapf xs)

@@ -1,0 +1,63 @@
+(** Domain-based task pool with deterministic results.
+
+    A pool owns [jobs - 1] long-lived worker domains (the caller's
+    domain is the remaining worker) that pull chunks of task indices
+    from a shared queue guarded by a mutex and condition variables.
+    Results are always delivered in task-index order, so for a pure
+    task function the output of {!map} is identical for every worker
+    count — including [jobs = 1], which runs sequentially in the
+    calling domain without touching the queue at all.
+
+    Determinism contract: if [f] is deterministic and free of shared
+    mutable state, then [map ~jobs f xs = List.map f xs] for any
+    [jobs]. If tasks raise, every task still runs to completion and the
+    exception of the {e lowest-indexed} failing task is re-raised with
+    its original backtrace, so failure behaviour is schedule-independent
+    too.
+
+    Tasks must not themselves call into the same pool (the work queue
+    is not re-entrant); nested parallelism should use a separate pool
+    or the stateless {!map} which creates a transient one. *)
+
+type t
+
+val create : ?jobs:int -> unit -> t
+(** [create ()] resolves the worker count via {!Config.jobs} and spawns
+    [jobs - 1] domains. A 1-job pool spawns nothing. *)
+
+val jobs : t -> int
+(** Worker count of the pool (including the calling domain). *)
+
+val shutdown : t -> unit
+(** Terminate and join the worker domains. Idempotent. Using the pool
+    after shutdown raises [Invalid_argument]. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] with a fresh pool and always shuts it down,
+    even if [f] raises. *)
+
+val run_map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [run_map pool f xs] evaluates [f] on every element of [xs] across
+    the pool's domains and returns the results in input order. *)
+
+val run_mapi : t -> (int -> 'a -> 'b) -> 'a list -> 'b list
+(** Like {!run_map} with the task index passed to [f]. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** Stateless convenience: resolves [jobs] via {!Config.jobs}, runs the
+    map on a transient pool (sequentially when the count is 1 or the
+    list has fewer than 2 elements) and shuts it down. *)
+
+val mapi : ?jobs:int -> (int -> 'a -> 'b) -> 'a list -> 'b list
+(** Indexed variant of {!map}. *)
+
+val map_reduce :
+  ?jobs:int ->
+  map:('a -> 'b) ->
+  combine:('acc -> 'b -> 'acc) ->
+  init:'acc ->
+  'a list ->
+  'acc
+(** [map_reduce ~map ~combine ~init xs] maps in parallel, then folds
+    [combine] over the results sequentially in task-index order —
+    deterministic even for a non-commutative [combine]. *)

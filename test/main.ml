@@ -1,6 +1,7 @@
 let () =
   Alcotest.run "cayman"
-    [ "ir", Test_ir.tests;
+    [ "engine", Test_engine.tests;
+      "ir", Test_ir.tests;
       "frontend", Test_frontend.tests;
       "analysis", Test_analysis.tests;
       "scev", Test_scev.tests;

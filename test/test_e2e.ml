@@ -65,6 +65,45 @@ let test_loops_all_coupled_close_to_full () =
   Alcotest.(check bool) "jacobi-2d gains far more from interfaces" true
     (spb Hls.Kernel.Heuristic > 1.5 *. spb Hls.Kernel.Coupled_only)
 
+(* Determinism contract of the parallel engine: selection under any
+   domain count yields a frontier equal solution-by-solution (bit-exact
+   areas, saved times, configs) to the sequential baseline, and the
+   rendered report text matches byte-for-byte. *)
+let test_parallel_determinism () =
+  List.iter
+    (fun name ->
+      let a = Core.Cayman.analyze (Suite.compile (Suite.find_exn name)) in
+      let run jobs = Core.Cayman.run ~jobs ~mode:Hls.Kernel.Heuristic a in
+      let seq = run 1 in
+      List.iter
+        (fun jobs ->
+          let par = run jobs in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: frontier jobs=1 = jobs=%d" name jobs)
+            true
+            (Core.Solution.equal_frontier seq.Core.Cayman.frontier
+               par.Core.Cayman.frontier);
+          Alcotest.(check int)
+            (Printf.sprintf "%s: visited jobs=%d" name jobs)
+            seq.Core.Cayman.stats.Core.Select.visited
+            par.Core.Cayman.stats.Core.Select.visited;
+          Alcotest.(check int)
+            (Printf.sprintf "%s: points jobs=%d" name jobs)
+            seq.Core.Cayman.stats.Core.Select.points_evaluated
+            par.Core.Cayman.stats.Core.Select.points_evaluated;
+          (* report text byte-identical, solution by solution *)
+          let render r =
+            String.concat "\n"
+              (List.map
+                 (Format.asprintf "%a" Core.Solution.pp)
+                 r.Core.Cayman.frontier)
+          in
+          Alcotest.(check string)
+            (Printf.sprintf "%s: report text jobs=%d" name jobs)
+            (render seq) (render par))
+        [ 2; 4 ])
+    [ "atax"; "fft"; "md" ]
+
 let test_runtime_reasonable () =
   let a = Core.Cayman.analyze (Suite.compile (Suite.find_exn "bicg")) in
   let r = Core.Cayman.run ~mode:Hls.Kernel.Heuristic a in
@@ -90,5 +129,7 @@ let tests =
     Alcotest.test_case "budget ordering" `Slow test_budget_ordering;
     Alcotest.test_case "loops-all coupled ~ full (paper)" `Slow
       test_loops_all_coupled_close_to_full;
+    Alcotest.test_case "parallel selection deterministic" `Slow
+      test_parallel_determinism;
     Alcotest.test_case "selection runtime sane" `Quick test_runtime_reasonable;
     Alcotest.test_case "driver building blocks" `Quick test_cli_building_blocks ]

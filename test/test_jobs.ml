@@ -1,0 +1,44 @@
+(* Environment-driven determinism harness, run by dune's runtest alias
+   once with CAYMAN_JOBS=1 and once with CAYMAN_JOBS=4 (see test/dune):
+   whatever the environment says, the engine must resolve it and the
+   selection frontier must match the explicit sequential baseline
+   bit-for-bit.
+
+   Exits non-zero on the first violation; plain asserts keep this
+   executable independent of the Alcotest main suite. *)
+
+module Hls = Cayman_hls
+module Suite = Cayman_suites.Suite
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("FAIL: " ^ m); exit 1) fmt
+
+let () =
+  let expected_jobs =
+    match Array.to_list Sys.argv with
+    | [ _; "--expect-jobs"; n ] -> int_of_string n
+    | _ -> fail "usage: test_jobs.exe --expect-jobs N"
+  in
+  (* 1. the environment variable reaches the engine *)
+  let resolved = Engine.Config.jobs () in
+  if resolved <> expected_jobs then
+    fail "CAYMAN_JOBS resolution: expected %d, engine resolved %d"
+      expected_jobs resolved;
+  (* 2. pool smoke test under the env-resolved job count *)
+  let xs = List.init 32 (fun i -> i) in
+  let squares = Engine.Pool.map (fun i -> i * i) xs in
+  if squares <> List.map (fun i -> i * i) xs then
+    fail "pool map order violated under CAYMAN_JOBS=%d" resolved;
+  (* 3. end-to-end: env-driven selection equals the sequential run *)
+  let a = Core.Cayman.analyze (Suite.compile (Suite.find_exn "atax")) in
+  let env_run = Core.Cayman.run ~mode:Hls.Kernel.Heuristic a in
+  let seq_run = Core.Cayman.run ~jobs:1 ~mode:Hls.Kernel.Heuristic a in
+  if
+    not
+      (Core.Solution.equal_frontier env_run.Core.Cayman.frontier
+         seq_run.Core.Cayman.frontier)
+  then fail "frontier differs between CAYMAN_JOBS=%d and jobs=1" resolved;
+  if env_run.Core.Cayman.stats <> seq_run.Core.Cayman.stats then
+    fail "selection stats differ between CAYMAN_JOBS=%d and jobs=1" resolved;
+  Printf.printf "test_jobs: ok (CAYMAN_JOBS=%d, %d frontier solutions)\n"
+    resolved
+    (List.length env_run.Core.Cayman.frontier)

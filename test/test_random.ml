@@ -313,9 +313,26 @@ let qcheck_flow_sane =
             && s.Core.Solution.area >= 0.0)
           r.Core.Cayman.frontier)
 
+let qcheck_parallel_select_deterministic =
+  Testutil.qtest ~count:10
+    "parallel selection equals sequential on random programs" arb_prog
+    (fun p ->
+      match compile_ok (prog_to_minic p) with
+      | Error m -> QCheck.Test.fail_report m
+      | Ok program ->
+        let a = Core.Cayman.analyze ~fuel:50_000_000 program in
+        let run jobs =
+          Core.Cayman.run ~jobs ~mode:Cayman_hls.Kernel.Heuristic a
+        in
+        let seq = run 1 and par = run 4 in
+        Core.Solution.equal_frontier seq.Core.Cayman.frontier
+          par.Core.Cayman.frontier
+        && seq.Core.Cayman.stats = par.Core.Cayman.stats)
+
 let tests =
   [ qcheck_compiles;
     qcheck_deterministic;
     qcheck_ifconv_preserves;
     qcheck_pst_partition;
-    qcheck_flow_sane ]
+    qcheck_flow_sane;
+    qcheck_parallel_select_deterministic ]
