@@ -339,9 +339,18 @@ let table2 ?(benchmarks = Suite.all) () =
   print_table2_header ();
   (* One task per benchmark across the domain pool; rows come back in
      suite order, so the printed table is independent of the worker
-     count and of task completion order. *)
+     count and of task completion order. Completion-order progress goes
+     to stderr so a long run isn't silent until the table prints. *)
+  let n_benchmarks = List.length benchmarks in
+  let n_done = Atomic.make 0 in
+  let evaluate_logged b =
+    let e = evaluate b in
+    let k = 1 + Atomic.fetch_and_add n_done 1 in
+    Printf.eprintf "  [%d/%d] %s\n%!" k n_benchmarks b.Suite.name;
+    e
+  in
   let (evals : eval list), wall =
-    Engine.Clock.timed (fun () -> Engine.Pool.map evaluate benchmarks)
+    Engine.Clock.timed (fun () -> Engine.Pool.map evaluate_logged benchmarks)
   in
   let rows = List.map table2_row evals in
   List.iter print_table2_row rows;

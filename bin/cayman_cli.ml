@@ -57,7 +57,7 @@ let alpha_arg =
 
 let jobs_arg =
   let doc =
-    "Worker domains for parallel evaluation (0 = auto: \\$(b,CAYMAN_JOBS) \
+    "Worker domains for parallel evaluation (0 = auto: $(b,CAYMAN_JOBS) \
      or the recommended domain count). Results are identical for every \
      value."
   in

@@ -42,9 +42,19 @@ let select ?(params = default_params) ?jobs ~(gen : accel_gen)
   let alpha = params.alpha in
   let total_cycles = float_of_int (Sim.Profile.total_cycles profile) in
   let prune_cycles = params.prune_threshold *. total_cycles in
+  (* The phase-1 walk and the phase-3 DP visit the same regions; memoize
+     the decision (keyed like [own_points]) so each profile lookup runs
+     once, as in the original single-pass DP. *)
+  let prune_memo : (string * int, bool) Hashtbl.t = Hashtbl.create 64 in
   let pruned_region (ctx : Hls.Ctx.t) (r : An.Region.t) =
-    let cycles = Sim.Profile.region_cycles ctx.Hls.Ctx.func profile r in
-    float_of_int cycles < prune_cycles
+    let key = ctx.Hls.Ctx.func.Cayman_ir.Func.name, r.An.Region.id in
+    match Hashtbl.find_opt prune_memo key with
+    | Some p -> p
+    | None ->
+      let cycles = Sim.Profile.region_cycles ctx.Hls.Ctx.func profile r in
+      let p = float_of_int cycles < prune_cycles in
+      Hashtbl.add prune_memo key p;
+      p
   in
   (* Phase 1: replay the DP's traversal to collect generation tasks. *)
   let visited = ref 0 in

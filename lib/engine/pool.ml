@@ -6,6 +6,15 @@
    Everything observable — result order, which exception surfaces when
    tasks fail — depends only on task indices, never on the schedule. *)
 
+(* True while the current domain is executing a pool task. The
+   stateless [map]/[mapi] consult it and fall back to the sequential
+   path, so a task that itself fans out (bench evaluating benchmarks
+   whose selection calls [Pool.map] again) does not stack transient
+   pools: the outer fan-out already saturates the workers, and a second
+   layer would put peak live domains near jobs^2 — past the OCaml
+   runtime's 128-domain cap once jobs reaches ~12. *)
+let in_task : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
 type batch = {
   b_run : int -> unit;  (* run task [i]; must never raise *)
   b_n : int;
@@ -38,9 +47,12 @@ let claim b =
    Returns with the mutex held again. *)
 let run_chunk t b (lo, hi) =
   Mutex.unlock t.p_mutex;
+  let was_in_task = Domain.DLS.get in_task in
+  Domain.DLS.set in_task true;
   for i = lo to hi - 1 do
     b.b_run i
   done;
+  Domain.DLS.set in_task was_in_task;
   Mutex.lock t.p_mutex;
   b.b_done <- b.b_done + (hi - lo);
   if b.b_done = b.b_n then begin
@@ -180,7 +192,9 @@ let run_mapi t f xs =
 let run_map t f xs = run_mapi t (fun _ x -> f x) xs
 
 let mapi ?jobs f xs =
-  let n_jobs = Config.jobs ?jobs () in
+  (* On a pool worker, nested fan-out degenerates to the sequential
+     path (see [in_task] above); results are unchanged by contract. *)
+  let n_jobs = if Domain.DLS.get in_task then 1 else Config.jobs ?jobs () in
   match xs with
   | [] -> []
   | [ x ] -> [ f 0 x ]

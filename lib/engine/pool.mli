@@ -16,8 +16,13 @@
     too.
 
     Tasks must not themselves call into the same pool (the work queue
-    is not re-entrant); nested parallelism should use a separate pool
-    or the stateless {!map} which creates a transient one. *)
+    is not re-entrant). The stateless {!map}/{!mapi} detect that they
+    are running inside a pool task and take the sequential path
+    instead of creating a transient pool, so nested fan-out is safe at
+    any job count: the outer map already saturates the workers, and
+    stacking pools would multiply live domains towards jobs² — past
+    the OCaml runtime's 128-domain cap. Results are unchanged either
+    way by the determinism contract. *)
 
 type t
 
@@ -45,8 +50,9 @@ val run_mapi : t -> (int -> 'a -> 'b) -> 'a list -> 'b list
 
 val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** Stateless convenience: resolves [jobs] via {!Config.jobs}, runs the
-    map on a transient pool (sequentially when the count is 1 or the
-    list has fewer than 2 elements) and shuts it down. *)
+    map on a transient pool and shuts it down. Runs sequentially — with
+    no pool at all — when the count is 1, the list has fewer than 2
+    elements, or the caller is itself a pool task (nested fan-out). *)
 
 val mapi : ?jobs:int -> (int -> 'a -> 'b) -> 'a list -> 'b list
 (** Indexed variant of {!map}. *)

@@ -89,6 +89,35 @@ let test_jobs1_equals_jobs4 () =
   Alcotest.(check bool) "jobs=1 equals jobs=4 (bit-exact floats)" true
     (List.for_all2 (fun a b -> Float.equal a b) seq par)
 
+let test_nested_map_falls_back_sequential () =
+  (* A task that fans out again must not stack a second layer of
+     transient pools (peak domains would approach jobs^2, past the
+     runtime's 128-domain cap for larger job counts). The inner
+     stateless map detects it is on a pool worker and runs
+     sequentially on that worker's own domain, with identical
+     results. *)
+  let outer = List.init 8 (fun i -> i) in
+  let expected =
+    List.map (fun i -> List.init 8 (fun j -> (i * 8) + (j * j))) outer
+  in
+  let per_task =
+    Engine.Pool.map ~jobs:4
+      (fun i ->
+        let self = Domain.self () in
+        let inner =
+          Engine.Pool.map ~jobs:4
+            (fun j -> Domain.self (), (i * 8) + (j * j))
+            (List.init 8 (fun j -> j))
+        in
+        ( List.for_all (fun (d, _) -> d = self) inner,
+          List.map snd inner ))
+      outer
+  in
+  Alcotest.(check bool) "inner maps stayed on their task's domain" true
+    (List.for_all fst per_task);
+  Alcotest.(check (list (list int))) "nested results identical" expected
+    (List.map snd per_task)
+
 let test_map_reduce () =
   let xs = List.init 100 (fun i -> i + 1) in
   let total =
@@ -161,6 +190,8 @@ let tests =
     Alcotest.test_case "lowest failing index wins" `Quick
       test_exception_lowest_index_wins;
     Alcotest.test_case "jobs=1 equals jobs=4" `Quick test_jobs1_equals_jobs4;
+    Alcotest.test_case "nested map sequential fallback" `Quick
+      test_nested_map_falls_back_sequential;
     Alcotest.test_case "map_reduce" `Quick test_map_reduce;
     Alcotest.test_case "pool reuse across batches" `Quick test_pool_reuse;
     Alcotest.test_case "shutdown" `Quick test_shutdown_idempotent;
