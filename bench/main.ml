@@ -5,9 +5,11 @@
      dune exec bench/main.exe                  # everything
      dune exec bench/main.exe -- table2        # one experiment
      dune exec bench/main.exe -- --bechamel    # also time each generator
+     dune exec bench/main.exe -- --json BENCH table2 cosim
+         # additionally write BENCH_table2.json, BENCH_cosim.json
 
-   Experiments: table1 fig2 fig4 table2 fig6 ablation-filter
-   ablation-merge *)
+   Experiments: table1 fig2 fig4 table2 fig6 cosim ablation-filter
+   ablation-merge ablation-cache ablation-dse *)
 
 module Ir = Cayman_ir
 module An = Cayman_analysis
@@ -333,7 +335,33 @@ let print_table2_average rows =
     { r_name = "average"; r_suite = ""; r_cells = cell_avgs;
       r_runtime = avg_runtime }
 
-let table2 ?(benchmarks = Suite.all) () =
+let table2_json rows =
+  Json_out.Obj
+    [ ( "rows",
+        Json_out.List
+          (List.map
+             (fun r ->
+               Json_out.Obj
+                 [ "benchmark", Json_out.String r.r_name;
+                   "suite", Json_out.String r.r_suite;
+                   ( "budgets",
+                     Json_out.List
+                       (List.map2
+                          (fun b (rn, rq, (t : Core.Report.totals), save) ->
+                            Json_out.Obj
+                              [ "budget_ratio", Json_out.Float b;
+                                "speedup_vs_novia", Json_out.Float rn;
+                                "speedup_vs_qscores", Json_out.Float rq;
+                                "sb", Json_out.Int t.Core.Report.sb;
+                                "pr", Json_out.Int t.Core.Report.pr;
+                                "coupled", Json_out.Int t.Core.Report.c;
+                                "decoupled", Json_out.Int t.Core.Report.d;
+                                "scratchpad", Json_out.Int t.Core.Report.s;
+                                "merge_saving_pct", Json_out.Float save ])
+                          budgets r.r_cells) ) ])
+             rows) ) ]
+
+let table2 ?(name = "table2") ?(benchmarks = Suite.all) () =
   print_endline
     "== Table II: speedup over NOVIA / QsCores, configurations, merging ==";
   print_table2_header ();
@@ -357,6 +385,7 @@ let table2 ?(benchmarks = Suite.all) () =
   Printf.printf "%s\n" (String.make 150 '-');
   print_table2_average rows;
   flush stdout;
+  Json_out.write name (table2_json rows);
   (* Timing report (stderr, excluded from the deterministic stdout):
      per-benchmark selection wall times plus the serial-equivalent total
      (the jobs=1 wall time) next to the actual elapsed wall time. *)
@@ -411,7 +440,201 @@ let fig6 () =
       series "QsCores" e.qscores;
       series "Cayman-coupled" e.coupled;
       series "Cayman-full" e.full)
-    Suite.fig6 evals
+    Suite.fig6 evals;
+  let json_series (e : eval) label (m : method_run) =
+    Json_out.Obj
+      [ "method", Json_out.String label;
+        ( "points",
+          Json_out.List
+            (List.map
+               (fun s ->
+                 Json_out.Obj
+                   [ "area_ratio", Json_out.Float (Core.Report.area_ratio s);
+                     ( "speedup",
+                       Json_out.Float
+                         (Core.Solution.speedup ~t_all:e.a.Core.Cayman.t_all s)
+                     ) ])
+               m.m_frontier) ) ]
+  in
+  Json_out.write "fig6"
+    (Json_out.Obj
+       [ ( "benchmarks",
+           Json_out.List
+             (List.map2
+                (fun name e ->
+                  Json_out.Obj
+                    [ "benchmark", Json_out.String name;
+                      "t_all_s", Json_out.Float e.a.Core.Cayman.t_all;
+                      ( "series",
+                        Json_out.List
+                          [ json_series e "novia" e.novia;
+                            json_series e "qscores" e.qscores;
+                            json_series e "cayman-coupled" e.coupled;
+                            json_series e "cayman-full" e.full ] ) ])
+                Suite.fig6 evals) ) ])
+
+(* ------------------------------------------------------------------ *)
+(* Co-simulation: Rtl.Sim netlists vs the golden interpreter           *)
+(* ------------------------------------------------------------------ *)
+
+(* The kernels a selected solution accelerates, as co-simulation specs
+   paired with the structured netlists Rtl.Lint checks. Every selected
+   kernel came from [Kernel.estimate], so [of_kernel] is expected to
+   succeed; a kernel it cannot elaborate is reported, not skipped
+   silently. *)
+let cosim_specs (a : Core.Cayman.analyzed) (s : Core.Solution.t) =
+  List.filter_map
+    (fun (acc : Core.Solution.accel) ->
+      let ctx = Hashtbl.find a.Core.Cayman.ctxs acc.Core.Solution.a_func in
+      match
+        An.Wpst.region a.Core.Cayman.wpst
+          { An.Wpst.vfunc = acc.Core.Solution.a_func;
+            vid = acc.Core.Solution.a_region_id }
+      with
+      | None -> None
+      | Some region ->
+        let config = acc.Core.Solution.a_point.Hls.Kernel.config in
+        (match Hls.Netlist.of_kernel ctx region config with
+         | Some { Hls.Netlist.structure = Some nl; _ } ->
+           Some
+             ( { Rtl.Cosim.k_ctx = ctx; k_region = region; k_config = config },
+               nl )
+         | Some { Hls.Netlist.structure = None; _ } | None -> None))
+    s.Core.Solution.accels
+
+let cosim_modes =
+  [ "heuristic", Hls.Kernel.Heuristic;
+    "coupled-only", Hls.Kernel.Coupled_only;
+    "scan-only", Hls.Kernel.Scan_only ]
+
+type cosim_row = {
+  c_bench : string;
+  c_lines : string list;  (* per-kernel report lines, deterministic *)
+  c_kernels : int;
+  c_lint : int;
+  c_func_fail : int;
+  c_cycle_fail : int;
+  c_json : Json_out.t;
+}
+
+let cosim_bench (b : Suite.benchmark) =
+  let a = Core.Cayman.analyze (Suite.compile b) in
+  (* The analyses — and therefore every kernel's region labels — refer
+     to the if-converted program, so that is the golden program the
+     observed interpreter must run. *)
+  let program = a.Core.Cayman.program in
+  let lines = ref [] in
+  let kernels = ref 0 and lint = ref 0 in
+  let func_fail = ref 0 and cycle_fail = ref 0 in
+  let json_modes =
+    List.map
+      (fun (mname, mode) ->
+        let r = Core.Cayman.run ~mode a in
+        let sel = Core.Cayman.best_under_ratio r ~budget_ratio:0.25 in
+        let pairs = cosim_specs a sel in
+        let n_lint = ref 0 in
+        List.iter
+          (fun (_, nl) ->
+            List.iter
+              (fun f ->
+                incr n_lint;
+                lines :=
+                  Printf.sprintf "  [%s] lint %s: %s" mname
+                    nl.Hls.Netlist.nl_name (Rtl.Lint.to_string f)
+                  :: !lines)
+              (Rtl.Lint.check nl))
+          pairs;
+        lint := !lint + !n_lint;
+        let reports = Rtl.Cosim.run_many program (List.map fst pairs) in
+        let json_kernels =
+          List.map
+            (fun (rep : Rtl.Cosim.report) ->
+              incr kernels;
+              if not (Rtl.Cosim.functional_ok rep) then incr func_fail;
+              if not rep.Rtl.Cosim.r_cycles_ok then incr cycle_fail;
+              lines :=
+                Printf.sprintf "  [%s] %s" mname
+                  (Rtl.Cosim.report_to_string rep)
+                :: !lines;
+              Json_out.Obj
+                [ "kernel", Json_out.String rep.Rtl.Cosim.r_kernel;
+                  "config", Json_out.String rep.Rtl.Cosim.r_config;
+                  "invocations", Json_out.Int rep.Rtl.Cosim.r_invocations;
+                  "sim_cycles", Json_out.Int rep.Rtl.Cosim.r_sim_cycles;
+                  "est_cycles", Json_out.Float rep.Rtl.Cosim.r_est_cycles;
+                  ( "functional_ok",
+                    Json_out.Bool (Rtl.Cosim.functional_ok rep) );
+                  "cycles_ok", Json_out.Bool rep.Rtl.Cosim.r_cycles_ok;
+                  "mismatches", Json_out.Int rep.Rtl.Cosim.r_n_mismatches;
+                  "iterations", Json_out.Int rep.Rtl.Cosim.r_iterations ])
+            reports
+        in
+        Json_out.Obj
+          [ "mode", Json_out.String mname;
+            "lint_findings", Json_out.Int !n_lint;
+            "kernels", Json_out.List json_kernels ])
+      cosim_modes
+  in
+  { c_bench = b.Suite.name;
+    c_lines = List.rev !lines;
+    c_kernels = !kernels;
+    c_lint = !lint;
+    c_func_fail = !func_fail;
+    c_cycle_fail = !cycle_fail;
+    c_json =
+      Json_out.Obj
+        [ "benchmark", Json_out.String b.Suite.name;
+          "modes", Json_out.List json_modes ] }
+
+let cosim ?(benchmarks = Suite.all) () =
+  print_endline
+    "== Co-simulation: netlist simulator vs golden interpreter \
+     (25% budget, three interface modes) ==";
+  let n_benchmarks = List.length benchmarks in
+  let n_done = Atomic.make 0 in
+  let cosim_logged b =
+    let row = cosim_bench b in
+    let k = 1 + Atomic.fetch_and_add n_done 1 in
+    Printf.eprintf "  [%d/%d] %s\n%!" k n_benchmarks b.Suite.name;
+    row
+  in
+  (* One task per benchmark across the domain pool, like table2; rows
+     print in list order so stdout is byte-identical for any
+     CAYMAN_JOBS. *)
+  let rows, wall =
+    Engine.Clock.timed (fun () -> Engine.Pool.map cosim_logged benchmarks)
+  in
+  List.iter
+    (fun row ->
+      Printf.printf "%s: %d kernels, %d lint finding(s), %d functional \
+                     mismatch(es), %d cycle-tolerance miss(es)\n"
+        row.c_bench row.c_kernels row.c_lint row.c_func_fail
+        row.c_cycle_fail;
+      List.iter print_endline row.c_lines)
+    rows;
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 rows in
+  let kernels = sum (fun r -> r.c_kernels) in
+  let lint = sum (fun r -> r.c_lint) in
+  let func_fail = sum (fun r -> r.c_func_fail) in
+  let cycle_fail = sum (fun r -> r.c_cycle_fail) in
+  Printf.printf
+    "cosim summary: %d kernel co-simulations over %d benchmark(s) x %d \
+     mode(s); %d lint finding(s), %d functional mismatch(es), %d \
+     cycle-tolerance miss(es)\n"
+    kernels (List.length rows) (List.length cosim_modes) lint func_fail
+    cycle_fail;
+  flush stdout;
+  Json_out.write "cosim"
+    (Json_out.Obj
+       [ "benchmarks", Json_out.List (List.map (fun r -> r.c_json) rows);
+         ( "summary",
+           Json_out.Obj
+             [ "kernels", Json_out.Int kernels;
+               "lint_findings", Json_out.Int lint;
+               "functional_mismatches", Json_out.Int func_fail;
+               "cycle_misses", Json_out.Int cycle_fail ] ) ]);
+  Printf.eprintf "cosim: %.2f s wall with %d job(s)\n%!" wall
+    (Engine.Config.jobs ())
 
 (* ------------------------------------------------------------------ *)
 (* Ablation A: the alpha filter                                        *)
@@ -635,11 +858,14 @@ let bechamel_run () =
 
 let usage () =
   print_endline
-    "usage: main.exe [--bechamel] [table1|fig2|fig4|table2|fig6|\n\
-    \                 ablation-filter|ablation-merge|ablation-cache|\n\
-    \                 ablation-dse|all]\n\
+    "usage: main.exe [--bechamel] [--json BASE] [table1|fig2|fig4|table2|\n\
+    \                 fig6|cosim|ablation-filter|ablation-merge|\n\
+    \                 ablation-cache|ablation-dse|all]\n\
      CAYMAN_JOBS=N parallelizes evaluation across N domains; stdout is\n\
-     byte-identical for every N (wall-time reports go to stderr)."
+     byte-identical for every N (wall-time reports go to stderr).\n\
+     --json BASE additionally writes BASE_<experiment>.json for the\n\
+     experiments with machine-readable output (table2, fig6, cosim);\n\
+     stdout is unchanged."
 
 let () =
   (* The first spurious stdout line keeps the output diff-stable when the
@@ -647,11 +873,20 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let bechamel = List.mem "--bechamel" args in
   let args = List.filter (fun a -> a <> "--bechamel") args in
+  let rec strip_json = function
+    | "--json" :: base :: rest ->
+      Json_out.set_base base;
+      strip_json rest
+    | x :: rest -> x :: strip_json rest
+    | [] -> []
+  in
+  let args = strip_json args in
   let experiments =
     match args with
     | [] | [ "all" ] ->
-      [ "table1"; "fig2"; "fig4"; "table2"; "fig6"; "ablation-filter";
-        "ablation-merge"; "ablation-cache"; "ablation-dse" ]
+      [ "table1"; "fig2"; "fig4"; "table2"; "fig6"; "cosim";
+        "ablation-filter"; "ablation-merge"; "ablation-cache";
+        "ablation-dse" ]
     | xs -> xs
   in
   List.iter
@@ -662,11 +897,17 @@ let () =
        | "fig4" -> fig4 ()
        | "table2" -> table2 ()
        | "table2-small" ->
-         table2
+         table2 ~name:"table2-small"
            ~benchmarks:
              (List.filter_map Suite.find [ "3mm"; "atax"; "fft" ])
            ()
        | "fig6" -> fig6 ()
+       | "cosim" -> cosim ()
+       | "cosim-small" ->
+         cosim
+           ~benchmarks:
+             (List.filter_map Suite.find [ "3mm"; "atax"; "fft" ])
+           ()
        | "ablation-filter" -> ablation_filter ()
        | "ablation-merge" -> ablation_merge ()
        | "ablation-cache" -> ablation_cache ()

@@ -194,6 +194,102 @@ let emit_cmd bench file budget out jobs =
     Printf.printf "wrote %d netlists + primitives to %s/\n" !count out;
     0
 
+let kernel_mode_of = function
+  | "full" | "heuristic" -> Ok Hls.Kernel.Heuristic
+  | "coupled-only" -> Ok Hls.Kernel.Coupled_only
+  | "scan-only" | "qscores" -> Ok Hls.Kernel.Scan_only
+  | other ->
+    Error
+      (Printf.sprintf
+         "unknown interface mode %s (use full, coupled-only or scan-only)"
+         other)
+
+let max_inv_arg =
+  let doc =
+    "Co-simulate at most $(docv) invocations per kernel (0 = all; capping \
+     disables the cycle comparison)."
+  in
+  Arg.(value & opt int 0 & info [ "max-invocations" ] ~doc ~docv:"N")
+
+(* Differential co-simulation of every selected kernel netlist against
+   the golden interpreter. Per-kernel co-sims fan out through the engine
+   pool; reports print in selection order, so stdout is byte-stable
+   across job counts. *)
+let cosim_cmd bench file budget mode jobs max_inv =
+  apply_jobs jobs;
+  match load_program ~bench ~file with
+  | Error m -> prerr_endline ("cayman: " ^ m); 1
+  | Ok program ->
+    (match kernel_mode_of mode with
+     | Error m -> prerr_endline ("cayman: " ^ m); 1
+     | Ok mode ->
+       let a = Core.Cayman.analyze program in
+       (* the golden program for co-simulation is the analyzed (if-
+          converted) one the kernel regions belong to *)
+       let program = a.Core.Cayman.program in
+       let r = Core.Cayman.run ~mode a in
+       let s = Core.Cayman.best_under_ratio r ~budget_ratio:budget in
+       let specs =
+         List.filter_map
+           (fun (acc : Core.Solution.accel) ->
+             match
+               Hashtbl.find_opt a.Core.Cayman.ctxs acc.Core.Solution.a_func
+             with
+             | None -> None
+             | Some ctx ->
+               Option.bind
+                 (An.Wpst.region a.Core.Cayman.wpst
+                    { An.Wpst.vfunc = acc.Core.Solution.a_func;
+                      vid = acc.Core.Solution.a_region_id })
+                 (fun region ->
+                   let config = acc.Core.Solution.a_point.Hls.Kernel.config in
+                   match Hls.Netlist.of_kernel ctx region config with
+                   | Some { Hls.Netlist.structure = Some st; _ } ->
+                     Some
+                       ( { Rtl.Cosim.k_ctx = ctx; k_region = region;
+                           k_config = config },
+                         st )
+                   | Some { Hls.Netlist.structure = None; _ } | None -> None))
+           s.Core.Solution.accels
+       in
+       if specs = [] then begin
+         print_endline "no synthesizable kernels selected";
+         0
+       end
+       else begin
+         let n_lint = ref 0 in
+         List.iter
+           (fun ((_ : Rtl.Cosim.spec), st) ->
+             List.iter
+               (fun f ->
+                 incr n_lint;
+                 Printf.printf "lint %s: %s\n" st.Hls.Netlist.nl_name
+                   (Rtl.Lint.to_string f))
+               (Rtl.Lint.check st))
+           specs;
+         Printf.printf "lint: %d finding%s over %d netlist%s\n" !n_lint
+           (if !n_lint = 1 then "" else "s")
+           (List.length specs)
+           (if List.length specs = 1 then "" else "s");
+         let max_invocations = if max_inv > 0 then Some max_inv else None in
+         let reports =
+           Engine.Pool.map
+             (fun (spec, _) -> Rtl.Cosim.run ?max_invocations program spec)
+             specs
+         in
+         List.iter
+           (fun rep -> print_endline (Rtl.Cosim.report_to_string rep))
+           reports;
+         let ok =
+           !n_lint = 0
+           && List.for_all
+                (fun r -> Rtl.Cosim.functional_ok r && r.Rtl.Cosim.r_cycles_ok)
+                reports
+         in
+         Printf.printf "cosim: %s\n" (if ok then "PASS" else "FAIL");
+         if ok then 0 else 1
+       end)
+
 let graph_cmd bench file out =
   match load_program ~bench ~file with
   | Error m -> prerr_endline ("cayman: " ^ m); 1
@@ -238,6 +334,19 @@ let emit_t =
     Term.(const emit_cmd $ bench_arg $ file_arg $ budget_arg $ out_arg
           $ jobs_arg)
 
+let cosim_t =
+  let mode_arg =
+    let doc = "Interface mode: full, coupled-only, scan-only." in
+    Arg.(value & opt string "full" & info [ "mode" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "cosim"
+       ~doc:
+         "Differentially co-simulate selected kernel netlists against the \
+          golden interpreter (plus a static lint of each netlist)")
+    Term.(const cosim_cmd $ bench_arg $ file_arg $ budget_arg $ mode_arg
+          $ jobs_arg $ max_inv_arg)
+
 let graph_t =
   Cmd.v
     (Cmd.info "graph" ~doc:"Write graphviz dot files (CFGs + wPST)")
@@ -252,6 +361,6 @@ let main =
     (Cmd.info "cayman" ~version:"1.0.0"
        ~doc:"Custom accelerator generation with control flow and data access \
              optimization")
-    [ run_t; dump_t; emit_t; graph_t; list_t ]
+    [ run_t; dump_t; emit_t; cosim_t; graph_t; list_t ]
 
 let () = exit (Cmd.eval' main)

@@ -17,6 +17,15 @@ module String_map = Map.Make (String)
    - every register it defines already has a value on the other path, so
      a select between the two values is well-defined. *)
 
+(* An if-conversion invariant was violated — a bug in this pass, not in
+   the input program. The message names the offending block or register. *)
+exception Internal_error of string
+
+let internal fmt =
+  Printf.ksprintf
+    (fun m -> raise (Internal_error ("ifconv: invariant violated: " ^ m)))
+    fmt
+
 let max_arm_instrs = 16
 
 let speculatable_instr (i : Ir.Instr.t) =
@@ -229,7 +238,11 @@ let convert_one (f : Ir.Func.t) =
       let cond =
         match a.Ir.Block.term with
         | Ir.Instr.Branch (c, _, _) -> c
-        | Ir.Instr.Jump _ | Ir.Instr.Return _ -> assert false
+        | Ir.Instr.Jump _ | Ir.Instr.Return _ ->
+          internal
+            "block %s matched a conditional shape but does not end in a \
+             branch"
+            a.Ir.Block.label
       in
       (match shape with
        | Triangle { arm; join; negated } ->
@@ -258,7 +271,11 @@ let convert_one (f : Ir.Func.t) =
                  (Ir.Block.defs arm_block)
              with
              | Some r -> r
-             | None -> assert false
+             | None ->
+               internal
+                 "register %%%s selected for a triangle merge is not \
+                  defined in arm %s"
+                 d arm
            in
            let selects =
              List.map
@@ -267,7 +284,11 @@ let convert_one (f : Ir.Func.t) =
                  let arm_final =
                    match String_map.find_opt d subst with
                    | Some r' -> Ir.Instr.Reg r'
-                   | None -> assert false
+                   | None ->
+                     internal
+                       "register %%%s defined in speculated arm %s has no \
+                        renamed copy"
+                       d arm
                  in
                  let taken, fallthrough =
                    if negated then Ir.Instr.Reg orig, arm_final
@@ -332,7 +353,11 @@ let convert_one (f : Ir.Func.t) =
                  (Ir.Block.defs tb @ Ir.Block.defs eb)
              with
              | Some r -> r
-             | None -> assert false
+             | None ->
+               internal
+                 "register %%%s selected for a diamond merge is defined in \
+                  neither arm %s nor %s"
+                 d then_arm else_arm
            in
            let selects =
              List.map

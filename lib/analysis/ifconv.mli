@@ -9,6 +9,11 @@
     every value an arm reads or conditionally overwrites must be defined
     on all paths, so observable behaviour is preserved exactly. *)
 
+(** An if-conversion invariant was violated: a bug in this pass, not in
+    the input program. The message names the offending block or
+    register. *)
+exception Internal_error of string
+
 (** One function to fixpoint (bounded). *)
 val convert_func : Cayman_ir.Func.t -> Cayman_ir.Func.t
 

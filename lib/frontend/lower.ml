@@ -4,6 +4,16 @@ exception Error of { line : int; message : string }
 
 let fail line fmt = Format.kasprintf (fun message -> raise (Error { line; message })) fmt
 
+(* A frontend invariant was violated: unlike {!Error}, this is a bug in
+   the lowering itself, not in the user's program. The message names the
+   construct that broke the invariant so the report is actionable. *)
+exception Internal_error of string
+
+let internal fmt =
+  Format.kasprintf
+    (fun m -> raise (Internal_error ("lower: invariant violated: " ^ m)))
+    fmt
+
 type func_sig = { sig_ret : Ir.Types.t option; sig_params : Ir.Types.t list }
 
 type env = {
@@ -158,7 +168,11 @@ let unify_numeric fs line (a, ta) (b, tb) =
       coerce fs line ~want:Ir.Types.F32 (b, tb),
       Ir.Types.F32 )
   | Ir.Types.I32, Ir.Types.I32 -> a, b, Ir.Types.I32
-  | Ir.Types.Bool, _ | _, Ir.Types.Bool -> assert false
+  | Ir.Types.Bool, _ | _, Ir.Types.Bool ->
+    internal
+      "unify_numeric at line %d: boolean operand (%s, %s) survived the \
+       numeric check"
+      line (Ir.Types.to_string ta) (Ir.Types.to_string tb)
 
 let rec lower_expr fs (e : Ast.expr) : Ir.Instr.operand * Ir.Types.t =
   let line = e.Ast.line in
@@ -287,7 +301,12 @@ and lower_binop fs line op (va, ta) (vb, tb) =
   | Ast.Ble -> compare Ir.Op.Le Ir.Op.Fle
   | Ast.Bgt -> compare Ir.Op.Gt Ir.Op.Fgt
   | Ast.Bge -> compare Ir.Op.Ge Ir.Op.Fge
-  | Ast.Band | Ast.Bor -> assert false
+  | Ast.Band | Ast.Bor ->
+    internal
+      "lower_binop at line %d: short-circuit operator %s must be lowered \
+       as control flow, not as a strict binop"
+      line
+      (match op with Ast.Band -> "&&" | _ -> "||")
 
 and lower_cond fs (e : Ast.expr) =
   let v, ty = lower_expr fs e in
@@ -339,7 +358,10 @@ and lower_stmt fs (s : Ast.stmt) =
     let open_end = lower_stmts fs stmts in
     (match fs.scopes with
      | _ :: rest -> fs.scopes <- rest
-     | [] -> assert false);
+     | [] ->
+       internal
+         "scope stack underflow closing the compound statement at line %d"
+         line);
     open_end
   | Ast.S_decl (ty, name, init) ->
     let ty = scalar_ty line ty in
@@ -483,7 +505,9 @@ and lower_stmt fs (s : Ast.stmt) =
     let r = lower_loop fs ~label ~init:None ~cond ~step ~body in
     (match fs.scopes with
      | _ :: rest -> fs.scopes <- rest
-     | [] -> assert false);
+     | [] ->
+       internal "scope stack underflow closing the for statement at line %d"
+         line);
     r
 
 (* The unreachable join of an if whose branches both leave: emit a dummy
@@ -524,10 +548,14 @@ and lower_loop fs ~label ~init ~cond ~step ~body =
   let body_open = lower_stmt fs body in
   (match fs.scopes with
    | _ :: rest -> fs.scopes <- rest
-   | [] -> assert false);
+   | [] ->
+     internal "scope stack underflow closing the body of loop %s"
+       (Option.value ~default:"<anonymous>" label));
   (match fs.loops with
    | _ :: rest -> fs.loops <- rest
-   | [] -> assert false);
+   | [] ->
+     internal "loop stack underflow closing loop %s"
+       (Option.value ~default:"<anonymous>" label));
   if body_open then Ir.Builder.terminate fs.builder (Ir.Instr.Jump latch_l);
   Ir.Builder.set_current fs.builder latch_l;
   (match step with

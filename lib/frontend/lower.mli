@@ -8,6 +8,11 @@
 
 exception Error of { line : int; message : string }
 
+(** A lowering invariant was violated: a bug in the frontend itself, not
+    in the user's program. The message names the offending construct and
+    source line. *)
+exception Internal_error of string
+
 (** Lower a parsed program. The entry function must be called [main]. *)
 val lower : Ast.program -> Cayman_ir.Program.t
 

@@ -275,6 +275,7 @@ let assign_interfaces (ctx : Ctx.t) (r : An.Region.t) ~beta ~config
       (fun sp_base (sp_words, sp_loaded, sp_stored, sp_banks) acc ->
         { sp_base; sp_words; sp_loaded; sp_stored; sp_banks } :: acc)
       sp_info []
+    |> List.sort (fun a b -> String.compare a.sp_base b.sp_base)
   in
   { table; sp_arrays }
 
@@ -327,6 +328,37 @@ let plan_iface p label i = iface_of p.p_assignment label i
 
 let plan_sp_arrays p =
   List.map (fun sp -> sp.sp_base, sp.sp_words) p.p_assignment.sp_arrays
+
+type sp_info = {
+  spi_base : string;
+  spi_words : int;
+  spi_loaded : bool;
+  spi_stored : bool;
+  spi_banks : int;
+}
+
+let plan_sp_info p =
+  List.map
+    (fun sp ->
+      { spi_base = sp.sp_base; spi_words = sp.sp_words;
+        spi_loaded = sp.sp_loaded; spi_stored = sp.sp_stored;
+        spi_banks = sp.sp_banks })
+    p.p_assignment.sp_arrays
+
+(* DMA cycles charged once per kernel invocation: each scratchpad array
+   transfers its buffer in each used direction at the engine's burst
+   rate. Shared by [estimate] and the netlist/RTL-simulation layers. *)
+let plan_dma_per_inv p =
+  List.fold_left
+    (fun acc sp ->
+      let dirs =
+        (if sp.sp_loaded then 1 else 0) + if sp.sp_stored then 1 else 0
+      in
+      acc
+      + dirs
+        * ((sp.sp_words + Tech.dma_words_per_cycle - 1)
+           / Tech.dma_words_per_cycle))
+    0 p.p_assignment.sp_arrays
 
 (* --- estimation --- *)
 
@@ -443,18 +475,7 @@ let estimate (ctx : Ctx.t) (r : An.Region.t) ?(beta = default_beta) config =
           count_ifaces body dfg u)
         pipelined;
       (* scratchpad DMA and buffers *)
-      let dma_per_inv =
-        List.fold_left
-          (fun acc sp ->
-            let dirs =
-              (if sp.sp_loaded then 1 else 0) + if sp.sp_stored then 1 else 0
-            in
-            acc
-            + dirs
-              * ((sp.sp_words + Tech.dma_words_per_cycle - 1)
-                 / Tech.dma_words_per_cycle))
-          0 assignment.sp_arrays
-      in
+      let dma_per_inv = plan_dma_per_inv pl in
       let sp_area =
         List.fold_left
           (fun acc sp ->

@@ -84,6 +84,22 @@ val plan_iface : plan -> string -> int -> Iface.kind
 (** Scratchpad arrays of the plan: [(array, buffer words)]. *)
 val plan_sp_arrays : plan -> (string * int) list
 
+(** Full scratchpad decision per array, for the netlist backend and the
+    RTL simulator's DMA model. Sorted by array name. *)
+type sp_info = {
+  spi_base : string;
+  spi_words : int;
+  spi_loaded : bool;  (** DMA-in before the kernel body runs *)
+  spi_stored : bool;  (** DMA-out (write-back) after it finishes *)
+  spi_banks : int;
+}
+
+val plan_sp_info : plan -> sp_info list
+
+(** DMA cycles charged per kernel invocation (the exact term the
+    estimator adds to [accel_cycles]). *)
+val plan_dma_per_inv : plan -> int
+
 (** [estimate ctx region config] is the design point for one
     configuration, or [None] when the region is not synthesizable (it
     contains calls, or never executed). *)

@@ -11,7 +11,15 @@ module An = Cayman_analysis
    generated accelerators: instance counts and wiring match the
    accelerator model exactly (the estimator and this backend share the
    same {!Kernel.plan}); primitive bodies live in a behavioural stub
-   library emitted by {!primitives}. *)
+   library emitted by {!primitives}.
+
+   Besides the Verilog text, [of_kernel] returns a {!structure}: the
+   same netlist as data (ports, wires, instances, FSM states and
+   transitions, per-state register commits, pipeline controllers,
+   scratchpad arrays) annotated with the schedule-derived timing the
+   estimator charges per state. [Rtl.Sim] executes that structure and
+   [Rtl.Lint] checks it, so simulation, linting, text emission and the
+   area/latency model all share one elaboration. *)
 
 type stats = {
   n_compute : int;
@@ -21,10 +29,81 @@ type stats = {
   n_wires : int;
 }
 
+type port_dir =
+  | Input
+  | Output
+
+type instance = {
+  i_name : string;
+  i_module : string;
+  i_params : (string * string) list;
+  i_ports : (string * string) list;  (* formal -> actual expression *)
+  i_state : string option;  (* FSM state whose datapath owns it *)
+  i_block : string option;  (* originating IR block label *)
+  i_pos : int option;  (* instruction index within that block *)
+}
+
+type transition = {
+  t_from : string;
+  t_guard : string option;  (* condition expression; [None] = always *)
+  t_to : string;
+  t_label : string option;  (* IR successor label; [None] for return/idle *)
+}
+
+type state_kind =
+  | S_idle
+  | S_seq
+  | S_pipe
+  | S_done
+
+type fsm_state = {
+  s_name : string;
+  s_index : int;
+  s_kind : state_kind;
+  s_block : string option;  (* IR block of a datapath state *)
+  s_cycles : int;
+      (* cycles charged per visit of a sequential state (schedule length
+         plus FSM control); 0 for idle/done/pipelined states *)
+}
+
+type pipe_ctrl = {
+  pc_state : string;
+  pc_header : string;
+  pc_body : string;
+  pc_latch : string;
+  pc_blocks : string list;  (* every block of the pipelined loop *)
+  pc_unroll : int;
+  pc_depth : int;  (* pipeline depth in cycles *)
+  pc_ii : int;  (* initiation interval per unrolled group *)
+}
+
+type structure = {
+  nl_name : string;
+  nl_ports : (string * port_dir * int) list;
+  nl_params : (string * int) list;  (* localparams: FSM state encodings *)
+  nl_regs : (string * int) list;  (* declared regs, including "state" *)
+  nl_wires : (string * int) list;
+  nl_assigns : (string * string) list;  (* wire <- expression *)
+  nl_instances : instance list;
+  nl_states : fsm_state list;
+  nl_transitions : transition list;
+  nl_entry : string;  (* state entered from S_IDLE on start *)
+  nl_commits : (string * (Ir.Instr.reg * string) list) list;
+      (* per state: registers latched at the end of its activation,
+         with the driving wire *)
+  nl_pipes : pipe_ctrl list;
+  nl_sp : Kernel.sp_info list;
+  nl_dma_per_inv : int;
+  nl_region_entry : string;
+  nl_region_exit : string option;
+  nl_arch_regs : (string * Ir.Types.t) list;  (* IR register id -> type *)
+}
+
 type t = {
   module_name : string;
   verilog : string;
   stats : stats;
+  structure : structure option;  (* [of_kernel] only *)
 }
 
 let keyword_safe name =
@@ -40,6 +119,8 @@ let keyword_safe name =
       then c
       else '_')
     name
+
+let reg_name rid = "reg_" ^ keyword_safe rid
 
 let width_of (ty : Ir.Types.t) =
   match ty with
@@ -65,19 +146,30 @@ let operand_expr ~local_wire (o : Ir.Instr.operand) =
   | Ir.Instr.Reg r ->
     (match local_wire r.Ir.Instr.id with
      | Some w -> w
-     | None -> "reg_" ^ keyword_safe r.Ir.Instr.id)
+     | None -> reg_name r.Ir.Instr.id)
   | Ir.Instr.Imm_int n ->
     if n < 0 then Printf.sprintf "-32'sd%d" (-n) else Printf.sprintf "32'd%d" n
   | Ir.Instr.Imm_float x ->
     Printf.sprintf "32'h%08lx /* %g */" (Int32.bits_of_float x) x
   | Ir.Instr.Imm_bool b -> if b then "1'b1" else "1'b0"
 
+(* Mutable collector for the structured view; filled in lockstep with
+   the Verilog buffer and reversed once at the end. *)
+type accum = {
+  mutable a_wires : (string * int) list;
+  mutable a_assigns : (string * string) list;
+  mutable a_instances : instance list;
+}
+
+let add_instance acc inst = acc.a_instances <- inst :: acc.a_instances
+
 (* Emit the datapath of one block (optionally replicated [unroll] times
    for pipelined bodies). Returns (#compute, #mem, commit lines). *)
-let emit_block buf ~suffix ~state_name (dfg : Dfg.t) ~iface =
+let emit_block buf acc ~suffix ~state ~state_name (dfg : Dfg.t) ~iface =
   let n_compute = ref 0 in
   let n_mem = ref 0 in
-  let label = keyword_safe dfg.Dfg.block.Ir.Block.label ^ suffix in
+  let ir_label = dfg.Dfg.block.Ir.Block.label in
+  let label = keyword_safe ir_label ^ suffix in
   let defs : (string, string) Hashtbl.t = Hashtbl.create 16 in
   let local_wire rid = Hashtbl.find_opt defs rid in
   let commits = ref [] in
@@ -88,69 +180,110 @@ let emit_block buf ~suffix ~state_name (dfg : Dfg.t) ~iface =
       let def_wire (r : Ir.Instr.reg) =
         Buffer.add_string buf
           (Printf.sprintf "  wire [%d:0] %s;\n" (width_of r.Ir.Instr.ty - 1) wire);
+        acc.a_wires <- (wire, width_of r.Ir.Instr.ty) :: acc.a_wires;
         Hashtbl.replace defs r.Ir.Instr.id wire;
         commits := (r, wire) :: !commits
       in
       let operand o = operand_expr ~local_wire o in
+      let inst name module_ params ports =
+        add_instance acc
+          { i_name = name; i_module = module_; i_params = params;
+            i_ports = ports; i_state = state; i_block = Some ir_label;
+            i_pos = Some i }
+      in
       match instr with
       | Ir.Instr.Assign (r, o) ->
         let src = operand o in
         def_wire r;
+        acc.a_assigns <- (wire, src) :: acc.a_assigns;
         Buffer.add_string buf
           (Printf.sprintf "  assign %s = %s;\n" wire src)
       | Ir.Instr.Unary (r, op, o) ->
         let src = operand o in
         def_wire r;
         incr n_compute;
+        let m = unit_module (Ir.Op.unit_of_un op) in
+        let name = Printf.sprintf "u_%s_%d" label i in
+        (* A unary op occupies a two-input unit by pinning the spare
+           operand: neg is 0 - a, not is a ^ ~0. Conversions get a
+           genuinely unary primitive. *)
+        let ports =
+          match op with
+          | Ir.Op.Neg | Ir.Op.Fneg -> [ "a", "32'd0"; "b", src; "z", wire ]
+          | Ir.Op.Not -> [ "a", src; "b", "32'hffffffff"; "z", wire ]
+          | Ir.Op.Int_of_float | Ir.Op.Float_of_int ->
+            [ "a", src; "z", wire ]
+        in
+        inst name m [] ports;
         Buffer.add_string buf
-          (Printf.sprintf "  %s u_%s_%d (.a(%s), .z(%s));\n"
-             (unit_module (Ir.Op.unit_of_un op)) label i src wire)
+          (Printf.sprintf "  %s %s (%s);\n" m name
+             (String.concat ", "
+                (List.map (fun (f, a) -> Printf.sprintf ".%s(%s)" f a)
+                   ports)))
       | Ir.Instr.Binary (r, op, a, b) ->
         let ea = operand a and eb = operand b in
         def_wire r;
         incr n_compute;
+        let m = unit_module (Ir.Op.unit_of_bin op) in
+        let name = Printf.sprintf "u_%s_%d" label i in
+        inst name m [] [ "a", ea; "b", eb; "z", wire ];
         Buffer.add_string buf
-          (Printf.sprintf "  %s u_%s_%d (.a(%s), .b(%s), .z(%s));\n"
-             (unit_module (Ir.Op.unit_of_bin op)) label i ea eb wire)
+          (Printf.sprintf "  %s %s (.a(%s), .b(%s), .z(%s));\n" m name ea eb
+             wire)
       | Ir.Instr.Compare (r, op, a, b) ->
         let ea = operand a and eb = operand b in
         def_wire r;
         incr n_compute;
+        let m = unit_module (Ir.Op.unit_of_cmp op) in
+        let name = Printf.sprintf "u_%s_%d" label i in
+        inst name m
+          [ "OP", Printf.sprintf "\"%s\"" (Ir.Op.cmp_to_string op) ]
+          [ "a", ea; "b", eb; "z", wire ];
         Buffer.add_string buf
           (Printf.sprintf
-             "  %s #(.OP(\"%s\")) u_%s_%d (.a(%s), .b(%s), .z(%s));\n"
-             (unit_module (Ir.Op.unit_of_cmp op))
-             (Ir.Op.cmp_to_string op) label i ea eb wire)
+             "  %s #(.OP(\"%s\")) %s (.a(%s), .b(%s), .z(%s));\n"
+             m (Ir.Op.cmp_to_string op) name ea eb wire)
       | Ir.Instr.Select (r, c, a, b) ->
         let ec = operand c and ea = operand a and eb = operand b in
         def_wire r;
         incr n_compute;
+        let name = Printf.sprintf "u_%s_%d" label i in
+        inst name "cayman_select" []
+          [ "sel", ec; "a", ea; "b", eb; "z", wire ];
         Buffer.add_string buf
           (Printf.sprintf
-             "  cayman_select u_%s_%d (.sel(%s), .a(%s), .b(%s), .z(%s));\n"
-             label i ec ea eb wire)
+             "  cayman_select %s (.sel(%s), .a(%s), .b(%s), .z(%s));\n"
+             name ec ea eb wire)
       | Ir.Instr.Load (r, m) ->
         let addr = operand m.Ir.Instr.index in
         def_wire r;
         incr n_mem;
         let k = iface i in
+        let mname = iface_module k ~is_load:true in
+        let name = Printf.sprintf "u_%s_%d" label i in
+        inst name mname
+          [ "ARRAY", Printf.sprintf "\"%s\"" m.Ir.Instr.base ]
+          [ "clk", "clk"; "en", state_name; "addr", addr; "rdata", wire ];
         Buffer.add_string buf
           (Printf.sprintf
-             "  %s #(.ARRAY(\"%s\")) u_%s_%d (.clk(clk), .en(%s), .addr(%s), \
+             "  %s #(.ARRAY(\"%s\")) %s (.clk(clk), .en(%s), .addr(%s), \
               .rdata(%s));\n"
-             (iface_module k ~is_load:true)
-             m.Ir.Instr.base label i state_name addr wire)
+             mname m.Ir.Instr.base name state_name addr wire)
       | Ir.Instr.Store (m, v) ->
         let addr = operand m.Ir.Instr.index in
         let data = operand v in
         incr n_mem;
         let k = iface i in
+        let mname = iface_module k ~is_load:false in
+        let name = Printf.sprintf "u_%s_%d" label i in
+        inst name mname
+          [ "ARRAY", Printf.sprintf "\"%s\"" m.Ir.Instr.base ]
+          [ "clk", "clk"; "en", state_name; "addr", addr; "wdata", data ];
         Buffer.add_string buf
           (Printf.sprintf
-             "  %s #(.ARRAY(\"%s\")) u_%s_%d (.clk(clk), .en(%s), .addr(%s), \
+             "  %s #(.ARRAY(\"%s\")) %s (.clk(clk), .en(%s), .addr(%s), \
               .wdata(%s));\n"
-             (iface_module k ~is_load:false)
-             m.Ir.Instr.base label i state_name addr data)
+             mname m.Ir.Instr.base name state_name addr data)
       | Ir.Instr.Call _ ->
         Buffer.add_string buf
           (Printf.sprintf "  // call in block %s: not synthesizable\n" label))
@@ -169,6 +302,7 @@ let of_kernel (ctx : Ctx.t) (region : An.Region.t) ?beta
         (keyword_safe region.An.Region.entry)
     in
     let buf = Buffer.create 4096 in
+    let acc = { a_wires = []; a_assigns = []; a_instances = [] } in
     let n_compute = ref 0 in
     let n_mem = ref 0 in
     (* region blocks in a stable order: sequential blocks, then pipelined
@@ -256,34 +390,55 @@ let of_kernel (ctx : Ctx.t) (region : An.Region.t) ?beta
     (* scratchpad banks *)
     List.iter
       (fun (base, words) ->
+        add_instance acc
+          { i_name = "u_spad_" ^ keyword_safe base;
+            i_module = "cayman_scratchpad";
+            i_params =
+              [ "WORDS", string_of_int words;
+                "NAME", Printf.sprintf "\"%s\"" base ];
+            i_ports = [ "clk", "clk" ];
+            i_state = None; i_block = None; i_pos = None };
         Buffer.add_string buf
           (Printf.sprintf
              "  cayman_scratchpad #(.WORDS(%d), .NAME(\"%s\")) u_spad_%s \
               (.clk(clk));\n"
              words base (keyword_safe base)))
       (Kernel.plan_sp_arrays plan);
-    if Kernel.plan_sp_arrays plan <> [] then
+    if Kernel.plan_sp_arrays plan <> [] then begin
+      add_instance acc
+        { i_name = "u_dma"; i_module = "cayman_dma"; i_params = [];
+          i_ports =
+            [ "clk", "clk"; "addr", "mem_addr"; "wdata", "mem_wdata";
+              "wen", "mem_wen"; "rdata", "mem_rdata" ];
+          i_state = None; i_block = None; i_pos = None };
       Buffer.add_string buf
         "  cayman_dma u_dma (.clk(clk), .addr(mem_addr), .wdata(mem_wdata), \
-         .wen(mem_wen), .rdata(mem_rdata));\n";
+         .wen(mem_wen), .rdata(mem_rdata));\n"
+    end;
     (* datapaths *)
     let commits_by_block = Hashtbl.create 16 in
+    let seq_cycles_by_block = Hashtbl.create 16 in
     List.iter
       (fun label ->
         let dfg = Ctx.dfg ctx label in
+        let state = state_of label in
         let state_name =
-          match state_of label with
+          match state with
           | Some s -> Printf.sprintf "(state == %s)" s
           | None -> "1'b0"
         in
-        let c, m, commits =
-          emit_block buf ~suffix:"" ~state_name dfg
-            ~iface:(Kernel.plan_iface plan label)
-        in
+        let iface = Kernel.plan_iface plan label in
+        (* scratchpads are dual-ported SRAM; same schedule the
+           estimator charges for this block *)
+        let sched = Schedule.run ~sp_banks:2 dfg ~iface in
+        Hashtbl.replace seq_cycles_by_block label
+          (sched.Schedule.length + Tech.seq_ctrl_cycles);
+        let c, m, commits = emit_block buf acc ~suffix:"" ~state ~state_name dfg ~iface in
         n_compute := !n_compute + c;
         n_mem := !n_mem + m;
         Hashtbl.replace commits_by_block label commits)
       plan.Kernel.p_seq_blocks;
+    let pipes = ref [] in
     List.iter
       (fun ((l : An.Loops.loop), body, u) ->
         Buffer.add_string buf
@@ -293,16 +448,35 @@ let of_kernel (ctx : Ctx.t) (region : An.Region.t) ?beta
               \  // controller (II and depth per Pipeline.ii)\n"
              l.An.Loops.header body u);
         let dfg = Ctx.dfg ctx body in
+        let state = state_of body in
         let state_name =
-          match state_of body with
+          match state with
           | Some s -> Printf.sprintf "(state == %s)" s
           | None -> "1'b0"
         in
+        let iface = Kernel.plan_iface plan body in
+        (* dual-ported SRAM, banked by the unroll factor — the exact
+           schedule/II the estimator uses for this loop *)
+        let sched = Schedule.run ~sp_banks:(2 * u) dfg ~iface in
+        let depth = sched.Schedule.length + 1 in
+        let ii = Pipeline.ii ctx dfg ~iface l ~unroll:u ~sp_banks:(2 * u) in
+        let latch =
+          match l.An.Loops.latches with
+          | latch :: _ -> latch
+          | [] -> l.An.Loops.header
+        in
+        pipes :=
+          { pc_state = Option.value state ~default:"S_DONE";
+            pc_header = l.An.Loops.header;
+            pc_body = body;
+            pc_latch = latch;
+            pc_blocks = An.Loops.String_set.elements l.An.Loops.blocks;
+            pc_unroll = u; pc_depth = depth; pc_ii = ii }
+          :: !pipes;
         for k = 0 to u - 1 do
           let suffix = if u > 1 then Printf.sprintf "_u%d" k else "" in
           let c, m, commits =
-            emit_block buf ~suffix ~state_name dfg
-              ~iface:(Kernel.plan_iface plan body)
+            emit_block buf acc ~suffix ~state ~state_name dfg ~iface
           in
           n_compute := !n_compute + c;
           n_mem := !n_mem + m;
@@ -327,17 +501,26 @@ let of_kernel (ctx : Ctx.t) (region : An.Region.t) ?beta
       block_states;
     Buffer.add_string buf "  end\n";
     (* FSM: block sequencing; edges leaving the region go to S_DONE *)
+    let transitions = ref [] in
+    let add_transition t = transitions := t :: !transitions in
     Buffer.add_string buf
       "  always @(posedge clk) begin\n\
       \    if (rst) begin state <= S_IDLE; done <= 1'b0; end\n\
       \    else case (state)\n";
-    (match state_of region.An.Region.entry with
-     | Some s ->
-       Buffer.add_string buf
-         (Printf.sprintf
-            "      S_IDLE: if (start) begin done <= 1'b0; state <= %s; end\n" s)
-     | None ->
-       Buffer.add_string buf "      S_IDLE: if (start) state <= S_DONE;\n");
+    let entry_state =
+      match state_of region.An.Region.entry with
+      | Some s ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "      S_IDLE: if (start) begin done <= 1'b0; state <= %s; end\n" s);
+        s
+      | None ->
+        Buffer.add_string buf "      S_IDLE: if (start) state <= S_DONE;\n";
+        "S_DONE"
+    in
+    add_transition
+      { t_from = "S_IDLE"; t_guard = Some "start"; t_to = entry_state;
+        t_label = Some region.An.Region.entry };
     List.iter
       (fun (label, s, _) ->
         let dfg = Ctx.dfg ctx label in
@@ -353,11 +536,14 @@ let of_kernel (ctx : Ctx.t) (region : An.Region.t) ?beta
         in
         match as_pipelined with
         | Some ((l : An.Loops.loop), _, _) ->
-          let exit_target =
+          let exit_target, exit_label =
             match l.An.Loops.exits with
-            | (_, t) :: _ -> target t
-            | [] -> "S_DONE"
+            | (_, t) :: _ -> target t, Some t
+            | [] -> "S_DONE", None
           in
+          add_transition
+            { t_from = s; t_guard = None; t_to = exit_target;
+              t_label = exit_label };
           Buffer.add_string buf
             (Printf.sprintf
                "      %s: state <= %s; // pipeline controller: after the \
@@ -366,6 +552,8 @@ let of_kernel (ctx : Ctx.t) (region : An.Region.t) ?beta
         | None ->
         match dfg.Dfg.block.Ir.Block.term with
         | Ir.Instr.Jump l ->
+          add_transition
+            { t_from = s; t_guard = None; t_to = target l; t_label = Some l };
           Buffer.add_string buf
             (Printf.sprintf "      %s: state <= %s;\n" s (target l))
         | Ir.Instr.Branch (c, t, e) ->
@@ -384,14 +572,24 @@ let of_kernel (ctx : Ctx.t) (region : An.Region.t) ?beta
               dfg.Dfg.instrs;
             !found
           in
+          let cond = operand_expr ~local_wire c in
+          add_transition
+            { t_from = s; t_guard = Some cond; t_to = target t;
+              t_label = Some t };
+          add_transition
+            { t_from = s; t_guard = Some (Printf.sprintf "!(%s)" cond);
+              t_to = target e; t_label = Some e };
           Buffer.add_string buf
             (Printf.sprintf "      %s: state <= %s ? %s : %s;\n" s
-               (operand_expr ~local_wire c)
-               (target t) (target e))
+               cond (target t) (target e))
         | Ir.Instr.Return _ ->
+          add_transition
+            { t_from = s; t_guard = None; t_to = "S_DONE"; t_label = None };
           Buffer.add_string buf
             (Printf.sprintf "      %s: state <= S_DONE;\n" s))
       block_states;
+    add_transition
+      { t_from = "S_DONE"; t_guard = None; t_to = "S_IDLE"; t_label = None };
     Buffer.add_string buf
       "      S_DONE: begin done <= 1'b1; state <= S_IDLE; end\n\
       \      default: state <= S_IDLE;\n\
@@ -406,11 +604,75 @@ let of_kernel (ctx : Ctx.t) (region : An.Region.t) ?beta
           acc + List.length (Ir.Block.defs (Ctx.dfg ctx label).Dfg.block))
         0 block_states
     in
+    let pipe_states =
+      List.map (fun ((_, body, _) : An.Loops.loop * string * int) -> body)
+        plan.Kernel.p_pipelined
+    in
+    let states =
+      { s_name = "S_IDLE"; s_index = 0; s_kind = S_idle; s_block = None;
+        s_cycles = 0 }
+      :: List.map
+           (fun (label, s, i) ->
+             let is_pipe = List.exists (String.equal label) pipe_states in
+             { s_name = s;
+               s_index = i;
+               s_kind = (if is_pipe then S_pipe else S_seq);
+               s_block = Some label;
+               s_cycles =
+                 (if is_pipe then 0
+                  else
+                    Option.value ~default:0
+                      (Hashtbl.find_opt seq_cycles_by_block label)) })
+           block_states
+      @ [ { s_name = "S_DONE"; s_index = List.length block_states + 1;
+            s_kind = S_done; s_block = None; s_cycles = 0 } ]
+    in
+    let commits =
+      List.filter_map
+        (fun (label, s, _) ->
+          match Hashtbl.find_opt commits_by_block label with
+          | Some ((_ :: _) as cs) -> Some (s, cs)
+          | Some [] | None -> None)
+        block_states
+    in
+    let arch =
+      Hashtbl.fold (fun rid ty l -> (rid, ty) :: l) arch_regs []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    in
+    let structure =
+      { nl_name = module_name;
+        nl_ports =
+          [ "clk", Input, 1; "rst", Input, 1; "start", Input, 1;
+            "done", Output, 1; "mem_addr", Output, 32;
+            "mem_wdata", Output, 32; "mem_wen", Output, 1;
+            "mem_rdata", Input, 32 ];
+        nl_params =
+          ("S_IDLE", 0)
+          :: List.map (fun (_, s, i) -> s, i) block_states
+          @ [ "S_DONE", List.length block_states + 1 ];
+        nl_regs =
+          ("state", 16)
+          :: List.map (fun (rid, ty) -> reg_name rid, width_of ty) arch;
+        nl_wires = List.rev acc.a_wires;
+        nl_assigns = List.rev acc.a_assigns;
+        nl_instances = List.rev acc.a_instances;
+        nl_states = states;
+        nl_transitions = List.rev !transitions;
+        nl_entry = entry_state;
+        nl_commits = commits;
+        nl_pipes = List.rev !pipes;
+        nl_sp = Kernel.plan_sp_info plan;
+        nl_dma_per_inv = Kernel.plan_dma_per_inv plan;
+        nl_region_entry = region.An.Region.entry;
+        nl_region_exit = region.An.Region.exit;
+        nl_arch_regs = arch }
+    in
     Some
       { module_name;
         verilog;
         stats =
-          { n_compute = !n_compute; n_mem = !n_mem; n_regs; n_states; n_wires } }
+          { n_compute = !n_compute; n_mem = !n_mem; n_regs; n_states; n_wires };
+        structure = Some structure }
 
 (* A reusable (merged) accelerator, the hardware of the paper's Fig. 5:
    one reconfigurable datapath bank sized by the merged resource vector,
@@ -523,7 +785,8 @@ let of_reusable ~name ~units ~n_coupled ~n_decoupled ~sp_words ~fsms ~regions
         n_mem = n_coupled + n_decoupled;
         n_regs = n_units; (* one config slice per shared unit *)
         n_states = fsms;
-        n_wires = 3 * n_units } }
+        n_wires = 3 * n_units };
+    structure = None }
 
 (* Behavioural stub library for the emitted primitives: enough to lint /
    simulate the structure; floating-point units are integer placeholders

@@ -1,0 +1,32 @@
+(** Static checks over structured kernel netlists.
+
+    Rules:
+    - [undeclared]: an identifier used in an assign, instance connection
+      or FSM guard has no port/wire/reg/localparam declaration.
+    - [redeclared]: the same name declared twice.
+    - [assign-target]: a continuous assign driving something that is not
+      a wire.
+    - [multiple-drivers]: a wire driven by more than one continuous
+      assign or instance output.
+    - [unknown-module] / [port-shape]: an instance of a module the
+      primitive library ({!Cayman_hls.Netlist.primitives}) does not
+      define, or whose connections do not match the primitive's declared
+      ports and parameters exactly.
+    - [commit]: a register commit from a wire or into a register that is
+      not declared.
+    - [fsm]: transitions touching undefined states, states unreachable
+      from S_IDLE, or states with no outgoing transition.
+
+    The primitive port tables are parsed out of the stub library text
+    itself, so the checks track the library. *)
+
+type finding = {
+  f_rule : string;
+  f_detail : string;
+}
+
+val to_string : finding -> string
+
+(** Zero findings on every netlist {!Cayman_hls.Netlist.of_kernel}
+    emits — enforced by the test suite. *)
+val check : Cayman_hls.Netlist.structure -> finding list

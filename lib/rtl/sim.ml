@@ -1,0 +1,323 @@
+module Ir = Cayman_ir
+module Hls = Cayman_hls
+module Value = Cayman_sim.Value
+module Memory = Cayman_sim.Memory
+module Interp = Cayman_sim.Interp
+
+(* Deterministic simulator for the structured netlists of
+   {!Hls.Netlist.of_kernel}: one kernel invocation is an FSM run from
+   the entry state to S_DONE.
+
+   Sequencing, register commits, interface selection and timing come
+   from the netlist structure; datapath unit *bodies* are evaluated
+   behaviourally through the IR operation each instance implements
+   (via {!Interp.eval_bin} etc., so both sides of a co-simulation share
+   bit-identical arithmetic — the Verilog stub library deliberately
+   fakes the floating-point units).
+
+   - A sequential state evaluates its block's datapath into block-local
+     wires (reads of registers defined earlier in the same block go
+     through the wire, as in the emitted Verilog), latches the state's
+     commit list at the end of the activation, and pays the
+     schedule-annotated cycles ([s_cycles] = schedule length +
+     FSM control), which embed the interface load/store latencies and
+     shared-port occupancy of {!Hls.Schedule}.
+   - A pipelined state runs its loop (header -> body -> latch) to
+     completion, counting header-to-body iterations, and pays
+     [depth + II * (ceil(trip / unroll) - 1) + 2] cycles per entry with
+     the netlist's annotated depth/II — the estimator's model applied
+     to the *dynamic* trip count.
+   - Scratchpad arrays live in a private shadow memory: DMA fills it
+     at invocation start and writes stored arrays back at the end;
+     every invocation additionally pays the DMA burst cycles and the
+     invocation overhead, exactly as {!Hls.Kernel.estimate} charges
+     them. *)
+
+exception Rtl_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Rtl_error m)) fmt
+
+type outcome = {
+  o_regs : (string * Value.t) list;
+      (* architectural register file after S_DONE, sorted by id *)
+  o_mem : Memory.t;  (* the simulator's memory image, write-back done *)
+  o_exit : string option;  (* IR label control left to; None = return *)
+  o_return : Value.t option;
+  o_cycles : int;  (* invocation cycles incl. DMA + invoke overhead *)
+  o_iterations : int;  (* pipelined-loop iterations executed *)
+  o_activations : int;  (* FSM state activations *)
+}
+
+let eval_operand ~wires ~regs ~where (o : Ir.Instr.operand) =
+  match o with
+  | Ir.Instr.Reg r ->
+    (match Hashtbl.find_opt wires r.Ir.Instr.id with
+     | Some v -> v
+     | None ->
+       (match Hashtbl.find_opt regs r.Ir.Instr.id with
+        | Some v -> v
+        | None -> fail "undriven register %%%s in %s" r.Ir.Instr.id where))
+  | Ir.Instr.Imm_int n -> Value.Vint n
+  | Ir.Instr.Imm_float x -> Value.Vfloat x
+  | Ir.Instr.Imm_bool b -> Value.Vbool b
+
+(* Evaluate one block's datapath into a fresh wire environment,
+   program order (a topological order of the DFG). Returns the wires
+   and the block's terminator. *)
+let eval_block (ctx : Hls.Ctx.t) ~regs ~load ~store label =
+  let dfg = Hls.Ctx.dfg ctx label in
+  let wires : (string, Value.t) Hashtbl.t = Hashtbl.create 16 in
+  let operand o = eval_operand ~wires ~regs ~where:("block " ^ label) o in
+  let set (r : Ir.Instr.reg) v = Hashtbl.replace wires r.Ir.Instr.id v in
+  Array.iter
+    (fun (instr : Ir.Instr.t) ->
+      match instr with
+      | Ir.Instr.Assign (r, o) -> set r (operand o)
+      | Ir.Instr.Unary (r, op, o) -> set r (Interp.eval_un op (operand o))
+      | Ir.Instr.Binary (r, op, a, b) ->
+        set r (Interp.eval_bin op (operand a) (operand b))
+      | Ir.Instr.Compare (r, op, a, b) ->
+        set r (Interp.eval_cmp op (operand a) (operand b))
+      | Ir.Instr.Select (r, c, a, b) ->
+        set r (if Value.to_bool (operand c) then operand a else operand b)
+      | Ir.Instr.Load (r, m) ->
+        set r (load m.Ir.Instr.base (Value.to_int (operand m.Ir.Instr.index)))
+      | Ir.Instr.Store (m, v) ->
+        store m.Ir.Instr.base
+          (Value.to_int (operand m.Ir.Instr.index))
+          (operand v)
+      | Ir.Instr.Call _ ->
+        fail "call reached the datapath of block %s (unsynthesizable)" label)
+    dfg.Hls.Dfg.instrs;
+  wires, dfg.Hls.Dfg.block.Ir.Block.term
+
+let run ?(max_cycles = 2_000_000_000) (ctx : Hls.Ctx.t)
+    (nl : Hls.Netlist.structure) ~env ~mem =
+  let open Hls.Netlist in
+  (* architectural register file; unwritten registers power up at the
+     invocation's incoming values (zero of their type if the host never
+     defined them — the netlist reads them only on paths where the
+     golden model defined them first, or not at all) *)
+  let regs : (string, Value.t) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun (rid, ty) ->
+      let v =
+        match env rid with
+        | Some v -> v
+        | None -> Value.zero_of ty
+      in
+      Hashtbl.replace regs rid v)
+    nl.nl_arch_regs;
+  (* scratchpad shadow: DMA-in every cached array (store-only arrays
+     are also fetched so partial write-back cannot clobber untouched
+     words), write back the stored ones at S_DONE *)
+  let sp_bases : (string, unit) Hashtbl.t = Hashtbl.create 4 in
+  List.iter
+    (fun (sp : Hls.Kernel.sp_info) ->
+      Hashtbl.replace sp_bases sp.Hls.Kernel.spi_base ())
+    nl.nl_sp;
+  let shadow =
+    if nl.nl_sp = [] then None
+    else begin
+      let s = Memory.snapshot mem in
+      Some s
+    end
+  in
+  let load base index =
+    match shadow with
+    | Some s when Hashtbl.mem sp_bases base ->
+      Memory.load s ~base ~index
+    | Some _ | None -> Memory.load mem ~base ~index
+  in
+  let store base index v =
+    match shadow with
+    | Some s when Hashtbl.mem sp_bases base ->
+      Memory.store s ~base ~index v
+    | Some _ | None -> Memory.store mem ~base ~index v
+  in
+  (* index the structure *)
+  let state_by_name = Hashtbl.create 16 in
+  List.iter
+    (fun (s : fsm_state) -> Hashtbl.replace state_by_name s.s_name s)
+    nl.nl_states;
+  let pipe_by_state = Hashtbl.create 4 in
+  List.iter
+    (fun (pc : pipe_ctrl) -> Hashtbl.replace pipe_by_state pc.pc_state pc)
+    nl.nl_pipes;
+  let commits_by_state = Hashtbl.create 16 in
+  List.iter
+    (fun (s, cs) -> Hashtbl.replace commits_by_state s cs)
+    nl.nl_commits;
+  (* IR label -> FSM state (pipelined headers/latches alias to their
+     controller's state) *)
+  let state_of_label = Hashtbl.create 16 in
+  List.iter
+    (fun (s : fsm_state) ->
+      match s.s_block with
+      | Some l -> Hashtbl.replace state_of_label l s.s_name
+      | None -> ())
+    nl.nl_states;
+  List.iter
+    (fun (pc : pipe_ctrl) ->
+      List.iter
+        (fun l ->
+          if not (Hashtbl.mem state_of_label l) then
+            Hashtbl.replace state_of_label l pc.pc_state)
+        pc.pc_blocks)
+    nl.nl_pipes;
+  let cycles = ref 0 in
+  let iterations = ref 0 in
+  let activations = ref 0 in
+  let exit_label = ref None in
+  let return_value = ref None in
+  let charge n =
+    cycles := !cycles + n;
+    if !cycles > max_cycles then
+      fail "cycle budget exceeded (%d cycles) in %s" !cycles nl.nl_name
+  in
+  let commit_wires wires pairs =
+    (* nonblocking commits in program order: the final wire value of a
+       register id wins, matching the emitted commit block *)
+    List.iter
+      (fun ((r : Ir.Instr.reg), _wire) ->
+        match Hashtbl.find_opt wires r.Ir.Instr.id with
+        | Some v -> Hashtbl.replace regs r.Ir.Instr.id v
+        | None ->
+          fail "commit of %%%s has no driving wire in %s" r.Ir.Instr.id
+            nl.nl_name)
+      pairs
+  in
+  let commit_all_defs wires label =
+    let dfg = Hls.Ctx.dfg ctx label in
+    Array.iter
+      (fun instr ->
+        match Ir.Instr.def instr with
+        | Some (r : Ir.Instr.reg) ->
+          (match Hashtbl.find_opt wires r.Ir.Instr.id with
+           | Some v -> Hashtbl.replace regs r.Ir.Instr.id v
+           | None -> ())
+        | None -> ())
+      dfg.Hls.Dfg.instrs
+  in
+  (* One activation of a pipeline controller: run the loop to
+     completion, return the dynamic successor label. *)
+  let run_pipe (pc : pipe_ctrl) =
+    let in_loop l = List.exists (String.equal l) pc.pc_blocks in
+    let trip = ref 0 in
+    let rec step label =
+      let wires, term = eval_block ctx ~regs ~load ~store label in
+      let next =
+        match term with
+        | Ir.Instr.Jump l -> l
+        | Ir.Instr.Branch (c, t, e) ->
+          if
+            Value.to_bool
+              (eval_operand ~wires ~regs ~where:("branch of " ^ label) c)
+          then t
+          else e
+        | Ir.Instr.Return _ ->
+          fail "return terminator inside pipelined loop %s" pc.pc_header
+      in
+      commit_all_defs wires label;
+      (* iterations as the profile counts them: header edges into the
+         loop body *)
+      if String.equal label pc.pc_header && in_loop next then incr trip;
+      if in_loop next then step next else next
+    in
+    let next = step pc.pc_header in
+    let groups =
+      max 1 ((!trip + pc.pc_unroll - 1) / pc.pc_unroll)
+    in
+    charge (pc.pc_depth + (pc.pc_ii * (groups - 1)) + 2);
+    iterations := !iterations + !trip;
+    next
+  in
+  (* the FSM walk *)
+  let rec goto_label l =
+    match Hashtbl.find_opt state_of_label l with
+    | Some s -> run_state s
+    | None ->
+      (* edge leaves the region: the netlist transitions to S_DONE *)
+      exit_label := Some l
+  and run_state name =
+    incr activations;
+    if !activations > 1_000_000_000 then
+      fail "FSM activation budget exceeded in %s" nl.nl_name;
+    let st =
+      match Hashtbl.find_opt state_by_name name with
+      | Some s -> s
+      | None -> fail "undefined FSM state %s in %s" name nl.nl_name
+    in
+    match st.s_kind with
+    | S_idle | S_done -> ()
+    | S_pipe ->
+      let pc =
+        match Hashtbl.find_opt pipe_by_state name with
+        | Some pc -> pc
+        | None -> fail "state %s has no pipeline controller" name
+      in
+      goto_label (run_pipe pc)
+    | S_seq ->
+      let label =
+        match st.s_block with
+        | Some l -> l
+        | None -> fail "sequential state %s has no block" name
+      in
+      let wires, term = eval_block ctx ~regs ~load ~store label in
+      charge st.s_cycles;
+      let next =
+        match term with
+        | Ir.Instr.Jump l -> `Label l
+        | Ir.Instr.Branch (c, t, e) ->
+          `Label
+            (if
+               Value.to_bool
+                 (eval_operand ~wires ~regs ~where:("branch of " ^ label) c)
+             then t
+             else e)
+        | Ir.Instr.Return o ->
+          `Return
+            (Option.map
+               (eval_operand ~wires ~regs ~where:("return of " ^ label))
+               o)
+      in
+      (match Hashtbl.find_opt commits_by_state name with
+       | Some pairs -> commit_wires wires pairs
+       | None -> ());
+      (match next with
+       | `Label l -> goto_label l
+       | `Return v -> return_value := Some v)
+  in
+  (* invocation prologue/epilogue: synchronization + DMA *)
+  charge (nl.nl_dma_per_inv + Hls.Tech.invoke_overhead_cycles);
+  (match Hashtbl.find_opt state_by_name nl.nl_entry with
+   | Some { s_kind = S_done; _ } | None -> ()
+   | Some _ -> run_state nl.nl_entry);
+  (* write-back of stored scratchpad arrays *)
+  (match shadow with
+   | Some s ->
+     List.iter
+       (fun (sp : Hls.Kernel.sp_info) ->
+         if sp.Hls.Kernel.spi_stored then
+           Memory.blit ~src:s ~dst:mem sp.Hls.Kernel.spi_base)
+       nl.nl_sp
+   | None -> ());
+  let final_regs =
+    List.map
+      (fun (rid, ty) ->
+        ( rid,
+          match Hashtbl.find_opt regs rid with
+          | Some v -> v
+          | None -> Value.zero_of ty ))
+      nl.nl_arch_regs
+  in
+  { o_regs = final_regs;
+    o_mem = mem;
+    o_exit = !exit_label;
+    o_return =
+      (match !return_value with
+       | Some v -> v
+       | None -> None);
+    o_cycles = !cycles;
+    o_iterations = !iterations;
+    o_activations = !activations }

@@ -1,0 +1,49 @@
+(** Deterministic cycle-stepped simulator for structured kernel netlists.
+
+    Executes one accelerator invocation of a {!Cayman_hls.Netlist.structure}:
+    the FSM walk, per-state datapath evaluation into block-local wires,
+    nonblocking register commits, pipelined-loop controllers, and the
+    scratchpad/DMA shadow memory. Timing follows the schedule annotations
+    embedded in the structure, so simulated cycles reproduce the
+    estimator's model applied to the dynamic execution (actual trip
+    counts instead of profiled averages).
+
+    Datapath unit bodies are evaluated behaviourally via the IR operation
+    each instance implements (through {!Cayman_sim.Interp.eval_bin} and
+    friends), because the Verilog primitive library deliberately stubs
+    the floating-point units. Sequencing, commits, interface selection
+    and timing all come from the netlist structure itself. *)
+
+(** Simulation-level failure: undriven register, call in a datapath,
+    malformed FSM, or an exceeded cycle budget. *)
+exception Rtl_error of string
+
+type outcome = {
+  o_regs : (string * Cayman_sim.Value.t) list;
+      (** architectural register file at S_DONE, sorted by IR id *)
+  o_mem : Cayman_sim.Memory.t;
+      (** the memory image handed in, after scratchpad write-back *)
+  o_exit : string option;
+      (** IR label control left the region to; [None] when the region
+          returned from the function instead *)
+  o_return : Cayman_sim.Value.t option;
+  o_cycles : int;
+      (** invocation cycles: FSM states + pipeline entries + DMA bursts
+          + {!Cayman_hls.Tech.invoke_overhead_cycles} *)
+  o_iterations : int;  (** pipelined-loop iterations executed *)
+  o_activations : int;  (** FSM state activations *)
+}
+
+(** [run ctx nl ~env ~mem] simulates one invocation. [env] supplies the
+    incoming value of each live-in architectural register ([None] powers
+    the register up at zero of its type); [mem] is mutated in place by
+    direct-interface stores and by the scratchpad write-back.
+    @raise Rtl_error on simulation failure (never on a well-formed
+    netlist driven with well-typed inputs). *)
+val run :
+  ?max_cycles:int ->
+  Cayman_hls.Ctx.t ->
+  Cayman_hls.Netlist.structure ->
+  env:(string -> Cayman_sim.Value.t option) ->
+  mem:Cayman_sim.Memory.t ->
+  outcome

@@ -10,6 +10,24 @@ type result = {
   cache_stats : Cache.stats option;
 }
 
+(* Execution observer for differential testing (Rtl.Cosim): called on
+   every block entry and on every function return, with read access to
+   the live register environment and memory. *)
+type observer = {
+  obs_block :
+    func:string ->
+    label:string ->
+    read:(string -> Value.t option) ->
+    mem:Memory.t ->
+    unit;
+  obs_return :
+    func:string ->
+    read:(string -> Value.t option) ->
+    value:Value.t option ->
+    mem:Memory.t ->
+    unit;
+}
+
 type cblock = {
   cb : Ir.Block.t;
   static_cycles : int;
@@ -84,7 +102,7 @@ let eval_un (op : Ir.Op.un) a =
   | Ir.Op.Int_of_float -> Value.Vint (int_of_float (Value.to_float a))
   | Ir.Op.Float_of_int -> Value.Vfloat (float_of_int (Value.to_int a))
 
-let run ?(fuel = 2_000_000_000) ?cache_config (p : Ir.Program.t) =
+let run ?(fuel = 2_000_000_000) ?cache_config ?observer (p : Ir.Program.t) =
   let memory = Memory.create p in
   let profile = Profile.create () in
   let cache = Option.map (fun config -> Cache.create ~config p) cache_config in
@@ -155,6 +173,7 @@ let run ?(fuel = 2_000_000_000) ?cache_config (p : Ir.Program.t) =
            raise (Runtime_error ("void result from " ^ callee))
          | None, (Some _ | None) -> ())
     in
+    let read rid = Hashtbl.find_opt env rid in
     let cur = ref (Hashtbl.find cf.blocks cf.entry) in
     let return_value = ref None in
     let running = ref true in
@@ -162,6 +181,9 @@ let run ?(fuel = 2_000_000_000) ?cache_config (p : Ir.Program.t) =
       let blk = !cur in
       let label = blk.cb.Ir.Block.label in
       Profile.note_block profile ~func:fname ~label;
+      (match observer with
+       | Some o -> o.obs_block ~func:fname ~label ~read ~mem:memory
+       | None -> ());
       Profile.add_cycles profile blk.static_cycles;
       Profile.add_instrs profile blk.n_instrs;
       fuel_left := !fuel_left - blk.n_instrs - 1;
@@ -170,6 +192,10 @@ let run ?(fuel = 2_000_000_000) ?cache_config (p : Ir.Program.t) =
       (match blk.cb.Ir.Block.term with
        | Ir.Instr.Return o ->
          return_value := Option.map eval o;
+         (match observer with
+          | Some ob ->
+            ob.obs_return ~func:fname ~read ~value:!return_value ~mem:memory
+          | None -> ());
          running := false
        | Ir.Instr.Jump l ->
          Profile.note_edge profile ~func:fname ~src:label ~dst:l;

@@ -16,6 +16,26 @@ type result = {
       (** present when [cache_config] was given *)
 }
 
+(** Execution observer for differential testing: [obs_block] fires on
+    every basic-block entry (before its instructions execute),
+    [obs_return] when a function returns, both with read access to the
+    live register environment and the program memory. Used by the RTL
+    co-simulation harness to snapshot state at region boundaries. *)
+type observer = {
+  obs_block :
+    func:string ->
+    label:string ->
+    read:(string -> Value.t option) ->
+    mem:Memory.t ->
+    unit;
+  obs_return :
+    func:string ->
+    read:(string -> Value.t option) ->
+    value:Value.t option ->
+    mem:Memory.t ->
+    unit;
+}
+
 (** [run ?fuel p] interprets [p] from [main]. [fuel] bounds the number of
     dynamic instructions (default 2e9). [cache_config] additionally
     drives a {!Cache} simulator with the access trace.
@@ -23,4 +43,17 @@ type result = {
     access, unknown callee, uninitialized register).
     @raise Out_of_fuel when the budget is exhausted. *)
 val run :
-  ?fuel:int -> ?cache_config:Cache.config -> Cayman_ir.Program.t -> result
+  ?fuel:int ->
+  ?cache_config:Cache.config ->
+  ?observer:observer ->
+  Cayman_ir.Program.t ->
+  result
+
+(** Value semantics of the IR operators, shared with the RTL netlist
+    simulator so both sides of the co-simulation compute bit-identical
+    results.
+    @raise Runtime_error on division/remainder by zero. *)
+
+val eval_bin : Cayman_ir.Op.bin -> Value.t -> Value.t -> Value.t
+val eval_cmp : Cayman_ir.Op.cmp -> Value.t -> Value.t -> Value.t
+val eval_un : Cayman_ir.Op.un -> Value.t -> Value.t

@@ -59,6 +59,58 @@ let size t base =
   | Ints a -> Array.length a
   | Floats a -> Array.length a
 
+let copy_cell = function
+  | Ints a -> Ints (Array.copy a)
+  | Floats a -> Floats (Array.copy a)
+
+let snapshot (t : t) : t =
+  let c = Hashtbl.create (Hashtbl.length t) in
+  Hashtbl.iter (fun base cell -> Hashtbl.replace c base (copy_cell cell)) t;
+  c
+
+let blit ~src ~dst base =
+  match Hashtbl.find_opt src base with
+  | None -> raise (Fault ("unknown array " ^ base))
+  | Some cell -> Hashtbl.replace dst base (copy_cell cell)
+
+let cells_equal a b =
+  match a, b with
+  | Ints x, Ints y ->
+    Array.length x = Array.length y && Array.for_all2 ( = ) x y
+  | Floats x, Floats y ->
+    Array.length x = Array.length y && Array.for_all2 Float.equal x y
+  | (Ints _ | Floats _), _ -> false
+
+(* First differing element per mismatching array, for diagnostics. *)
+let diff (a : t) (b : t) =
+  let bases =
+    Hashtbl.fold (fun base _ acc -> base :: acc) a []
+    |> List.sort String.compare
+  in
+  List.filter_map
+    (fun base ->
+      match Hashtbl.find_opt a base, Hashtbl.find_opt b base with
+      | Some ca, Some cb when cells_equal ca cb -> None
+      | Some ca, Some cb ->
+        let detail =
+          match ca, cb with
+          | Ints x, Ints y when Array.length x = Array.length y ->
+            let i = ref 0 in
+            while !i < Array.length x && x.(!i) = y.(!i) do incr i done;
+            Printf.sprintf "%s[%d]: %d vs %d" base !i x.(!i) y.(!i)
+          | Floats x, Floats y when Array.length x = Array.length y ->
+            let i = ref 0 in
+            while !i < Array.length x && Float.equal x.(!i) y.(!i) do
+              incr i
+            done;
+            Printf.sprintf "%s[%d]: %.17g vs %.17g" base !i x.(!i) y.(!i)
+          | _ -> Printf.sprintf "%s: element type or size mismatch" base
+        in
+        Some (base, detail)
+      | Some _, None -> Some (base, base ^ ": missing in second memory")
+      | None, _ -> None)
+    bases
+
 let to_float_array t base =
   match cell_exn t base with
   | Floats a -> Array.copy a

@@ -12,6 +12,20 @@ val load : t -> base:string -> index:int -> Value.t
 val store : t -> base:string -> index:int -> Value.t -> unit
 val size : t -> string -> int
 
+(** Deep copy of the whole memory (used by the RTL co-simulation to give
+    the netlist simulator its own image). *)
+val snapshot : t -> t
+
+(** [blit ~src ~dst base] replaces [dst]'s contents of array [base] with
+    a copy of [src]'s.
+    @raise Fault when [src] has no such array. *)
+val blit : src:t -> dst:t -> string -> unit
+
+(** Arrays whose contents differ between two memories, sorted by name,
+    each with a human-readable first-mismatch description. Arrays missing
+    from the second memory are reported; extra arrays there are not. *)
+val diff : t -> t -> (string * string) list
+
 (** Snapshot of an array's contents (for checking example results). *)
 val to_float_array : t -> string -> float array
 

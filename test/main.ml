@@ -11,6 +11,7 @@ let () =
       "select", Test_select.tests;
       "merge", Test_merge.tests;
       "netlist", Test_netlist.tests;
+      "rtl", Test_rtl.tests;
       "random", Test_random.tests;
       "cache-dse", Test_cache_dse.tests;
       "suites", Test_suites.tests;
