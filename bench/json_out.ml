@@ -1,86 +1,13 @@
-(* Minimal JSON sink for the bench harness's --json flag.
+(* JSON sink for the bench harness's --json flag.
 
-   [set_base "BENCH"] arms the sink; each experiment that supports
-   machine-readable output then calls [write "table2" json] to produce
-   BENCH_table2.json next to the textual stdout (which stays
-   byte-identical whether or not the flag is given). The emitter is
-   hand-rolled to keep the harness dependency-free; output is pretty,
-   deterministic and valid JSON (non-finite floats become null). *)
+   The value type and emitter live in [Obs.Json] (shared with the
+   tracing/metrics subsystem); this module re-exports them and keeps the
+   bench-side sink: [set_base "BENCH"] arms it; each experiment that
+   supports machine-readable output then calls [write "table2" json] to
+   produce BENCH_table2.json next to the textual stdout (which stays
+   byte-identical whether or not the flag is given). *)
 
-type t =
-  | Null
-  | Bool of bool
-  | Int of int
-  | Float of float
-  | String of string
-  | List of t list
-  | Obj of (string * t) list
-
-let escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\r' -> Buffer.add_string b "\\r"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
-let rec emit b indent (v : t) =
-  let pad n = String.make n ' ' in
-  match v with
-  | Null -> Buffer.add_string b "null"
-  | Bool x -> Buffer.add_string b (if x then "true" else "false")
-  | Int n -> Buffer.add_string b (string_of_int n)
-  | Float x ->
-    if Float.is_finite x then
-      (* %.12g round-trips every value the harness produces and prints
-         integers without a trailing ".000000" *)
-      Buffer.add_string b (Printf.sprintf "%.12g" x)
-    else Buffer.add_string b "null"
-  | String s ->
-    Buffer.add_char b '"';
-    Buffer.add_string b (escape s);
-    Buffer.add_char b '"'
-  | List [] -> Buffer.add_string b "[]"
-  | List xs ->
-    Buffer.add_string b "[\n";
-    List.iteri
-      (fun i x ->
-        if i > 0 then Buffer.add_string b ",\n";
-        Buffer.add_string b (pad (indent + 2));
-        emit b (indent + 2) x)
-      xs;
-    Buffer.add_char b '\n';
-    Buffer.add_string b (pad indent);
-    Buffer.add_char b ']'
-  | Obj [] -> Buffer.add_string b "{}"
-  | Obj kvs ->
-    Buffer.add_string b "{\n";
-    List.iteri
-      (fun i (k, x) ->
-        if i > 0 then Buffer.add_string b ",\n";
-        Buffer.add_string b (pad (indent + 2));
-        Buffer.add_char b '"';
-        Buffer.add_string b (escape k);
-        Buffer.add_string b "\": ";
-        emit b (indent + 2) x)
-      kvs;
-    Buffer.add_char b '\n';
-    Buffer.add_string b (pad indent);
-    Buffer.add_char b '}'
-
-let to_string v =
-  let b = Buffer.create 1024 in
-  emit b 0 v;
-  Buffer.add_char b '\n';
-  Buffer.contents b
+include Obs.Json
 
 let base : string option ref = ref None
 
@@ -96,7 +23,5 @@ let write experiment (v : t) =
   | None -> ()
   | Some base ->
     let path = Printf.sprintf "%s_%s.json" base experiment in
-    let oc = open_out path in
-    output_string oc (to_string v);
-    close_out oc;
+    Obs.Json.write_file path v;
     Printf.eprintf "wrote %s\n%!" path

@@ -372,9 +372,11 @@ let table2 ?(name = "table2") ?(benchmarks = Suite.all) () =
   let n_benchmarks = List.length benchmarks in
   let n_done = Atomic.make 0 in
   let evaluate_logged b =
-    let e = evaluate b in
+    let e, dt = Engine.Clock.timed (fun () -> evaluate b) in
     let k = 1 + Atomic.fetch_and_add n_done 1 in
-    Printf.eprintf "  [%d/%d] %s\n%!" k n_benchmarks b.Suite.name;
+    Printf.eprintf "  [%d/%d] %-26s %7.2f s (jobs=%d)\n%!" k n_benchmarks
+      b.Suite.name dt
+      (Engine.Config.jobs ());
     e
   in
   let (evals : eval list), wall =
@@ -593,9 +595,11 @@ let cosim ?(benchmarks = Suite.all) () =
   let n_benchmarks = List.length benchmarks in
   let n_done = Atomic.make 0 in
   let cosim_logged b =
-    let row = cosim_bench b in
+    let row, dt = Engine.Clock.timed (fun () -> cosim_bench b) in
     let k = 1 + Atomic.fetch_and_add n_done 1 in
-    Printf.eprintf "  [%d/%d] %s\n%!" k n_benchmarks b.Suite.name;
+    Printf.eprintf "  [%d/%d] %-26s %7.2f s (jobs=%d)\n%!" k n_benchmarks
+      b.Suite.name dt
+      (Engine.Config.jobs ());
     row
   in
   (* One task per benchmark across the domain pool, like table2; rows
@@ -918,4 +922,9 @@ let () =
       print_newline ();
       flush stdout)
     experiments;
+  (* With --json armed, also dump every pipeline metric accumulated over
+     the experiments that just ran (BASE_metrics.json). Counters and
+     histograms are schedule-independent, so the file is comparable
+     across CAYMAN_JOBS values up to the gauge entries. *)
+  if Json_out.enabled () then Json_out.write "metrics" (Obs.Metrics.to_json ());
   if bechamel then bechamel_run ()

@@ -67,6 +67,34 @@ let jobs_arg =
    engine entry point (selection, merging sweeps) sees it. *)
 let apply_jobs jobs = if jobs > 0 then Engine.Config.set_jobs jobs
 
+let trace_arg =
+  let doc =
+    "Record a Chrome trace_event timeline of the whole run and write it \
+     to $(docv) (load in Perfetto or chrome://tracing). Stdout is \
+     unaffected; the confirmation goes to stderr."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~doc ~docv:"FILE")
+
+(* Arm tracing around a subcommand body and flush the timeline on the
+   way out — including error exits, so partial runs are inspectable. *)
+let with_trace trace f =
+  match trace with
+  | None -> f ()
+  | Some path ->
+    Obs.Trace.set_enabled true;
+    let flush () =
+      Obs.Trace.set_enabled false;
+      Obs.Trace.write_file path;
+      let dropped = Obs.Trace.dropped () in
+      if dropped > 0 then
+        Printf.eprintf "wrote %s (%d spans dropped to ring overflow)\n%!"
+          path dropped
+      else Printf.eprintf "wrote %s\n%!" path
+    in
+    (match f () with
+     | code -> flush (); code
+     | exception e -> flush (); raise e)
+
 let gen_of_mode = function
   | "full" -> Ok (Core.Cayman.gen Hls.Kernel.Heuristic)
   | "coupled-only" -> Ok (Core.Cayman.gen Hls.Kernel.Coupled_only)
@@ -74,8 +102,9 @@ let gen_of_mode = function
   | "qscores" -> Ok Cayman_baselines.Qscores.gen
   | other -> Error (Printf.sprintf "unknown mode %s" other)
 
-let run_cmd bench file budget mode alpha jobs =
+let run_cmd bench file budget mode alpha jobs trace =
   apply_jobs jobs;
+  with_trace trace @@ fun () ->
   match load_program ~bench ~file with
   | Error m -> prerr_endline ("cayman: " ^ m); 1
   | Ok program ->
@@ -115,7 +144,8 @@ let run_cmd bench file budget mode alpha jobs =
          m.Core.Merge.saving_pct m.Core.Merge.n_reusable;
        0)
 
-let dump_cmd bench file =
+let dump_cmd bench file trace =
+  with_trace trace @@ fun () ->
   match load_program ~bench ~file with
   | Error m -> prerr_endline ("cayman: " ^ m); 1
   | Ok program ->
@@ -131,8 +161,9 @@ let out_arg =
   let doc = "Output directory for generated Verilog." in
   Arg.(value & opt string "cayman_rtl" & info [ "o"; "out" ] ~doc)
 
-let emit_cmd bench file budget out jobs =
+let emit_cmd bench file budget out jobs trace =
   apply_jobs jobs;
+  with_trace trace @@ fun () ->
   match load_program ~bench ~file with
   | Error m -> prerr_endline ("cayman: " ^ m); 1
   | Ok program ->
@@ -215,8 +246,9 @@ let max_inv_arg =
    the golden interpreter. Per-kernel co-sims fan out through the engine
    pool; reports print in selection order, so stdout is byte-stable
    across job counts. *)
-let cosim_cmd bench file budget mode jobs max_inv =
+let cosim_cmd bench file budget mode jobs max_inv trace =
   apply_jobs jobs;
+  with_trace trace @@ fun () ->
   match load_program ~bench ~file with
   | Error m -> prerr_endline ("cayman: " ^ m); 1
   | Ok program ->
@@ -290,7 +322,8 @@ let cosim_cmd bench file budget mode jobs max_inv =
          if ok then 0 else 1
        end)
 
-let graph_cmd bench file out =
+let graph_cmd bench file out trace =
+  with_trace trace @@ fun () ->
   match load_program ~bench ~file with
   | Error m -> prerr_endline ("cayman: " ^ m); 1
   | Ok program ->
@@ -318,21 +351,84 @@ let list_cmd () =
     Suite.all;
   0
 
+(* Run the full flow with tracing armed internally and report where the
+   time and the work went: a per-span rollup plus every pipeline metric
+   grouped by phase. *)
+let stats_cmd bench file budget mode alpha jobs trace =
+  apply_jobs jobs;
+  match load_program ~bench ~file with
+  | Error m -> prerr_endline ("cayman: " ^ m); 1
+  | Ok program ->
+    (match gen_of_mode mode with
+     | Error m -> prerr_endline ("cayman: " ^ m); 1
+     | Ok gen ->
+       Obs.Metrics.reset ();
+       Obs.Trace.reset ();
+       Obs.Trace.set_enabled true;
+       let a = Core.Cayman.analyze program in
+       let params = { Core.Select.default_params with Core.Select.alpha } in
+       let frontier, _stats =
+         Core.Select.select ~params ~gen a.Core.Cayman.ctxs a.Core.Cayman.wpst
+           a.Core.Cayman.profile
+       in
+       let budget_area = budget *. Hls.Tech.cva6_tile_area in
+       let s =
+         match Core.Solution.best_under ~budget:budget_area frontier with
+         | Some s -> s
+         | None -> Core.Solution.empty
+       in
+       let (_ : Core.Merge.result) = Core.Cayman.merge a s in
+       Obs.Trace.set_enabled false;
+       (* spans: wall-clock rollup, heaviest first *)
+       Printf.printf "%-28s %10s %12s\n" "span" "calls" "total ms";
+       Printf.printf "%s\n" (String.make 52 '-');
+       List.iter
+         (fun (name, calls, total_s) ->
+           Printf.printf "%-28s %10d %12.3f\n" name calls (1e3 *. total_s))
+         (Obs.Trace.rollup ());
+       (* metrics: schedule-independent counters/histograms plus gauges,
+          grouped by the phase prefix of the metric name *)
+       print_newline ();
+       Printf.printf "%-36s %16s\n" "metric" "value";
+       let last_phase = ref "" in
+       List.iter
+         (fun (name, snap) ->
+           let phase = Obs.Metrics.phase_of name in
+           if phase <> !last_phase then begin
+             last_phase := phase;
+             Printf.printf "%s\n" (String.make 53 '-')
+           end;
+           match snap with
+           | Obs.Metrics.S_counter v -> Printf.printf "%-36s %16d\n" name v
+           | Obs.Metrics.S_gauge v ->
+             Printf.printf "%-36s %16d  (gauge)\n" name v
+           | Obs.Metrics.S_histogram h ->
+             Printf.printf "%-36s %16d  (n=%d min=%d max=%d)\n" name
+               h.Obs.Metrics.hs_sum h.Obs.Metrics.hs_count
+               h.Obs.Metrics.hs_min h.Obs.Metrics.hs_max)
+         (Obs.Metrics.snapshot ());
+       (match trace with
+        | None -> ()
+        | Some path ->
+          Obs.Trace.write_file path;
+          Printf.eprintf "wrote %s\n%!" path);
+       0)
+
 let run_t =
   Cmd.v (Cmd.info "run" ~doc:"Run the full Cayman flow on a program")
     Term.(const run_cmd $ bench_arg $ file_arg $ budget_arg $ mode_arg
-          $ alpha_arg $ jobs_arg)
+          $ alpha_arg $ jobs_arg $ trace_arg)
 
 let dump_t =
   Cmd.v (Cmd.info "dump" ~doc:"Dump IR, wPST and profile of a program")
-    Term.(const dump_cmd $ bench_arg $ file_arg)
+    Term.(const dump_cmd $ bench_arg $ file_arg $ trace_arg)
 
 let emit_t =
   Cmd.v
     (Cmd.info "emit"
        ~doc:"Emit Verilog netlists for the selected accelerators")
     Term.(const emit_cmd $ bench_arg $ file_arg $ budget_arg $ out_arg
-          $ jobs_arg)
+          $ jobs_arg $ trace_arg)
 
 let cosim_t =
   let mode_arg =
@@ -345,22 +441,32 @@ let cosim_t =
          "Differentially co-simulate selected kernel netlists against the \
           golden interpreter (plus a static lint of each netlist)")
     Term.(const cosim_cmd $ bench_arg $ file_arg $ budget_arg $ mode_arg
-          $ jobs_arg $ max_inv_arg)
+          $ jobs_arg $ max_inv_arg $ trace_arg)
 
 let graph_t =
   Cmd.v
     (Cmd.info "graph" ~doc:"Write graphviz dot files (CFGs + wPST)")
-    Term.(const graph_cmd $ bench_arg $ file_arg $ out_arg)
+    Term.(const graph_cmd $ bench_arg $ file_arg $ out_arg $ trace_arg)
 
 let list_t =
   Cmd.v (Cmd.info "list" ~doc:"List suite benchmarks")
     Term.(const list_cmd $ const ())
+
+let stats_t =
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run the full flow and print per-phase wall-time and pipeline \
+          metrics (region counts, prune/memo hits, design points, DP \
+          frontier sizes)")
+    Term.(const stats_cmd $ bench_arg $ file_arg $ budget_arg $ mode_arg
+          $ alpha_arg $ jobs_arg $ trace_arg)
 
 let main =
   Cmd.group
     (Cmd.info "cayman" ~version:"1.0.0"
        ~doc:"Custom accelerator generation with control flow and data access \
              optimization")
-    [ run_t; dump_t; emit_t; cosim_t; graph_t; list_t ]
+    [ run_t; dump_t; emit_t; cosim_t; graph_t; list_t; stats_t ]
 
 let () = exit (Cmd.eval' main)

@@ -406,7 +406,19 @@ let convert_func f =
   in
   fixpoint f 64
 
+let m_runs = Obs.Metrics.counter "analysis.ifconv_runs"
+let m_blocks_removed = Obs.Metrics.counter "analysis.ifconv_blocks_removed"
+
 let run (p : Ir.Program.t) =
-  Ir.Program.v ~globals:p.Ir.Program.globals
-    ~funcs:(List.map convert_func p.Ir.Program.funcs)
-    ~main:p.Ir.Program.main
+  Obs.Trace.span ~cat:"analysis" "analysis.ifconv" (fun () ->
+      Obs.Metrics.incr m_runs;
+      let block_count fs =
+        List.fold_left
+          (fun acc (f : Ir.Func.t) -> acc + List.length f.Ir.Func.blocks)
+          0 fs
+      in
+      let funcs = List.map convert_func p.Ir.Program.funcs in
+      Obs.Metrics.add m_blocks_removed
+        (block_count p.Ir.Program.funcs - block_count funcs);
+      Ir.Program.v ~globals:p.Ir.Program.globals ~funcs
+        ~main:p.Ir.Program.main)

@@ -325,8 +325,11 @@ let coeff_of (a : affine) header =
   | Some c -> c
   | None -> 0
 
+let m_classified = Obs.Metrics.counter "analysis.scev_accesses_classified"
+
 (* Access pattern with respect to the innermost enclosing loop. *)
 let classify t ~block ~pos =
+  Obs.Metrics.incr m_classified;
   match access_form t ~block ~pos with
   | Unknown -> Irregular
   | Affine a ->

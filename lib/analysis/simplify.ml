@@ -55,7 +55,17 @@ let merge_chains_func f =
   in
   fixpoint f 256
 
+let m_blocks_merged = Obs.Metrics.counter "analysis.simplify_blocks_merged"
+
 let merge_chains (p : Ir.Program.t) =
-  Ir.Program.v ~globals:p.Ir.Program.globals
-    ~funcs:(List.map merge_chains_func p.Ir.Program.funcs)
-    ~main:p.Ir.Program.main
+  Obs.Trace.span ~cat:"analysis" "analysis.simplify" (fun () ->
+      let block_count fs =
+        List.fold_left
+          (fun acc (f : Ir.Func.t) -> acc + List.length f.Ir.Func.blocks)
+          0 fs
+      in
+      let funcs = List.map merge_chains_func p.Ir.Program.funcs in
+      Obs.Metrics.add m_blocks_merged
+        (block_count p.Ir.Program.funcs - block_count funcs);
+      Ir.Program.v ~globals:p.Ir.Program.globals ~funcs
+        ~main:p.Ir.Program.main)

@@ -34,16 +34,25 @@ let reachable_funcs (p : Ir.Program.t) =
   visit p.Ir.Program.main;
   List.rev !order
 
+let m_builds = Obs.Metrics.counter "analysis.wpst_builds"
+let m_regions = Obs.Metrics.counter "analysis.wpst_regions"
+
 let build (p : Ir.Program.t) =
-  let funcs =
-    List.filter_map
-      (fun name ->
-        match Ir.Program.find_func p name with
-        | Some f -> Some { fname = name; root = Region.pst f }
-        | None -> None)
-      (reachable_funcs p)
-  in
-  { program = p; funcs }
+  Obs.Trace.span ~cat:"analysis" "analysis.wpst" (fun () ->
+      let funcs =
+        List.filter_map
+          (fun name ->
+            match Ir.Program.find_func p name with
+            | Some f -> Some { fname = name; root = Region.pst f }
+            | None -> None)
+          (reachable_funcs p)
+      in
+      Obs.Metrics.incr m_builds;
+      Obs.Metrics.add m_regions
+        (List.fold_left
+           (fun acc ft -> Region.fold (fun n _ -> n + 1) acc ft.root)
+           0 funcs);
+      { program = p; funcs })
 
 let func_tree t name =
   List.find_opt (fun ft -> String.equal ft.fname name) t.funcs

@@ -14,7 +14,11 @@ type analyzed = {
   t_all : float;
 }
 
+let m_analyzes = Obs.Metrics.counter "core.analyzes"
+
 let analyze ?fuel ?(if_convert = true) (program : Ir.Program.t) =
+  Obs.Trace.span ~cat:"core" "core.analyze" @@ fun () ->
+  Obs.Metrics.incr m_analyzes;
   Ir.Validate.check_exn program;
   let program =
     if if_convert then An.Simplify.merge_chains (An.Ifconv.run program)

@@ -171,8 +171,15 @@ let merge_accels accels =
   done;
   Array.to_list !arr
 
+let m_merges = Obs.Metrics.counter "merge.runs"
+let m_inputs = Obs.Metrics.counter "merge.input_accels"
+let m_reusable = Obs.Metrics.counter "merge.reusable_accels"
+
 let merge_solution ?(nodes_of = fun (_ : Solution.accel) -> None)
     (s : Solution.t) =
+  Obs.Trace.span ~cat:"merge" "merge" @@ fun () ->
+  Obs.Metrics.incr m_merges;
+  Obs.Metrics.add m_inputs (List.length s.Solution.accels);
   let initial =
     List.map (fun a -> accel_of ?nodes:(nodes_of a) a) s.Solution.accels
   in
@@ -183,6 +190,7 @@ let merge_solution ?(nodes_of = fun (_ : Solution.accel) -> None)
   let area_after = List.fold_left (fun acc a -> acc +. a.area) 0.0 merged in
   let reusable = List.filter (fun a -> List.length a.regions >= 2) merged in
   let n_reusable = List.length reusable in
+  Obs.Metrics.add m_reusable n_reusable;
   let regions_per_reusable =
     if n_reusable = 0 then 0.0
     else

@@ -20,6 +20,18 @@ type stats = {
   points_evaluated : int;
 }
 
+(* All counters: phase-1 walk and phase-3 DP are sequential in the
+   submitting domain, and the phase-2 fan-out evaluates the same task
+   list for every job count, so totals are schedule-independent. *)
+let m_selects = Obs.Metrics.counter "select.runs"
+let m_visited = Obs.Metrics.counter "select.regions_visited"
+let m_pruned = Obs.Metrics.counter "select.regions_pruned"
+let m_memo_hits = Obs.Metrics.counter "select.prune_memo_hits"
+let m_memo_misses = Obs.Metrics.counter "select.prune_memo_misses"
+let m_gen_tasks = Obs.Metrics.counter "select.gen_tasks"
+let m_points = Obs.Metrics.counter "select.points_evaluated"
+let m_frontier = Obs.Metrics.histogram "select.dp_frontier_size"
+
 (* Algorithm 1: bottom-up dynamic programming over the wPST. [F v] is the
    filtered Pareto sequence of solutions accelerating kernels from [v]'s
    subtree; sibling sequences combine with ⊗ and a ctrl-flow region may
@@ -39,6 +51,7 @@ type stats = {
 let select ?(params = default_params) ?jobs ~(gen : accel_gen)
     (ctxs : (string, Hls.Ctx.t) Hashtbl.t) (wpst : An.Wpst.t)
     (profile : Sim.Profile.t) : Solution.t list * stats =
+  Obs.Trace.span ~cat:"select" "select" @@ fun () ->
   let alpha = params.alpha in
   let total_cycles = float_of_int (Sim.Profile.total_cycles profile) in
   let prune_cycles = params.prune_threshold *. total_cycles in
@@ -49,13 +62,17 @@ let select ?(params = default_params) ?jobs ~(gen : accel_gen)
   let pruned_region (ctx : Hls.Ctx.t) (r : An.Region.t) =
     let key = ctx.Hls.Ctx.func.Cayman_ir.Func.name, r.An.Region.id in
     match Hashtbl.find_opt prune_memo key with
-    | Some p -> p
+    | Some p ->
+      Obs.Metrics.incr m_memo_hits;
+      p
     | None ->
+      Obs.Metrics.incr m_memo_misses;
       let cycles = Sim.Profile.region_cycles ctx.Hls.Ctx.func profile r in
       let p = float_of_int cycles < prune_cycles in
       Hashtbl.add prune_memo key p;
       p
   in
+  Obs.Metrics.incr m_selects;
   (* Phase 1: replay the DP's traversal to collect generation tasks. *)
   let visited = ref 0 in
   let pruned = ref 0 in
@@ -71,13 +88,17 @@ let select ?(params = default_params) ?jobs ~(gen : accel_gen)
       List.iter (walk ctx) r.An.Region.children
     end
   in
-  List.iter
-    (fun (ft : An.Wpst.func_tree) ->
-      match Hashtbl.find_opt ctxs ft.An.Wpst.fname with
-      | Some ctx -> walk ctx ft.An.Wpst.root
-      | None -> ())
-    wpst.An.Wpst.funcs;
+  Obs.Trace.span ~cat:"select" "select.prune-walk" (fun () ->
+      List.iter
+        (fun (ft : An.Wpst.func_tree) ->
+          match Hashtbl.find_opt ctxs ft.An.Wpst.fname with
+          | Some ctx -> walk ctx ft.An.Wpst.root
+          | None -> ())
+        wpst.An.Wpst.funcs);
   let tasks = List.rev !tasks in
+  Obs.Metrics.add m_visited !visited;
+  Obs.Metrics.add m_pruned !pruned;
+  Obs.Metrics.add m_gen_tasks (List.length tasks);
   (* Phase 2: evaluate all candidate generators across the domain pool.
      Keyed by (function, region id) — region ids are unique per PST. *)
   let own_points :
@@ -85,14 +106,21 @@ let select ?(params = default_params) ?jobs ~(gen : accel_gen)
     Hashtbl.create 64
   in
   let points = ref 0 in
+  let gen_results =
+    Obs.Trace.span ~cat:"select" "select.gen" (fun () ->
+        Engine.Pool.map ?jobs
+          (fun (ctx, r) ->
+            Obs.Trace.span ~cat:"select" "select.gen-region" (fun () ->
+                gen ctx r))
+          tasks)
+  in
   List.iter2
     (fun ((ctx : Hls.Ctx.t), (r : An.Region.t)) pts ->
       points := !points + List.length pts;
       Hashtbl.replace own_points
         (ctx.Hls.Ctx.func.Cayman_ir.Func.name, r.An.Region.id)
         pts)
-    tasks
-    (Engine.Pool.map ?jobs (fun (ctx, r) -> gen ctx r) tasks);
+    tasks gen_results;
   (* Phase 3: the DP proper, consuming precomputed candidates. *)
   let rec dp (ctx : Hls.Ctx.t) (r : An.Region.t) : Solution.t list =
     if pruned_region ctx r then [ Solution.empty ]
@@ -119,15 +147,21 @@ let select ?(params = default_params) ?jobs ~(gen : accel_gen)
           (fun acc c -> Solution.combine ~alpha acc (dp ctx c))
           [ Solution.empty ] r.An.Region.children
       in
-      Solution.filter ~alpha (Solution.pareto (own @ from_children))
+      let filtered =
+        Solution.filter ~alpha (Solution.pareto (own @ from_children))
+      in
+      Obs.Metrics.observe m_frontier (List.length filtered);
+      filtered
     end
   in
   let frontier =
-    List.fold_left
-      (fun acc (ft : An.Wpst.func_tree) ->
-        match Hashtbl.find_opt ctxs ft.An.Wpst.fname with
-        | Some ctx -> Solution.combine ~alpha acc (dp ctx ft.An.Wpst.root)
-        | None -> acc)
-      [ Solution.empty ] wpst.An.Wpst.funcs
+    Obs.Trace.span ~cat:"select" "select.dp" (fun () ->
+        List.fold_left
+          (fun acc (ft : An.Wpst.func_tree) ->
+            match Hashtbl.find_opt ctxs ft.An.Wpst.fname with
+            | Some ctx -> Solution.combine ~alpha acc (dp ctx ft.An.Wpst.root)
+            | None -> acc)
+          [ Solution.empty ] wpst.An.Wpst.funcs)
   in
+  Obs.Metrics.add m_points !points;
   frontier, { visited = !visited; pruned = !pruned; points_evaluated = !points }

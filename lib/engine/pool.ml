@@ -15,6 +15,37 @@
    runtime's 128-domain cap once jobs reaches ~12. *)
 let in_task : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
 
+(* The task has completed but stored neither a result nor an error: a
+   bug in the pool's accounting, not in the caller's tasks. *)
+exception Internal_error of string
+
+(* Fan-out totals are counted at the stateless [mapi] entry point — the
+   same items run no matter which path executes them — so they are
+   bit-identical across CAYMAN_JOBS values. Per-worker task counts and
+   idle time depend on the schedule by nature and are gauges, exempt
+   from the determinism contract (see Obs.Metrics). *)
+let m_maps = Obs.Metrics.counter "engine.pool_maps"
+let m_items = Obs.Metrics.counter "engine.pool_items"
+(* Whether a map is "nested" depends on whether the outer fan-out took
+   the pool path at all, which varies with the job count — a gauge. *)
+let m_nested_seq = Obs.Metrics.gauge "engine.pool_nested_sequential"
+let m_idle_us = Obs.Metrics.gauge "engine.pool_idle_us"
+
+let max_tracked_workers = 64
+
+(* Interned on a worker's first task so idle lanes never clutter the
+   snapshot; intern-by-name makes repeat lookups cheap and safe. *)
+let m_worker_tasks worker =
+  Obs.Metrics.gauge (Printf.sprintf "engine.pool_worker_tasks.%02d" worker)
+
+(* Time spent parked on a condition variable, attributed to the pool's
+   idle gauge. *)
+let timed_wait cond mutex =
+  let t0 = Unix.gettimeofday () in
+  Condition.wait cond mutex;
+  let dt = Unix.gettimeofday () -. t0 in
+  Obs.Metrics.gauge_add m_idle_us (int_of_float (dt *. 1e6))
+
 type batch = {
   b_run : int -> unit;  (* run task [i]; must never raise *)
   b_n : int;
@@ -44,14 +75,18 @@ let claim b =
   end
 
 (* Run one claimed chunk with the mutex released, then account for it.
-   Returns with the mutex held again. *)
-let run_chunk t b (lo, hi) =
+   [worker] is the stable index within this pool (0 = the submitting
+   caller); returns with the mutex held again. *)
+let run_chunk t ~worker b (lo, hi) =
   Mutex.unlock t.p_mutex;
+  if worker < max_tracked_workers then
+    Obs.Metrics.gauge_add (m_worker_tasks worker) (hi - lo);
   let was_in_task = Domain.DLS.get in_task in
   Domain.DLS.set in_task true;
-  for i = lo to hi - 1 do
-    b.b_run i
-  done;
+  Obs.Trace.span ~cat:"engine" "engine.pool-chunk" (fun () ->
+      for i = lo to hi - 1 do
+        b.b_run i
+      done);
   Domain.DLS.set in_task was_in_task;
   Mutex.lock t.p_mutex;
   b.b_done <- b.b_done + (hi - lo);
@@ -64,7 +99,7 @@ let run_chunk t b (lo, hi) =
     Condition.broadcast t.p_fin
   end
 
-let worker_loop t =
+let worker_loop t ~worker =
   Mutex.lock t.p_mutex;
   let rec loop () =
     if t.p_shutdown then Mutex.unlock t.p_mutex
@@ -73,15 +108,15 @@ let worker_loop t =
       | Some b ->
         (match claim b with
          | Some chunk ->
-           run_chunk t b chunk;
+           run_chunk t ~worker b chunk;
            loop ()
          | None ->
            (* batch fully claimed but not finished: wait for either its
               completion (p_todo is also signalled on submit) *)
-           Condition.wait t.p_todo t.p_mutex;
+           timed_wait t.p_todo t.p_mutex;
            loop ())
       | None ->
-        Condition.wait t.p_todo t.p_mutex;
+        timed_wait t.p_todo t.p_mutex;
         loop ()
   in
   loop ()
@@ -98,7 +133,9 @@ let create ?jobs () =
       p_workers = [] }
   in
   if jobs > 1 then
-    t.p_workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+    t.p_workers <-
+      List.init (jobs - 1) (fun i ->
+          Domain.spawn (fun () -> worker_loop t ~worker:(i + 1)));
   t
 
 let jobs t = t.p_jobs
@@ -135,11 +172,11 @@ let run_batch t b =
     let rec help () =
       match claim b with
       | Some chunk ->
-        run_chunk t b chunk;
+        run_chunk t ~worker:0 b chunk;
         help ()
       | None ->
         while b.b_done < b.b_n do
-          Condition.wait t.p_fin t.p_mutex
+          timed_wait t.p_fin t.p_mutex
         done;
         (* wake workers parked on p_todo with this batch attached *)
         Condition.broadcast t.p_todo;
@@ -174,7 +211,11 @@ let run_tasks t (tasks : (unit -> 'b) array) : 'b array =
   Array.map
     (function
       | Some v -> v
-      | None -> assert false (* every task stored a result or an error *))
+      | None ->
+        raise
+          (Internal_error
+             "engine.pool: completed batch has a task with neither result \
+              nor error"))
     results
 
 let seq_mapi f xs = List.mapi f xs
@@ -194,7 +235,11 @@ let run_map t f xs = run_mapi t (fun _ x -> f x) xs
 let mapi ?jobs f xs =
   (* On a pool worker, nested fan-out degenerates to the sequential
      path (see [in_task] above); results are unchanged by contract. *)
-  let n_jobs = if Domain.DLS.get in_task then 1 else Config.jobs ?jobs () in
+  let nested = Domain.DLS.get in_task in
+  let n_jobs = if nested then 1 else Config.jobs ?jobs () in
+  Obs.Metrics.incr m_maps;
+  Obs.Metrics.add m_items (List.length xs);
+  if nested then Obs.Metrics.gauge_add m_nested_seq 1;
   match xs with
   | [] -> []
   | [ x ] -> [ f 0 x ]

@@ -26,6 +26,10 @@
 
 type t
 
+(** A pool accounting invariant was violated: a bug in the pool itself,
+    not in the submitted tasks. The message names the engine phase. *)
+exception Internal_error of string
+
 val create : ?jobs:int -> unit -> t
 (** [create ()] resolves the worker count via {!Config.jobs} and spawns
     [jobs - 1] domains. A 1-job pool spawns nothing. *)

@@ -655,18 +655,31 @@ let lower (items : Ast.program) =
   in
   Ir.Program.v ~globals ~funcs ~main:"main"
 
+let m_programs = Obs.Metrics.counter "frontend.programs_compiled"
+let m_funcs = Obs.Metrics.counter "frontend.functions_lowered"
+
 let compile src =
-  let ast =
-    try Parser.parse src with
-    | Parser.Error { line; message } -> raise (Error { line; message })
-  in
-  let program = lower ast in
-  (match Ir.Validate.check program with
-   | Ok () -> ()
-   | Error errors ->
-     let message =
-       String.concat "; "
-         (List.map (fun e -> Format.asprintf "%a" Ir.Validate.pp_error e) errors)
-     in
-     raise (Error { line = 0; message = "internal lowering error: " ^ message }));
-  program
+  Obs.Trace.span ~cat:"frontend" "frontend.compile" (fun () ->
+      let ast =
+        Obs.Trace.span ~cat:"frontend" "frontend.parse" (fun () ->
+            try Parser.parse src with
+            | Parser.Error { line; message } -> raise (Error { line; message }))
+      in
+      let program =
+        Obs.Trace.span ~cat:"frontend" "frontend.lower" (fun () -> lower ast)
+      in
+      Obs.Trace.span ~cat:"frontend" "frontend.validate" (fun () ->
+          match Ir.Validate.check program with
+          | Ok () -> ()
+          | Error errors ->
+            let message =
+              String.concat "; "
+                (List.map
+                   (fun e -> Format.asprintf "%a" Ir.Validate.pp_error e)
+                   errors)
+            in
+            raise
+              (Error { line = 0; message = "internal lowering error: " ^ message }));
+      Obs.Metrics.incr m_programs;
+      Obs.Metrics.add m_funcs (List.length program.Ir.Program.funcs);
+      program)

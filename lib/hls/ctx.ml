@@ -65,12 +65,16 @@ let loop_entries t (l : An.Loops.loop) =
 
 (* All analysis contexts of a program, keyed by function name, restricted
    to functions reachable from main. *)
+let m_ctxs = Obs.Metrics.counter "hls.ctxs_built"
+
 let for_program program profile =
-  let tbl = Hashtbl.create 8 in
-  List.iter
-    (fun name ->
-      match Ir.Program.find_func program name with
-      | Some f -> Hashtbl.replace tbl name (create program profile f)
-      | None -> ())
-    (An.Wpst.reachable_funcs program);
-  tbl
+  Obs.Trace.span ~cat:"hls" "hls.ctx" (fun () ->
+      let tbl = Hashtbl.create 8 in
+      List.iter
+        (fun name ->
+          match Ir.Program.find_func program name with
+          | Some f -> Hashtbl.replace tbl name (create program profile f)
+          | None -> ())
+        (An.Wpst.reachable_funcs program);
+      Obs.Metrics.add m_ctxs (Hashtbl.length tbl);
+      tbl)

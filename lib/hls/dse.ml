@@ -24,10 +24,16 @@ let size space =
   List.length space.unrolls * List.length space.pipeline
   * List.length space.modes * List.length space.betas
 
+let m_explored = Obs.Metrics.counter "hls.dse_points_explored"
+let m_kept = Obs.Metrics.counter "hls.dse_points_kept"
+
 (* Every design point of the space, deduplicated by (cycles, area). *)
 let explore (ctx : Ctx.t) (region : An.Region.t) space =
+  Obs.Trace.span ~cat:"hls" "hls.dse" @@ fun () ->
+  Obs.Metrics.add m_explored (size space);
   let seen = Hashtbl.create 64 in
-  List.concat_map
+  let points =
+    List.concat_map
     (fun unroll ->
       List.concat_map
         (fun pipeline ->
@@ -50,7 +56,10 @@ let explore (ctx : Ctx.t) (region : An.Region.t) space =
                 space.betas)
             space.modes)
         space.pipeline)
-    space.unrolls
+      space.unrolls
+  in
+  Obs.Metrics.add m_kept (List.length points);
+  points
 
 (* Pareto frontier over (area, cycles): increasing area, strictly
    decreasing cycles. *)

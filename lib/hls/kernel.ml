@@ -2,6 +2,10 @@ module Ir = Cayman_ir
 module An = Cayman_analysis
 module Sim = Cayman_sim
 
+(* A synthesis-planning invariant was violated: a bug in this module,
+   not in the input region. The message names the offending construct. *)
+exception Internal_error of string
+
 type mode =
   | Heuristic
   | Coupled_only
@@ -170,7 +174,13 @@ let assign_interfaces (ctx : Ctx.t) (r : An.Region.t) ~beta ~config
             let base =
               match Ir.Instr.mem_ref_of instr with
               | Some m -> m.Ir.Instr.base
-              | None -> assert false
+              | None ->
+                raise
+                  (Internal_error
+                     (Printf.sprintf
+                        "hls.kernel: DFG memory node %d of block %s has no \
+                         memory reference"
+                        i label))
             in
             let is_store =
               match instr with
@@ -381,7 +391,11 @@ let units_area units =
 
 let scale_units mult units = List.map (fun (k, c) -> k, c * mult) units
 
+let m_estimates = Obs.Metrics.counter "hls.kernel_estimates"
+let m_points = Obs.Metrics.counter "hls.kernel_points"
+
 let estimate (ctx : Ctx.t) (r : An.Region.t) ?(beta = default_beta) config =
+  Obs.Metrics.incr m_estimates;
   let func = ctx.Ctx.func in
   let profile = ctx.Ctx.profile in
   match plan ctx r ~beta config with
@@ -516,15 +530,19 @@ let estimate (ctx : Ctx.t) (r : An.Region.t) ?(beta = default_beta) config =
 let estimate_all ctx r ?(beta = default_beta) configs =
   let points = List.filter_map (fun c -> estimate ctx r ~beta c) configs in
   let seen = Hashtbl.create 8 in
-  List.filter
-    (fun p ->
-      let key = (p.accel_cycles, p.area) in
-      if Hashtbl.mem seen key then false
-      else begin
-        Hashtbl.replace seen key ();
-        true
-      end)
-    points
+  let points =
+    List.filter
+      (fun p ->
+        let key = (p.accel_cycles, p.area) in
+        if Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.replace seen key ();
+          true
+        end)
+      points
+  in
+  Obs.Metrics.add m_points (List.length points);
+  points
 
 (* Time saved on the host by offloading this kernel, in seconds (can be
    negative when the accelerator is slower than the host). *)

@@ -9,6 +9,11 @@
     accumulates latency and area bottom-up, using profiled execution
     counts. *)
 
+(** A synthesis-planning invariant was violated: a bug in this module,
+    not in the input region. The message names the offending
+    construct. *)
+exception Internal_error of string
+
 type mode =
   | Heuristic  (** the paper's interface specialization heuristic *)
   | Coupled_only  (** ablation: coupled interfaces everywhere *)

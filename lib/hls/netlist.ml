@@ -290,8 +290,11 @@ let emit_block buf acc ~suffix ~state ~state_name (dfg : Dfg.t) ~iface =
     dfg.Dfg.instrs;
   !n_compute, !n_mem, List.rev !commits
 
+let m_netlists = Obs.Metrics.counter "hls.netlists_built"
+
 let of_kernel (ctx : Ctx.t) (region : An.Region.t) ?beta
     (config : Kernel.config) =
+  Obs.Trace.span ~cat:"hls" "hls.netlist" @@ fun () ->
   match Kernel.plan ctx region ?beta config with
   | None -> None
   | Some plan ->
@@ -667,6 +670,7 @@ let of_kernel (ctx : Ctx.t) (region : An.Region.t) ?beta
         nl_region_exit = region.An.Region.exit;
         nl_arch_regs = arch }
     in
+    Obs.Metrics.incr m_netlists;
     Some
       { module_name;
         verilog;

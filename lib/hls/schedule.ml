@@ -22,7 +22,12 @@ let clock = Tech.clock_ns
      interface's latency, and hold the shared port (coupled interface
      only) for their occupancy.
    - [sp_banks] scratchpad banks each serve one access per cycle. *)
+let m_schedules = Obs.Metrics.counter "hls.schedules_run"
+let m_nodes = Obs.Metrics.counter "hls.schedule_nodes"
+
 let run ?(sp_banks = 1) (dfg : Dfg.t) ~(iface : int -> Iface.kind) =
+  Obs.Metrics.incr m_schedules;
+  Obs.Metrics.add m_nodes (Dfg.size dfg);
   let n = Dfg.size dfg in
   let issue_cycle = Array.make n 0 in
   let finish_cycle = Array.make n 0 in

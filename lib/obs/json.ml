@@ -1,0 +1,258 @@
+(* Minimal JSON value type shared by the observability exports and the
+   bench harness's --json sink (bench/json_out.ml re-exports this
+   module and adds the file sink on top).
+
+   Hand-rolled to keep the pipeline dependency-free; output is pretty,
+   deterministic and valid JSON (non-finite floats become null). The
+   parser exists so tests and tools can read the emitted artifacts back
+   (trace files, *_metrics.json) without an external JSON library; it
+   accepts exactly the constructs the emitter produces plus ordinary
+   whitespace, and is not a general-purpose validating parser. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let rec emit b indent (v : t) =
+  let pad n = String.make n ' ' in
+  match v with
+  | Null -> Buffer.add_string b "null"
+  | Bool x -> Buffer.add_string b (if x then "true" else "false")
+  | Int n -> Buffer.add_string b (string_of_int n)
+  | Float x ->
+    if Float.is_finite x then
+      (* %.12g round-trips every value the harness produces and prints
+         integers without a trailing ".000000" *)
+      Buffer.add_string b (Printf.sprintf "%.12g" x)
+    else Buffer.add_string b "null"
+  | String s ->
+    Buffer.add_char b '"';
+    Buffer.add_string b (escape s);
+    Buffer.add_char b '"'
+  | List [] -> Buffer.add_string b "[]"
+  | List xs ->
+    Buffer.add_string b "[\n";
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_string b ",\n";
+        Buffer.add_string b (pad (indent + 2));
+        emit b (indent + 2) x)
+      xs;
+    Buffer.add_char b '\n';
+    Buffer.add_string b (pad indent);
+    Buffer.add_char b ']'
+  | Obj [] -> Buffer.add_string b "{}"
+  | Obj kvs ->
+    Buffer.add_string b "{\n";
+    List.iteri
+      (fun i (k, x) ->
+        if i > 0 then Buffer.add_string b ",\n";
+        Buffer.add_string b (pad (indent + 2));
+        Buffer.add_char b '"';
+        Buffer.add_string b (escape k);
+        Buffer.add_string b "\": ";
+        emit b (indent + 2) x)
+      kvs;
+    Buffer.add_char b '\n';
+    Buffer.add_string b (pad indent);
+    Buffer.add_char b '}'
+
+let to_string v =
+  let b = Buffer.create 1024 in
+  emit b 0 v;
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+let write_file path v =
+  let oc = open_out path in
+  output_string oc (to_string v);
+  close_out oc
+
+(* ---------------- parser ---------------- *)
+
+exception Parse_error of string
+
+type cursor = { src : string; mutable pos : int }
+
+let parse_fail c msg =
+  raise (Parse_error (Printf.sprintf "at offset %d: %s" c.pos msg))
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let skip_ws c =
+  let rec go () =
+    match peek c with
+    | Some (' ' | '\t' | '\n' | '\r') -> advance c; go ()
+    | Some _ | None -> ()
+  in
+  go ()
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | Some x -> parse_fail c (Printf.sprintf "expected %c, found %c" ch x)
+  | None -> parse_fail c (Printf.sprintf "expected %c, found end of input" ch)
+
+let literal c word v =
+  let n = String.length word in
+  if c.pos + n <= String.length c.src && String.sub c.src c.pos n = word then begin
+    c.pos <- c.pos + n;
+    v
+  end
+  else parse_fail c (Printf.sprintf "expected %s" word)
+
+let parse_string_body c =
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> parse_fail c "unterminated string"
+    | Some '"' -> advance c; Buffer.contents b
+    | Some '\\' ->
+      advance c;
+      (match peek c with
+       | Some '"' -> Buffer.add_char b '"'; advance c
+       | Some '\\' -> Buffer.add_char b '\\'; advance c
+       | Some '/' -> Buffer.add_char b '/'; advance c
+       | Some 'n' -> Buffer.add_char b '\n'; advance c
+       | Some 'r' -> Buffer.add_char b '\r'; advance c
+       | Some 't' -> Buffer.add_char b '\t'; advance c
+       | Some 'b' -> Buffer.add_char b '\b'; advance c
+       | Some 'f' -> Buffer.add_char b '\012'; advance c
+       | Some 'u' ->
+         advance c;
+         if c.pos + 4 > String.length c.src then
+           parse_fail c "truncated \\u escape";
+         let hex = String.sub c.src c.pos 4 in
+         (match int_of_string_opt ("0x" ^ hex) with
+          | Some code when code < 0x100 -> Buffer.add_char b (Char.chr code)
+          | Some _ -> Buffer.add_char b '?'  (* emitter never produces these *)
+          | None -> parse_fail c "bad \\u escape");
+         c.pos <- c.pos + 4
+       | Some x -> parse_fail c (Printf.sprintf "bad escape \\%c" x)
+       | None -> parse_fail c "unterminated escape");
+      go ()
+    | Some ch -> Buffer.add_char b ch; advance c; go ()
+  in
+  go ()
+
+let parse_number c =
+  let start = c.pos in
+  let is_num_char ch =
+    match ch with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  let rec go () =
+    match peek c with
+    | Some ch when is_num_char ch -> advance c; go ()
+    | Some _ | None -> ()
+  in
+  go ();
+  let s = String.sub c.src start (c.pos - start) in
+  match int_of_string_opt s with
+  | Some n -> Int n
+  | None ->
+    (match float_of_string_opt s with
+     | Some x -> Float x
+     | None -> parse_fail c (Printf.sprintf "bad number %S" s))
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> parse_fail c "unexpected end of input"
+  | Some 'n' -> literal c "null" Null
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some '"' -> advance c; String (parse_string_body c)
+  | Some '[' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some ']' then begin advance c; List [] end
+    else begin
+      let rec items acc =
+        let v = parse_value c in
+        skip_ws c;
+        match peek c with
+        | Some ',' -> advance c; items (v :: acc)
+        | Some ']' -> advance c; List (List.rev (v :: acc))
+        | _ -> parse_fail c "expected , or ] in array"
+      in
+      items []
+    end
+  | Some '{' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some '}' then begin advance c; Obj [] end
+    else begin
+      let rec members acc =
+        skip_ws c;
+        expect c '"';
+        let k = parse_string_body c in
+        skip_ws c;
+        expect c ':';
+        let v = parse_value c in
+        skip_ws c;
+        match peek c with
+        | Some ',' -> advance c; members ((k, v) :: acc)
+        | Some '}' -> advance c; Obj (List.rev ((k, v) :: acc))
+        | _ -> parse_fail c "expected , or } in object"
+      in
+      members []
+    end
+  | Some ('-' | '0' .. '9') -> parse_number c
+  | Some ch -> parse_fail c (Printf.sprintf "unexpected character %c" ch)
+
+let parse s =
+  let c = { src = s; pos = 0 } in
+  match parse_value c with
+  | v ->
+    skip_ws c;
+    if c.pos <> String.length s then Error "trailing garbage after JSON value"
+    else Ok v
+  | exception Parse_error m -> Error m
+
+(* ---------------- accessors ---------------- *)
+
+let member k = function
+  | Obj kvs -> List.assoc_opt k kvs
+  | Null | Bool _ | Int _ | Float _ | String _ | List _ -> None
+
+let to_list = function
+  | List xs -> Some xs
+  | Null | Bool _ | Int _ | Float _ | String _ | Obj _ -> None
+
+let to_int = function
+  | Int n -> Some n
+  | Null | Bool _ | Float _ | String _ | List _ | Obj _ -> None
+
+let to_float = function
+  | Float x -> Some x
+  | Int n -> Some (float_of_int n)
+  | Null | Bool _ | String _ | List _ | Obj _ -> None
+
+let to_string_opt = function
+  | String s -> Some s
+  | Null | Bool _ | Int _ | Float _ | List _ | Obj _ -> None

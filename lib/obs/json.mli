@@ -1,0 +1,36 @@
+(** Dependency-free JSON values: a deterministic pretty emitter used by
+    every machine-readable artifact the pipeline writes (Chrome traces,
+    metrics snapshots, the bench harness's --json files), and a reader
+    covering exactly what the emitter produces, so tests and tools can
+    parse those artifacts back without an external JSON library. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Deterministic pretty-printed JSON, newline-terminated. Non-finite
+    floats serialize as [null]. *)
+val to_string : t -> string
+
+val write_file : string -> t -> unit
+
+(** Parse a complete JSON document. Handles everything {!to_string}
+    emits (objects, arrays, strings with escapes, ints, floats, bools,
+    null) plus arbitrary inter-token whitespace. *)
+val parse : string -> (t, string) result
+
+(** Object field lookup; [None] on non-objects and missing keys. *)
+val member : string -> t -> t option
+
+val to_list : t -> t list option
+val to_int : t -> int option
+
+(** Ints widen to floats. *)
+val to_float : t -> float option
+
+val to_string_opt : t -> string option

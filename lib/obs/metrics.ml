@@ -1,0 +1,195 @@
+(* Process-wide named metrics: counters, gauges and histograms backed by
+   atomics, registered once (under a mutex — creation is rare, callers
+   hold the handle) and updated lock-free.
+
+   Determinism policy: *counters and histograms are schedule-independent
+   by construction* — they count events of the pipeline's deterministic
+   algorithms, and atomic addition is commutative, so their totals are
+   bit-identical for CAYMAN_JOBS=1 and CAYMAN_JOBS=4 (the tier-1
+   test_jobs harness enforces this). *Gauges are exempt*: they hold
+   schedule-dependent facts (tasks per pool worker, pool idle time) and
+   are excluded from [deterministic_snapshot].
+
+   Metric names are dot-separated with the pipeline phase as the first
+   segment ("select.regions_visited", "engine.pool_items", ...); the
+   `cayman stats` table groups by that segment. *)
+
+type counter = int Atomic.t
+type gauge = int Atomic.t
+
+(* Log2 buckets: slot [i] counts values [v] with [2^(i-1) <= v < 2^i]
+   (slot 0: v <= 0). Bucket increments, the sum, and the CAS'd min/max
+   are all order-independent, keeping histograms deterministic. *)
+let n_buckets = 64
+
+type histogram = {
+  h_buckets : counter array;
+  h_count : counter;
+  h_sum : counter;
+  h_min : counter;
+  h_max : counter;
+}
+
+type metric =
+  | M_counter of counter
+  | M_gauge of gauge
+  | M_histogram of histogram
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let registry_mutex = Mutex.create ()
+
+let intern name make describe =
+  Mutex.lock registry_mutex;
+  let m =
+    match Hashtbl.find_opt registry name with
+    | Some m -> m
+    | None ->
+      let m = make () in
+      Hashtbl.add registry name m;
+      m
+  in
+  Mutex.unlock registry_mutex;
+  match describe m with
+  | Some v -> v
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Obs.Metrics: %s already registered with another kind"
+         name)
+
+let counter name =
+  intern name
+    (fun () -> M_counter (Atomic.make 0))
+    (function M_counter c -> Some c | M_gauge _ | M_histogram _ -> None)
+
+let gauge name =
+  intern name
+    (fun () -> M_gauge (Atomic.make 0))
+    (function M_gauge g -> Some g | M_counter _ | M_histogram _ -> None)
+
+let histogram name =
+  intern name
+    (fun () ->
+      M_histogram
+        { h_buckets = Array.init n_buckets (fun _ -> Atomic.make 0);
+          h_count = Atomic.make 0;
+          h_sum = Atomic.make 0;
+          h_min = Atomic.make max_int;
+          h_max = Atomic.make min_int })
+    (function M_histogram h -> Some h | M_counter _ | M_gauge _ -> None)
+
+let add c n = ignore (Atomic.fetch_and_add c n : int)
+let incr c = add c 1
+let value c = Atomic.get c
+
+let gauge_add = add
+let gauge_set g n = Atomic.set g n
+
+let rec cas_min a v =
+  let cur = Atomic.get a in
+  if v < cur && not (Atomic.compare_and_set a cur v) then cas_min a v
+
+let rec cas_max a v =
+  let cur = Atomic.get a in
+  if v > cur && not (Atomic.compare_and_set a cur v) then cas_max a v
+
+(* Bits needed to represent [v]: the log2 bucket index. *)
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let rec bits n acc = if n = 0 then acc else bits (n lsr 1) (acc + 1) in
+    min (n_buckets - 1) (bits v 0)
+  end
+
+let observe h v =
+  incr h.h_buckets.(bucket_of v);
+  incr h.h_count;
+  add h.h_sum v;
+  cas_min h.h_min v;
+  cas_max h.h_max v
+
+type hist_snap = {
+  hs_count : int;
+  hs_sum : int;
+  hs_min : int;  (* 0 when empty *)
+  hs_max : int;  (* 0 when empty *)
+}
+
+type snap =
+  | S_counter of int
+  | S_gauge of int
+  | S_histogram of hist_snap
+
+let snap_of = function
+  | M_counter c -> S_counter (Atomic.get c)
+  | M_gauge g -> S_gauge (Atomic.get g)
+  | M_histogram h ->
+    let count = Atomic.get h.h_count in
+    { hs_count = count;
+      hs_sum = Atomic.get h.h_sum;
+      hs_min = (if count = 0 then 0 else Atomic.get h.h_min);
+      hs_max = (if count = 0 then 0 else Atomic.get h.h_max) }
+    |> fun hs -> S_histogram hs
+
+let snapshot () =
+  Mutex.lock registry_mutex;
+  let entries = Hashtbl.fold (fun k m acc -> (k, m) :: acc) registry [] in
+  Mutex.unlock registry_mutex;
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (List.map (fun (k, m) -> k, snap_of m) entries)
+
+(* Counters and histograms only: the part of the snapshot the engine
+   guarantees bit-identical across job counts. *)
+let deterministic_snapshot () =
+  List.filter
+    (fun (_, s) ->
+      match s with
+      | S_counter _ | S_histogram _ -> true
+      | S_gauge _ -> false)
+    (snapshot ())
+
+let reset () =
+  Mutex.lock registry_mutex;
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | M_counter c | M_gauge c -> Atomic.set c 0
+      | M_histogram h ->
+        Array.iter (fun b -> Atomic.set b 0) h.h_buckets;
+        Atomic.set h.h_count 0;
+        Atomic.set h.h_sum 0;
+        Atomic.set h.h_min max_int;
+        Atomic.set h.h_max min_int)
+    registry;
+  Mutex.unlock registry_mutex
+
+let phase_of name =
+  match String.index_opt name '.' with
+  | Some i -> String.sub name 0 i
+  | None -> name
+
+let to_json () : Json.t =
+  let entry (name, s) =
+    let common kind rest =
+      Json.Obj
+        (("name", Json.String name)
+         :: ("phase", Json.String (phase_of name))
+         :: ("kind", Json.String kind)
+         :: rest)
+    in
+    match s with
+    | S_counter v -> common "counter" [ "value", Json.Int v ]
+    | S_gauge v -> common "gauge" [ "value", Json.Int v ]
+    | S_histogram h ->
+      common "histogram"
+        [ "count", Json.Int h.hs_count;
+          "sum", Json.Int h.hs_sum;
+          "min", Json.Int h.hs_min;
+          "max", Json.Int h.hs_max;
+          ( "mean",
+            if h.hs_count = 0 then Json.Null
+            else
+              Json.Float (float_of_int h.hs_sum /. float_of_int h.hs_count)
+          ) ]
+  in
+  Json.Obj [ "metrics", Json.List (List.map entry (snapshot ())) ]

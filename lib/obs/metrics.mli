@@ -1,0 +1,65 @@
+(** Process-wide named counters, gauges and histograms.
+
+    Handles are interned by name (create once, at module init or first
+    use) and updated lock-free through atomics, so instrumented hot
+    paths pay one atomic add per event.
+
+    Determinism policy: counters and histograms count events of the
+    pipeline's deterministic algorithms and must be bit-identical for
+    every CAYMAN_JOBS value; gauges hold schedule-dependent facts (pool
+    tasks per worker, idle time) and are excluded from
+    {!deterministic_snapshot}. Wall-clock timing belongs in {!Trace},
+    never here.
+
+    Names are dot-separated with the pipeline phase first
+    (["select.regions_visited"]); [cayman stats] groups by that
+    segment. *)
+
+type counter
+type gauge
+type histogram
+
+(** Intern by name.
+    @raise Invalid_argument if the name is already registered with a
+    different kind. *)
+val counter : string -> counter
+
+val gauge : string -> gauge
+val histogram : string -> histogram
+
+val add : counter -> int -> unit
+val incr : counter -> unit
+val value : counter -> int
+
+val gauge_add : gauge -> int -> unit
+val gauge_set : gauge -> int -> unit
+
+(** Record one value: log2 bucket count, running sum, min and max. *)
+val observe : histogram -> int -> unit
+
+type hist_snap = {
+  hs_count : int;
+  hs_sum : int;
+  hs_min : int;  (** 0 when empty *)
+  hs_max : int;  (** 0 when empty *)
+}
+
+type snap =
+  | S_counter of int
+  | S_gauge of int
+  | S_histogram of hist_snap
+
+(** Every registered metric, sorted by name. *)
+val snapshot : unit -> (string * snap) list
+
+(** Counters and histograms only — the schedule-independent subset the
+    CAYMAN_JOBS={1,4} harness compares bit-for-bit. *)
+val deterministic_snapshot : unit -> (string * snap) list
+
+(** Zero every registered metric (tests, and [cayman stats] isolation). *)
+val reset : unit -> unit
+
+(** ["select.regions_visited"] -> ["select"]. *)
+val phase_of : string -> string
+
+val to_json : unit -> Json.t

@@ -1,0 +1,53 @@
+(** Nested wall-clock tracing with Chrome trace_event export.
+
+    Spans record into per-domain ring buffers reached through
+    [Domain.DLS] — no locks on the recording path — and merge at flush
+    into one canonical sequence ordered by the globally monotone span
+    id. Disabled (the default), {!span} costs a single atomic load and
+    branch, so call sites stay in hot paths permanently.
+
+    Wall-clock data is schedule-dependent by nature and therefore lives
+    only here; metrics that must be bit-identical across CAYMAN_JOBS
+    values belong in {!Metrics}. *)
+
+type span = {
+  sp_id : int;  (** unique, monotone in start order across domains *)
+  sp_parent : int;  (** enclosing span id; [0] = top-level *)
+  sp_name : string;
+  sp_cat : string;
+  sp_start : float;  (** seconds since the trace epoch *)
+  sp_dur : float;  (** seconds *)
+  sp_dom : int;  (** recording domain id *)
+}
+
+val enabled : unit -> bool
+
+(** Enabling (re)arms the trace epoch; disabling keeps recorded spans
+    readable. *)
+val set_enabled : bool -> unit
+
+(** [span name f] runs [f] inside a span named [name], nested under the
+    innermost open span of the current domain. The span is recorded when
+    [f] returns or raises. When tracing is disabled this is just
+    [f ()]. *)
+val span : ?cat:string -> string -> (unit -> 'a) -> 'a
+
+(** All recorded spans, merged across domains and sorted by id. Flush
+    after the instrumented work has quiesced. *)
+val spans : unit -> span list
+
+(** Spans lost to ring-buffer overwrite. *)
+val dropped : unit -> int
+
+(** Forget all recorded spans and restart ids and the epoch. *)
+val reset : unit -> unit
+
+(** Chrome trace_event JSON ({["{\"traceEvents\": [...]}"]}): one
+    complete "X" event per span in microseconds, one [tid] lane per
+    domain. Loadable in Perfetto and chrome://tracing. *)
+val to_json : unit -> Json.t
+
+val write_file : string -> unit
+
+(** Per-name rollup [(name, calls, total_seconds)], heaviest first. *)
+val rollup : unit -> (string * int * float) list

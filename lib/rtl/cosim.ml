@@ -207,8 +207,21 @@ let enter ks max_invocations (read : string -> Value.t option)
         | Memory.Fault m -> Error ("memory fault: " ^ m)
         | Value.Type_error m -> Error ("type error: " ^ m))
 
+(* A co-simulation harness invariant was violated: a bug in this
+   module, not a netlist/golden-model mismatch (those are reported). *)
+exception Internal_error of string
+
+let m_runs = Obs.Metrics.counter "rtl.cosim_runs"
+let m_kernels = Obs.Metrics.counter "rtl.cosim_kernels"
+let m_invocations = Obs.Metrics.counter "rtl.cosim_invocations"
+let m_sim_cycles = Obs.Metrics.counter "rtl.cosim_sim_cycles"
+let m_mismatches = Obs.Metrics.counter "rtl.cosim_mismatches"
+
 let run_many ?fuel ?(tolerance = default_tolerance) ?max_invocations
     (program : Ir.Program.t) (specs : spec list) =
+  Obs.Trace.span ~cat:"rtl" "rtl.cosim" @@ fun () ->
+  Obs.Metrics.incr m_runs;
+  Obs.Metrics.add m_kernels (List.length specs);
   let kstates =
     List.map
       (fun spec ->
@@ -281,6 +294,9 @@ let run_many ?fuel ?(tolerance = default_tolerance) ?max_invocations
         | Some p -> p.Hls.Kernel.accel_cycles
         | None -> 0.0
       in
+      Obs.Metrics.add m_invocations ks.ks_sim_inv;
+      Obs.Metrics.add m_sim_cycles ks.ks_cycles;
+      Obs.Metrics.add m_mismatches ks.ks_n_mm;
       let checked = (not ks.ks_capped) && ks.ks_sim_inv > 0 in
       let ok =
         Float.abs (est -. float_of_int ks.ks_cycles)
@@ -303,4 +319,9 @@ let run_many ?fuel ?(tolerance = default_tolerance) ?max_invocations
 let run ?fuel ?tolerance ?max_invocations program spec =
   match run_many ?fuel ?tolerance ?max_invocations program [ spec ] with
   | [ r ] -> r
-  | _ -> assert false
+  | rs ->
+    raise
+      (Internal_error
+         (Printf.sprintf
+            "rtl.cosim: run_many returned %d reports for a singleton spec"
+            (List.length rs)))

@@ -26,6 +26,10 @@ type tolerance = {
     legitimately diverge. *)
 val default_tolerance : tolerance
 
+(** A harness invariant of this module was violated — a co-simulation
+    bug, not a netlist/golden mismatch (those are reported). *)
+exception Internal_error of string
+
 type mismatch = {
   m_invocation : int;  (** 1-based golden invocation index *)
   m_kind : string;  (** ["register"], ["memory"], ["control"], ["sim-error"] *)

@@ -108,5 +108,12 @@ let access t ~base ~index =
     false
   end
 
+(* Published when a run's stats are read (not per access: [access] is on
+   the interpreter's per-load hot path). *)
+let m_accesses = Obs.Metrics.counter "sim.cache_accesses"
+let m_hits = Obs.Metrics.counter "sim.cache_hits"
+
 let stats t =
+  Obs.Metrics.add m_accesses t.accesses;
+  Obs.Metrics.add m_hits t.hits;
   { accesses = t.accesses; hits = t.hits; misses = t.accesses - t.hits }

@@ -215,9 +215,13 @@ let run ?(fuel = 2_000_000_000) ?cache_config ?observer (p : Ir.Program.t) =
   if main.f.Ir.Func.params <> [] then
     raise (Runtime_error "main must take no parameters");
   let return_value =
-    try exec_func main [] with
-    | Value.Type_error m -> raise (Runtime_error ("type error: " ^ m))
-    | Memory.Fault m -> raise (Runtime_error ("memory fault: " ^ m))
+    Obs.Trace.span ~cat:"sim" "sim.interp" (fun () ->
+        try exec_func main [] with
+        | Value.Type_error m -> raise (Runtime_error ("type error: " ^ m))
+        | Memory.Fault m -> raise (Runtime_error ("memory fault: " ^ m)))
   in
+  (* Publish the run's profile totals — the Eq. (1) inputs — through the
+     shared metrics registry so they appear in `cayman stats`. *)
+  Profile.publish_metrics profile;
   { return_value; memory; profile;
     cache_stats = Option.map Cache.stats cache }

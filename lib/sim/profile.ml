@@ -47,6 +47,28 @@ let total_cycles t = t.total_cycles
 let total_instrs t = t.total_instrs
 let total_seconds t = Cpu_model.seconds_of_cycles t.total_cycles
 
+(* Aggregate totals, re-exported through the shared Obs.Metrics registry
+   (once per completed profiling run, from Interp.run) so Eq. (1)'s
+   inputs appear in `cayman stats` next to every other phase instead of
+   living only in this one-off structure. All are deterministic facts of
+   the interpreted program, hence counters. *)
+let m_runs = Obs.Metrics.counter "sim.profile_runs"
+let m_cycles = Obs.Metrics.counter "sim.profile_cycles"
+let m_instrs = Obs.Metrics.counter "sim.profile_instrs"
+let m_calls = Obs.Metrics.counter "sim.profile_calls"
+let m_block_execs = Obs.Metrics.counter "sim.profile_block_execs"
+let m_distinct_blocks = Obs.Metrics.counter "sim.profile_distinct_blocks"
+
+let publish_metrics t =
+  Obs.Metrics.incr m_runs;
+  Obs.Metrics.add m_cycles t.total_cycles;
+  Obs.Metrics.add m_instrs t.total_instrs;
+  Obs.Metrics.add m_calls
+    (Hashtbl.fold (fun _ r acc -> acc + !r) t.call_count 0);
+  Obs.Metrics.add m_block_execs
+    (Hashtbl.fold (fun _ r acc -> acc + !r) t.block_exec 0);
+  Obs.Metrics.add m_distinct_blocks (Hashtbl.length t.block_exec)
+
 (* Cycles attributed to a block across the run: executions times its
    static cost. Call instructions contribute only their local overhead;
    callee time is attributed to the callee's own blocks. *)

@@ -28,6 +28,12 @@ val total_instrs : t -> int
 (** Whole-program duration in seconds ([T_all] of Eq. (1)). *)
 val total_seconds : t -> float
 
+(** Re-export this run's aggregate totals (cycles, instructions, calls,
+    block executions — the Eq. (1) inputs) through {!Obs.Metrics} so
+    they appear in [cayman stats]. Called by {!Interp.run} once per
+    completed profiling run. *)
+val publish_metrics : t -> unit
+
 val block_cycles : Cayman_ir.Func.t -> t -> label:string -> int
 
 (** Host cycles spent in the region's own blocks across the run. *)

@@ -1,6 +1,7 @@
 let () =
   Alcotest.run "cayman"
     [ "engine", Test_engine.tests;
+      "obs", Test_obs.tests;
       "ir", Test_ir.tests;
       "frontend", Test_frontend.tests;
       "analysis", Test_analysis.tests;

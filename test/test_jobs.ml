@@ -28,10 +28,16 @@ let () =
   let squares = Engine.Pool.map (fun i -> i * i) xs in
   if squares <> List.map (fun i -> i * i) xs then
     fail "pool map order violated under CAYMAN_JOBS=%d" resolved;
-  (* 3. end-to-end: env-driven selection equals the sequential run *)
+  (* 3. end-to-end: env-driven selection equals the sequential run.
+     Metrics are snapshotted around each run so the schedule-independent
+     subset (counters + histograms) can be compared bit-for-bit. *)
   let a = Core.Cayman.analyze (Suite.compile (Suite.find_exn "atax")) in
-  let env_run = Core.Cayman.run ~mode:Hls.Kernel.Heuristic a in
+  Obs.Metrics.reset ();
   let seq_run = Core.Cayman.run ~jobs:1 ~mode:Hls.Kernel.Heuristic a in
+  let seq_metrics = Obs.Metrics.deterministic_snapshot () in
+  Obs.Metrics.reset ();
+  let env_run = Core.Cayman.run ~mode:Hls.Kernel.Heuristic a in
+  let env_metrics = Obs.Metrics.deterministic_snapshot () in
   if
     not
       (Core.Solution.equal_frontier env_run.Core.Cayman.frontier
@@ -39,6 +45,27 @@ let () =
   then fail "frontier differs between CAYMAN_JOBS=%d and jobs=1" resolved;
   if env_run.Core.Cayman.stats <> seq_run.Core.Cayman.stats then
     fail "selection stats differ between CAYMAN_JOBS=%d and jobs=1" resolved;
-  Printf.printf "test_jobs: ok (CAYMAN_JOBS=%d, %d frontier solutions)\n"
+  (* 4. the deterministic metric subset is bit-identical across job
+     counts: same names in the same order, same values *)
+  if List.length seq_metrics = 0 then
+    fail "deterministic_snapshot is empty after an instrumented run";
+  if seq_metrics <> env_metrics then begin
+    if List.length seq_metrics = List.length env_metrics then
+      List.iter2
+        (fun (n1, s1) (n2, s2) ->
+          if n1 <> n2 || s1 <> s2 then
+            Printf.eprintf "  metric %s/%s differs\n" n1 n2)
+        seq_metrics env_metrics
+    else
+      Printf.eprintf "  %d vs %d metrics registered\n"
+        (List.length seq_metrics)
+        (List.length env_metrics);
+    fail "deterministic metrics differ between CAYMAN_JOBS=%d and jobs=1"
+      resolved
+  end;
+  Printf.printf
+    "test_jobs: ok (CAYMAN_JOBS=%d, %d frontier solutions, %d deterministic \
+     metrics)\n"
     resolved
     (List.length env_run.Core.Cayman.frontier)
+    (List.length seq_metrics)

@@ -1,0 +1,229 @@
+(* The observability subsystem: span recording invariants (including
+   across pool domains), Chrome trace_event export parsed back with the
+   library's own JSON reader, and the metrics determinism contract. *)
+
+let check = Alcotest.(check bool)
+
+(* --- Trace: span nesting and ordering invariants --- *)
+
+(* Run a small instrumented workload — nested spans in the submitting
+   domain plus a pool fan-out so several domains record — and return the
+   merged span list. *)
+let traced_workload () =
+  Obs.Metrics.reset ();
+  Obs.Trace.reset ();
+  Obs.Trace.set_enabled true;
+  let sink = ref 0 in
+  Obs.Trace.span ~cat:"test" "outer" (fun () ->
+      Obs.Trace.span ~cat:"test" "inner-a" (fun () -> sink := !sink + 1);
+      Obs.Trace.span ~cat:"test" "inner-b" (fun () ->
+          Obs.Trace.span ~cat:"test" "leaf" (fun () -> sink := !sink + 1)));
+  let (_ : int list) =
+    Engine.Pool.map ~jobs:3
+      (fun i -> Obs.Trace.span ~cat:"test" "task" (fun () -> i * i))
+      (List.init 16 (fun i -> i))
+  in
+  Obs.Trace.set_enabled false;
+  Obs.Trace.spans ()
+
+let test_span_invariants () =
+  let spans = traced_workload () in
+  check "spans recorded" true (List.length spans >= 5);
+  let by_id = Hashtbl.create 64 in
+  List.iter (fun s -> Hashtbl.replace by_id s.Obs.Trace.sp_id s) spans;
+  (* ids are unique and the merged sequence is sorted by id *)
+  check "ids unique" true (Hashtbl.length by_id = List.length spans);
+  let ids = List.map (fun s -> s.Obs.Trace.sp_id) spans in
+  check "sorted by id" true (List.sort compare ids = ids);
+  List.iter
+    (fun (s : Obs.Trace.span) ->
+      check "positive id" true (s.Obs.Trace.sp_id > 0);
+      check "non-negative duration" true (s.Obs.Trace.sp_dur >= 0.0);
+      if s.Obs.Trace.sp_parent <> 0 then begin
+        match Hashtbl.find_opt by_id s.Obs.Trace.sp_parent with
+        | None -> Alcotest.fail "span parent not recorded"
+        | Some p ->
+          (* children start after their parent (ids are handed out in
+             start order), on the same domain, inside its interval *)
+          check "parent precedes child" true
+            (p.Obs.Trace.sp_id < s.Obs.Trace.sp_id);
+          check "parent on same domain" true
+            (p.Obs.Trace.sp_dom = s.Obs.Trace.sp_dom);
+          check "child starts within parent" true
+            (p.Obs.Trace.sp_start <= s.Obs.Trace.sp_start +. 1e-9);
+          check "child ends within parent" true
+            (s.Obs.Trace.sp_start +. s.Obs.Trace.sp_dur
+             <= p.Obs.Trace.sp_start +. p.Obs.Trace.sp_dur +. 1e-9)
+      end)
+    spans;
+  (* the nested block above must reconstruct: leaf under inner-b under
+     outer *)
+  let find name =
+    List.find (fun s -> s.Obs.Trace.sp_name = name) spans
+  in
+  let outer = find "outer" and inner_b = find "inner-b" and leaf = find "leaf" in
+  check "leaf nests in inner-b" true
+    (leaf.Obs.Trace.sp_parent = inner_b.Obs.Trace.sp_id);
+  check "inner-b nests in outer" true
+    (inner_b.Obs.Trace.sp_parent = outer.Obs.Trace.sp_id);
+  check "outer is top-level" true (outer.Obs.Trace.sp_parent = 0);
+  (* pool tasks recorded from every participating domain are top-level
+     or nested under the worker's chunk span *)
+  let tasks = List.filter (fun s -> s.Obs.Trace.sp_name = "task") spans in
+  check "all pool tasks recorded" true (List.length tasks = 16);
+  Obs.Trace.reset ()
+
+let test_disabled_records_nothing () =
+  Obs.Trace.reset ();
+  let v = Obs.Trace.span "invisible" (fun () -> 41 + 1) in
+  Alcotest.(check int) "span is transparent" 42 v;
+  check "nothing recorded while disabled" true (Obs.Trace.spans () = [])
+
+(* --- Trace: Chrome export well-formedness, parsed back --- *)
+
+let test_chrome_export () =
+  let spans = traced_workload () in
+  let txt = Obs.Json.to_string (Obs.Trace.to_json ()) in
+  match Obs.Json.parse txt with
+  | Error m -> Alcotest.fail ("trace JSON does not parse: " ^ m)
+  | Ok j ->
+    let events =
+      match Option.bind (Obs.Json.member "traceEvents" j) Obs.Json.to_list with
+      | Some l -> l
+      | None -> Alcotest.fail "traceEvents missing"
+    in
+    Alcotest.(check int) "one event per span" (List.length spans)
+      (List.length events);
+    List.iter
+      (fun e ->
+        let str k = Option.bind (Obs.Json.member k e) Obs.Json.to_string_opt in
+        let num k = Option.bind (Obs.Json.member k e) Obs.Json.to_float in
+        check "ph is X" true (str "ph" = Some "X");
+        check "has name" true (str "name" <> None);
+        check "has cat" true (str "cat" <> None);
+        check "ts is a number" true (num "ts" <> None);
+        check "dur is non-negative" true
+          (match num "dur" with Some d -> d >= 0.0 | None -> false);
+        check "pid present" true (num "pid" <> None);
+        check "tid present" true (num "tid" <> None))
+      events;
+    Obs.Trace.reset ()
+
+(* --- Json: reader round-trips the emitter --- *)
+
+let test_json_roundtrip () =
+  let v =
+    Obs.Json.Obj
+      [ "s", Obs.Json.String "a\"b\\c\nd\te\x01";
+        "i", Obs.Json.Int (-42);
+        "f", Obs.Json.Float 1.5;
+        "nan", Obs.Json.Float Float.nan;  (* serializes as null *)
+        "b", Obs.Json.Bool true;
+        "n", Obs.Json.Null;
+        "l", Obs.Json.List [ Obs.Json.Int 1; Obs.Json.List []; Obs.Json.Obj [] ]
+      ]
+  in
+  match Obs.Json.parse (Obs.Json.to_string v) with
+  | Error m -> Alcotest.fail ("round-trip parse failed: " ^ m)
+  | Ok r ->
+    let expect =
+      Obs.Json.Obj
+        [ "s", Obs.Json.String "a\"b\\c\nd\te\x01";
+          "i", Obs.Json.Int (-42);
+          "f", Obs.Json.Float 1.5;
+          "nan", Obs.Json.Null;
+          "b", Obs.Json.Bool true;
+          "n", Obs.Json.Null;
+          "l",
+          Obs.Json.List [ Obs.Json.Int 1; Obs.Json.List []; Obs.Json.Obj [] ]
+        ]
+    in
+    check "round-trip preserves structure" true (r = expect)
+
+let test_json_rejects_garbage () =
+  check "trailing garbage rejected" true
+    (Result.is_error (Obs.Json.parse "{} x"));
+  check "unterminated string rejected" true
+    (Result.is_error (Obs.Json.parse "\"abc"));
+  check "bare word rejected" true (Result.is_error (Obs.Json.parse "nulL"))
+
+(* --- Metrics: kinds, snapshots, determinism policy --- *)
+
+let test_metrics_kinds () =
+  Obs.Metrics.reset ();
+  let c = Obs.Metrics.counter "testobs.counter" in
+  let g = Obs.Metrics.gauge "testobs.gauge" in
+  let h = Obs.Metrics.histogram "testobs.hist" in
+  Obs.Metrics.add c 5;
+  Obs.Metrics.incr c;
+  Obs.Metrics.gauge_set g 7;
+  Obs.Metrics.gauge_add g 3;
+  List.iter (Obs.Metrics.observe h) [ 1; 2; 4; 100 ];
+  Alcotest.(check int) "counter value" 6 (Obs.Metrics.value c);
+  (* re-interning by name returns the same cell *)
+  Obs.Metrics.incr (Obs.Metrics.counter "testobs.counter");
+  Alcotest.(check int) "interned by name" 7 (Obs.Metrics.value c);
+  check "kind mismatch raises" true
+    (try
+       ignore (Obs.Metrics.gauge "testobs.counter");
+       false
+     with Invalid_argument _ -> true);
+  let snap = Obs.Metrics.snapshot () in
+  check "counter snapshot" true
+    (List.assoc "testobs.counter" snap = Obs.Metrics.S_counter 7);
+  check "gauge snapshot" true
+    (List.assoc "testobs.gauge" snap = Obs.Metrics.S_gauge 10);
+  (match List.assoc "testobs.hist" snap with
+   | Obs.Metrics.S_histogram hs ->
+     Alcotest.(check int) "hist count" 4 hs.Obs.Metrics.hs_count;
+     Alcotest.(check int) "hist sum" 107 hs.Obs.Metrics.hs_sum;
+     Alcotest.(check int) "hist min" 1 hs.Obs.Metrics.hs_min;
+     Alcotest.(check int) "hist max" 100 hs.Obs.Metrics.hs_max
+   | Obs.Metrics.S_counter _ | Obs.Metrics.S_gauge _ ->
+     Alcotest.fail "histogram snapshotted with the wrong kind");
+  (* gauges are excluded from the deterministic subset *)
+  let det = Obs.Metrics.deterministic_snapshot () in
+  check "gauge excluded from deterministic subset" true
+    (not (List.mem_assoc "testobs.gauge" det));
+  check "counter included in deterministic subset" true
+    (List.mem_assoc "testobs.counter" det);
+  (* snapshots are sorted by name *)
+  let names = List.map fst snap in
+  check "snapshot sorted" true (List.sort compare names = names);
+  Obs.Metrics.reset ();
+  Alcotest.(check int) "reset zeroes counters" 0 (Obs.Metrics.value c)
+
+let test_metrics_phase_and_json () =
+  Alcotest.(check string) "phase_of" "select"
+    (Obs.Metrics.phase_of "select.regions_visited");
+  Alcotest.(check string) "phase_of without dot" "flat"
+    (Obs.Metrics.phase_of "flat");
+  Obs.Metrics.reset ();
+  Obs.Metrics.add (Obs.Metrics.counter "testobs.jsonc") 9;
+  match Obs.Json.parse (Obs.Json.to_string (Obs.Metrics.to_json ())) with
+  | Error m -> Alcotest.fail ("metrics JSON does not parse: " ^ m)
+  | Ok j ->
+    let entries =
+      match Option.bind (Obs.Json.member "metrics" j) Obs.Json.to_list with
+      | Some l -> l
+      | None -> Alcotest.fail "metrics array missing"
+    in
+    check "exported entry found" true
+      (List.exists
+         (fun e ->
+           Option.bind (Obs.Json.member "name" e) Obs.Json.to_string_opt
+           = Some "testobs.jsonc"
+           && Option.bind (Obs.Json.member "value" e) Obs.Json.to_int = Some 9)
+         entries);
+    Obs.Metrics.reset ()
+
+let tests =
+  [ Alcotest.test_case "span invariants" `Quick test_span_invariants;
+    Alcotest.test_case "disabled tracing records nothing" `Quick
+      test_disabled_records_nothing;
+    Alcotest.test_case "chrome export" `Quick test_chrome_export;
+    Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json rejects garbage" `Quick test_json_rejects_garbage;
+    Alcotest.test_case "metric kinds and snapshots" `Quick test_metrics_kinds;
+    Alcotest.test_case "metric phases and json export" `Quick
+      test_metrics_phase_and_json ]

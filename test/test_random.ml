@@ -329,10 +329,46 @@ let qcheck_parallel_select_deterministic =
           par.Core.Cayman.frontier
         && seq.Core.Cayman.stats = par.Core.Cayman.stats)
 
+(* Tracing armed around the full flow on arbitrary programs: the flow
+   still succeeds, spans are recorded with non-negative durations, and
+   the Chrome export parses back. *)
+let qcheck_traced_flow =
+  Testutil.qtest ~count:10 "full flow with tracing enabled" arb_prog
+    (fun p ->
+      match compile_ok (prog_to_minic p) with
+      | Error m -> QCheck.Test.fail_report m
+      | Ok program ->
+        Obs.Trace.reset ();
+        Obs.Trace.set_enabled true;
+        let a = Core.Cayman.analyze ~fuel:50_000_000 program in
+        let r = Core.Cayman.run ~mode:Cayman_hls.Kernel.Heuristic a in
+        Obs.Trace.set_enabled false;
+        let spans = Obs.Trace.spans () in
+        let json_ok =
+          match Obs.Json.parse (Obs.Json.to_string (Obs.Trace.to_json ())) with
+          | Ok j ->
+            (match Obs.Json.member "traceEvents" j with
+             | Some events ->
+               (match Obs.Json.to_list events with
+                | Some l -> List.length l = List.length spans
+                | None -> false)
+             | None -> false)
+          | Error _ -> false
+        in
+        let ok =
+          spans <> []
+          && List.for_all (fun s -> s.Obs.Trace.sp_dur >= 0.0) spans
+          && json_ok
+          && r.Core.Cayman.frontier <> []
+        in
+        Obs.Trace.reset ();
+        ok)
+
 let tests =
   [ qcheck_compiles;
     qcheck_deterministic;
     qcheck_ifconv_preserves;
     qcheck_pst_partition;
     qcheck_flow_sane;
-    qcheck_parallel_select_deterministic ]
+    qcheck_parallel_select_deterministic;
+    qcheck_traced_flow ]
