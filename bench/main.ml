@@ -379,11 +379,29 @@ let table2 ?(name = "table2") ?(benchmarks = Suite.all) () =
       (Engine.Config.jobs ());
     e
   in
-  let (evals : eval list), wall =
-    Engine.Clock.timed (fun () -> Engine.Pool.map evaluate_logged benchmarks)
+  (* map_result isolates per-benchmark failures: a benchmark whose
+     evaluation throws (e.g. under fault injection) prints a
+     deterministic failure row and drops out of the averages instead of
+     aborting the whole table. *)
+  let results, wall =
+    Engine.Clock.timed (fun () ->
+        Engine.Pool.map_result evaluate_logged benchmarks)
+  in
+  let (evals : eval list) =
+    List.filter_map
+      (function Ok e -> Some e | Error _ -> None)
+      results
   in
   let rows = List.map table2_row evals in
-  List.iter print_table2_row rows;
+  List.iter2
+    (fun (b : Suite.benchmark) res ->
+      match res with
+      | Ok e -> print_table2_row (table2_row e)
+      | Error (e, _) ->
+        Printf.printf "%-26s FAILED: %s (excluded from the table)\n"
+          b.Suite.name
+          (Cayman_fault.Classify.exn_class e))
+    benchmarks results;
   Printf.printf "%s\n" (String.make 150 '-');
   print_table2_average rows;
   flush stdout;
@@ -605,17 +623,29 @@ let cosim ?(benchmarks = Suite.all) () =
   (* One task per benchmark across the domain pool, like table2; rows
      print in list order so stdout is byte-identical for any
      CAYMAN_JOBS. *)
-  let rows, wall =
-    Engine.Clock.timed (fun () -> Engine.Pool.map cosim_logged benchmarks)
+  let results, wall =
+    Engine.Clock.timed (fun () ->
+        Engine.Pool.map_result cosim_logged benchmarks)
   in
-  List.iter
-    (fun row ->
-      Printf.printf "%s: %d kernels, %d lint finding(s), %d functional \
-                     mismatch(es), %d cycle-tolerance miss(es)\n"
-        row.c_bench row.c_kernels row.c_lint row.c_func_fail
-        row.c_cycle_fail;
-      List.iter print_endline row.c_lines)
-    rows;
+  let rows =
+    List.filter_map
+      (function Ok r -> Some r | Error _ -> None)
+      results
+  in
+  List.iter2
+    (fun (b : Suite.benchmark) res ->
+      match res with
+      | Ok row ->
+        Printf.printf "%s: %d kernels, %d lint finding(s), %d functional \
+                       mismatch(es), %d cycle-tolerance miss(es)\n"
+          row.c_bench row.c_kernels row.c_lint row.c_func_fail
+          row.c_cycle_fail;
+        List.iter print_endline row.c_lines
+      | Error (e, _) ->
+        Printf.printf "%s: FAILED: %s (excluded from the summary)\n"
+          b.Suite.name
+          (Cayman_fault.Classify.exn_class e))
+    benchmarks results;
   let sum f = List.fold_left (fun acc r -> acc + f r) 0 rows in
   let kernels = sum (fun r -> r.c_kernels) in
   let lint = sum (fun r -> r.c_lint) in
@@ -857,19 +887,54 @@ let bechamel_run () =
     results
 
 (* ------------------------------------------------------------------ *)
+(* Fault-injection campaign                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Cross-suite subset keeping the default campaign under a minute; the
+   CLI's `cayman faults --all` covers the whole suite. *)
+let fault_benchmarks =
+  [ "atax"; "bicg"; "mvt"; "trisolv"; "doitgen"; "fft"; "spmv"; "nw" ]
+
+(* Deterministic fault-injection campaign (see lib/fault): RTL mutation
+   coverage over the selected kernels plus seeded pipeline-stage
+   faults. The report, stdout included, is a pure function of the
+   options and benchmark list — byte-identical for every CAYMAN_JOBS. *)
+let faults ?(name = "faults")
+    ?(options = Cayman_fault.Campaign.default_options)
+    ?(benchmarks = List.filter_map Suite.find fault_benchmarks) () =
+  print_endline
+    "== Fault injection: RTL mutation coverage + pipeline-stage faults ==";
+  let report, wall =
+    Engine.Clock.timed (fun () ->
+        Cayman_fault.Campaign.run options benchmarks)
+  in
+  print_string (Cayman_fault.Campaign.to_string report);
+  flush stdout;
+  Json_out.write name (Cayman_fault.Campaign.to_json report);
+  Printf.eprintf "%s: %.2f s wall with %d job(s), coverage %.1f%%, %d \
+                  unhandled stage fault(s)\n%!"
+    name wall
+    (Engine.Config.jobs ())
+    (100.0 *. Cayman_fault.Campaign.coverage report)
+    (Cayman_fault.Campaign.unhandled report)
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
 let usage () =
   print_endline
-    "usage: main.exe [--bechamel] [--json BASE] [table1|fig2|fig4|table2|\n\
-    \                 fig6|cosim|ablation-filter|ablation-merge|\n\
-    \                 ablation-cache|ablation-dse|all]\n\
+    "usage: main.exe [--bechamel] [--json BASE] [--fuel N]\n\
+    \                [table1|fig2|fig4|table2|fig6|cosim|faults|\n\
+    \                 ablation-filter|ablation-merge|ablation-cache|\n\
+    \                 ablation-dse|all]\n\
      CAYMAN_JOBS=N parallelizes evaluation across N domains; stdout is\n\
      byte-identical for every N (wall-time reports go to stderr).\n\
      --json BASE additionally writes BASE_<experiment>.json for the\n\
-     experiments with machine-readable output (table2, fig6, cosim);\n\
-     stdout is unchanged."
+     experiments with machine-readable output (table2, fig6, cosim,\n\
+     faults); stdout is unchanged.\n\
+     --fuel N bounds every interpreter run at N executed instructions\n\
+     (also CAYMAN_FUEL); exhaustion is a diagnostic, not a hang."
 
 let () =
   (* The first spurious stdout line keeps the output diff-stable when the
@@ -885,10 +950,21 @@ let () =
     | [] -> []
   in
   let args = strip_json args in
+  let rec strip_fuel = function
+    | "--fuel" :: n :: rest ->
+      (match int_of_string_opt n with
+       | Some f when f > 0 -> Engine.Config.set_fuel f
+       | Some _ | None ->
+         Printf.eprintf "ignoring invalid --fuel %s\n%!" n);
+      strip_fuel rest
+    | x :: rest -> x :: strip_fuel rest
+    | [] -> []
+  in
+  let args = strip_fuel args in
   let experiments =
     match args with
     | [] | [ "all" ] ->
-      [ "table1"; "fig2"; "fig4"; "table2"; "fig6"; "cosim";
+      [ "table1"; "fig2"; "fig4"; "table2"; "fig6"; "cosim"; "faults";
         "ablation-filter"; "ablation-merge"; "ablation-cache";
         "ablation-dse" ]
     | xs -> xs
@@ -911,6 +987,15 @@ let () =
          cosim
            ~benchmarks:
              (List.filter_map Suite.find [ "3mm"; "atax"; "fft" ])
+           ()
+       | "faults" -> faults ()
+       | "faults-small" ->
+         faults ~name:"faults-small"
+           ~options:
+             { Cayman_fault.Campaign.default_options with
+               Cayman_fault.Campaign.faults_per_kernel = 6;
+               stage_benchmarks = 1 }
+           ~benchmarks:(List.filter_map Suite.find [ "atax"; "mvt" ])
            ()
        | "ablation-filter" -> ablation_filter ()
        | "ablation-merge" -> ablation_merge ()

@@ -30,8 +30,8 @@ let load_program ~bench ~file =
        Ok (Cayman_frontend.Lower.compile src)
      with
      | Sys_error m -> Error m
-     | Cayman_frontend.Lower.Error { line; message } ->
-       Error (Printf.sprintf "%s:%d: %s" path line message))
+     | Cayman_frontend.Diag.Error d ->
+       Error (Printf.sprintf "%s: %s" path (Cayman_frontend.Diag.to_string d)))
   | Some _, Some _ -> Error "use either --bench or --file, not both"
   | None, None -> Error "one of --bench or --file is required"
 
@@ -66,6 +66,32 @@ let jobs_arg =
 (* Install an explicit --jobs as the process-wide default so every
    engine entry point (selection, merging sweeps) sees it. *)
 let apply_jobs jobs = if jobs > 0 then Engine.Config.set_jobs jobs
+
+let fuel_arg =
+  let doc =
+    "Interpreter fuel budget in executed instructions (0 = default: \
+     $(b,CAYMAN_FUEL) or a finite built-in budget). Runs that exhaust \
+     it stop with a diagnostic instead of hanging."
+  in
+  Arg.(value & opt int 0 & info [ "fuel" ] ~doc ~docv:"N")
+
+let apply_fuel fuel = if fuel > 0 then Engine.Config.set_fuel fuel
+
+(* Convert the documented pipeline exceptions into clean one-line
+   diagnostics + exit 1; anything else is a genuine crash and should
+   keep its backtrace. *)
+let with_diagnostics f =
+  try f () with
+  | Cayman_sim.Interp.Out_of_fuel ->
+    prerr_endline
+      "cayman: interpreter ran out of fuel (raise --fuel or CAYMAN_FUEL)";
+    1
+  | Cayman_sim.Interp.Runtime_error m ->
+    prerr_endline ("cayman: runtime error: " ^ m);
+    1
+  | Cayman_frontend.Diag.Error d ->
+    prerr_endline ("cayman: " ^ Cayman_frontend.Diag.to_string d);
+    1
 
 let trace_arg =
   let doc =
@@ -102,9 +128,11 @@ let gen_of_mode = function
   | "qscores" -> Ok Cayman_baselines.Qscores.gen
   | other -> Error (Printf.sprintf "unknown mode %s" other)
 
-let run_cmd bench file budget mode alpha jobs trace =
+let run_cmd bench file budget mode alpha jobs fuel trace =
   apply_jobs jobs;
+  apply_fuel fuel;
   with_trace trace @@ fun () ->
+  with_diagnostics @@ fun () ->
   match load_program ~bench ~file with
   | Error m -> prerr_endline ("cayman: " ^ m); 1
   | Ok program ->
@@ -126,6 +154,14 @@ let run_cmd bench file budget mode alpha jobs trace =
           Pareto solutions\n"
          stats.Core.Select.visited stats.Core.Select.pruned
          stats.Core.Select.points_evaluated (List.length frontier);
+       List.iter
+         (fun (f : Core.Select.failure) ->
+           Printf.printf
+             "warning: kernel generation failed for %s/%s (%s); region \
+              stays on the CPU\n"
+             f.Core.Select.fb_func f.Core.Select.fb_region
+             f.Core.Select.fb_reason)
+         stats.Core.Select.failures;
        let budget_area = budget *. Hls.Tech.cva6_tile_area in
        let s =
          match Core.Solution.best_under ~budget:budget_area frontier with
@@ -144,8 +180,10 @@ let run_cmd bench file budget mode alpha jobs trace =
          m.Core.Merge.saving_pct m.Core.Merge.n_reusable;
        0)
 
-let dump_cmd bench file trace =
+let dump_cmd bench file fuel trace =
+  apply_fuel fuel;
   with_trace trace @@ fun () ->
+  with_diagnostics @@ fun () ->
   match load_program ~bench ~file with
   | Error m -> prerr_endline ("cayman: " ^ m); 1
   | Ok program ->
@@ -161,9 +199,11 @@ let out_arg =
   let doc = "Output directory for generated Verilog." in
   Arg.(value & opt string "cayman_rtl" & info [ "o"; "out" ] ~doc)
 
-let emit_cmd bench file budget out jobs trace =
+let emit_cmd bench file budget out jobs fuel trace =
   apply_jobs jobs;
+  apply_fuel fuel;
   with_trace trace @@ fun () ->
+  with_diagnostics @@ fun () ->
   match load_program ~bench ~file with
   | Error m -> prerr_endline ("cayman: " ^ m); 1
   | Ok program ->
@@ -246,9 +286,11 @@ let max_inv_arg =
    the golden interpreter. Per-kernel co-sims fan out through the engine
    pool; reports print in selection order, so stdout is byte-stable
    across job counts. *)
-let cosim_cmd bench file budget mode jobs max_inv trace =
+let cosim_cmd bench file budget mode jobs max_inv fuel trace =
   apply_jobs jobs;
+  apply_fuel fuel;
   with_trace trace @@ fun () ->
+  with_diagnostics @@ fun () ->
   match load_program ~bench ~file with
   | Error m -> prerr_endline ("cayman: " ^ m); 1
   | Ok program ->
@@ -354,8 +396,10 @@ let list_cmd () =
 (* Run the full flow with tracing armed internally and report where the
    time and the work went: a per-span rollup plus every pipeline metric
    grouped by phase. *)
-let stats_cmd bench file budget mode alpha jobs trace =
+let stats_cmd bench file budget mode alpha jobs fuel trace =
   apply_jobs jobs;
+  apply_fuel fuel;
+  with_diagnostics @@ fun () ->
   match load_program ~bench ~file with
   | Error m -> prerr_endline ("cayman: " ^ m); 1
   | Ok program ->
@@ -414,21 +458,85 @@ let stats_cmd bench file budget mode alpha jobs trace =
           Printf.eprintf "wrote %s\n%!" path);
        0)
 
+(* Deterministic fault-injection campaign: RTL mutation testing of the
+   selected kernels plus seeded pipeline-stage faults. The report is a
+   pure function of (seed, benchmark list, options) — identical bytes
+   for every --jobs value. *)
+
+(* Default campaign set: a cross-suite subset that keeps the default
+   invocation under a minute; --all runs the whole suite, --bench
+   picks exact benchmarks. *)
+let default_fault_benches =
+  [ "atax"; "bicg"; "mvt"; "trisolv"; "doitgen"; "fft"; "spmv"; "nw" ]
+
+let faults_cmd seed n_faults max_inv benches all budget stage_benches jobs
+    fuel json trace =
+  apply_jobs jobs;
+  apply_fuel fuel;
+  with_trace trace @@ fun () ->
+  with_diagnostics @@ fun () ->
+  let resolve names =
+    List.fold_left
+      (fun acc name ->
+        match acc, Suite.find name with
+        | Error m, _ -> Error m
+        | Ok _, None ->
+          Error
+            (Printf.sprintf "unknown benchmark %s (try the list command)"
+               name)
+        | Ok bs, Some b -> Ok (bs @ [ b ]))
+      (Ok []) names
+  in
+  let selected =
+    match benches, all with
+    | _ :: _, true -> Error "use either --bench or --all, not both"
+    | [], true -> Ok Suite.all
+    | [], false -> resolve default_fault_benches
+    | names, false -> resolve names
+  in
+  match selected with
+  | Error m -> prerr_endline ("cayman: " ^ m); 1
+  | Ok benches ->
+    let options =
+      { Cayman_fault.Campaign.default_options with
+        Cayman_fault.Campaign.seed;
+        faults_per_kernel = n_faults;
+        max_invocations = max_inv;
+        budget_ratio = budget;
+        stage_benchmarks = stage_benches }
+    in
+    let report = Cayman_fault.Campaign.run options benches in
+    print_string (Cayman_fault.Campaign.to_string report);
+    (match json with
+     | None -> ()
+     | Some path ->
+       Obs.Json.write_file path (Cayman_fault.Campaign.to_json report);
+       Printf.eprintf "wrote %s\n%!" path);
+    let unhandled = Cayman_fault.Campaign.unhandled report in
+    if unhandled > 0 then begin
+      Printf.eprintf
+        "cayman: %d stage fault(s) escaped as raw exceptions (robustness \
+         bug)\n"
+        unhandled;
+      1
+    end
+    else 0
+
 let run_t =
   Cmd.v (Cmd.info "run" ~doc:"Run the full Cayman flow on a program")
     Term.(const run_cmd $ bench_arg $ file_arg $ budget_arg $ mode_arg
-          $ alpha_arg $ jobs_arg $ trace_arg)
+          $ alpha_arg $ jobs_arg $ fuel_arg $ trace_arg)
 
 let dump_t =
   Cmd.v (Cmd.info "dump" ~doc:"Dump IR, wPST and profile of a program")
-    Term.(const dump_cmd $ bench_arg $ file_arg $ trace_arg)
+    Term.(const dump_cmd $ bench_arg $ file_arg $ fuel_arg $ trace_arg)
 
 let emit_t =
   Cmd.v
     (Cmd.info "emit"
        ~doc:"Emit Verilog netlists for the selected accelerators")
     Term.(const emit_cmd $ bench_arg $ file_arg $ budget_arg $ out_arg
-          $ jobs_arg $ trace_arg)
+          $ jobs_arg $ fuel_arg $ trace_arg)
 
 let cosim_t =
   let mode_arg =
@@ -441,7 +549,51 @@ let cosim_t =
          "Differentially co-simulate selected kernel netlists against the \
           golden interpreter (plus a static lint of each netlist)")
     Term.(const cosim_cmd $ bench_arg $ file_arg $ budget_arg $ mode_arg
-          $ jobs_arg $ max_inv_arg $ trace_arg)
+          $ jobs_arg $ max_inv_arg $ fuel_arg $ trace_arg)
+
+let faults_t =
+  let seed_arg =
+    let doc = "Campaign seed; the whole report is a pure function of it." in
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc ~docv:"N")
+  in
+  let n_faults_arg =
+    let doc = "RTL faults sampled per benchmark and interface mode." in
+    Arg.(value & opt int 9 & info [ "faults" ] ~doc ~docv:"N")
+  in
+  let max_inv_arg =
+    let doc = "Co-simulated invocations per RTL mutant." in
+    Arg.(value & opt int 2 & info [ "max-invocations" ] ~doc ~docv:"N")
+  in
+  let benches_arg =
+    let doc =
+      "Benchmark to include (repeatable; default: a fast cross-suite \
+       subset)."
+    in
+    Arg.(value & opt_all string [] & info [ "b"; "bench" ] ~doc ~docv:"NAME")
+  in
+  let all_arg =
+    let doc = "Campaign over the whole benchmark suite (slow)." in
+    Arg.(value & flag & info [ "all" ] ~doc)
+  in
+  let stage_arg =
+    let doc = "Run pipeline-stage faults on the first $(docv) benchmarks." in
+    Arg.(value & opt int 2 & info [ "stage-benchmarks" ] ~doc ~docv:"K")
+  in
+  let json_arg =
+    let doc = "Also write the report as JSON to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~doc ~docv:"FILE")
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Run a deterministic fault-injection campaign: mutate selected \
+          kernel netlists (stuck-at, bit-flip, swapped/dropped commits, \
+          structural damage) and measure lint + co-simulation detection, \
+          then arm seeded faults at every pipeline stage boundary and \
+          verify the pipeline degrades instead of crashing")
+    Term.(const faults_cmd $ seed_arg $ n_faults_arg $ max_inv_arg
+          $ benches_arg $ all_arg $ budget_arg $ stage_arg $ jobs_arg
+          $ fuel_arg $ json_arg $ trace_arg)
 
 let graph_t =
   Cmd.v
@@ -460,13 +612,13 @@ let stats_t =
           metrics (region counts, prune/memo hits, design points, DP \
           frontier sizes)")
     Term.(const stats_cmd $ bench_arg $ file_arg $ budget_arg $ mode_arg
-          $ alpha_arg $ jobs_arg $ trace_arg)
+          $ alpha_arg $ jobs_arg $ fuel_arg $ trace_arg)
 
 let main =
   Cmd.group
     (Cmd.info "cayman" ~version:"1.0.0"
        ~doc:"Custom accelerator generation with control flow and data access \
              optimization")
-    [ run_t; dump_t; emit_t; cosim_t; graph_t; list_t; stats_t ]
+    [ run_t; dump_t; emit_t; cosim_t; faults_t; graph_t; list_t; stats_t ]
 
 let () = exit (Cmd.eval' main)

@@ -16,16 +16,22 @@ type analyzed = {
 
 let m_analyzes = Obs.Metrics.counter "core.analyzes"
 
+let fp_ifconv = Obs.Faultpoint.register "ifconv"
+
 let analyze ?fuel ?(if_convert = true) (program : Ir.Program.t) =
   Obs.Trace.span ~cat:"core" "core.analyze" @@ fun () ->
   Obs.Metrics.incr m_analyzes;
   Ir.Validate.check_exn program;
   let program =
-    if if_convert then An.Simplify.merge_chains (An.Ifconv.run program)
+    if if_convert then begin
+      Obs.Faultpoint.hit fp_ifconv;
+      An.Simplify.merge_chains (An.Ifconv.run program)
+    end
     else program
   in
   Ir.Validate.check_exn program;
-  let res = Sim.Interp.run ?fuel program in
+  let fuel = Engine.Config.fuel ?fuel () in
+  let res = Sim.Interp.run ~fuel program in
   let profile = res.Sim.Interp.profile in
   let wpst = An.Wpst.build program in
   let ctxs = Hls.Ctx.for_program program profile in

@@ -12,13 +12,17 @@ type analyzed = {
 
 (** Profile a validated program and gather all analyses. By default the
     program is first if-converted (see {!Cayman_analysis.Ifconv}), the
-    control-flow optimization a -O3 front end would apply.
+    control-flow optimization a -O3 front end would apply. When [fuel]
+    is absent it is resolved through {!Engine.Config.fuel} (the [--fuel]
+    flag / [CAYMAN_FUEL] / finite default), so a diverging program
+    raises [Out_of_fuel] instead of hanging.
     @raise Invalid_argument if the program is ill-formed.
+    @raise Cayman_sim.Interp.Out_of_fuel when the budget is exhausted.
     @raise Cayman_sim.Interp.Runtime_error on dynamic errors. *)
 val analyze : ?fuel:int -> ?if_convert:bool -> Cayman_ir.Program.t -> analyzed
 
 (** [analyze_source src] compiles MiniC source first.
-    @raise Cayman_frontend.Lower.Error on frontend errors. *)
+    @raise Cayman_frontend.Diag.Error on frontend errors. *)
 val analyze_source : ?fuel:int -> ?if_convert:bool -> string -> analyzed
 
 (** Cayman's accelerator model packaged as a selection plug-in. *)

@@ -14,11 +14,34 @@ type params = {
 
 let default_params = { alpha = 1.08; prune_threshold = 5e-4 }
 
+(* One region whose candidate generation raised: selection proceeds
+   with no accelerator for it (CPU fallback), and the failure is
+   reported rather than aborting the run. *)
+type failure = {
+  fb_func : string;
+  fb_region : string;
+  fb_reason : string;  (* stable exception classification *)
+}
+
 type stats = {
   visited : int;
   pruned : int;
   points_evaluated : int;
+  failures : failure list;  (* in region visit order *)
 }
+
+(* Deterministic rendering of a generation failure's cause. Common
+   exceptions are spelled out so reports are byte-stable; the fallback
+   [Printexc.to_string] is deterministic for constructor-only payloads. *)
+let failure_reason = function
+  | Obs.Faultpoint.Injected p -> "injected fault at stage " ^ p
+  | Cayman_frontend.Diag.Error d ->
+    "diagnostic: " ^ Cayman_frontend.Diag.to_string d
+  | Sim.Interp.Out_of_fuel -> "out of fuel"
+  | Sim.Interp.Runtime_error m -> "runtime error: " ^ m
+  | Failure m -> "failure: " ^ m
+  | Invalid_argument m -> "invalid argument: " ^ m
+  | e -> Printexc.to_string e
 
 (* All counters: phase-1 walk and phase-3 DP are sequential in the
    submitting domain, and the phase-2 fan-out evaluates the same task
@@ -29,8 +52,11 @@ let m_pruned = Obs.Metrics.counter "select.regions_pruned"
 let m_memo_hits = Obs.Metrics.counter "select.prune_memo_hits"
 let m_memo_misses = Obs.Metrics.counter "select.prune_memo_misses"
 let m_gen_tasks = Obs.Metrics.counter "select.gen_tasks"
+let m_gen_failures = Obs.Metrics.counter "select.gen_failures"
 let m_points = Obs.Metrics.counter "select.points_evaluated"
 let m_frontier = Obs.Metrics.histogram "select.dp_frontier_size"
+
+let fp_select = Obs.Faultpoint.register "select"
 
 (* Algorithm 1: bottom-up dynamic programming over the wPST. [F v] is the
    filtered Pareto sequence of solutions accelerating kernels from [v]'s
@@ -52,6 +78,7 @@ let select ?(params = default_params) ?jobs ~(gen : accel_gen)
     (ctxs : (string, Hls.Ctx.t) Hashtbl.t) (wpst : An.Wpst.t)
     (profile : Sim.Profile.t) : Solution.t list * stats =
   Obs.Trace.span ~cat:"select" "select" @@ fun () ->
+  Obs.Faultpoint.hit fp_select;
   let alpha = params.alpha in
   let total_cycles = float_of_int (Sim.Profile.total_cycles profile) in
   let prune_cycles = params.prune_threshold *. total_cycles in
@@ -100,27 +127,43 @@ let select ?(params = default_params) ?jobs ~(gen : accel_gen)
   Obs.Metrics.add m_pruned !pruned;
   Obs.Metrics.add m_gen_tasks (List.length tasks);
   (* Phase 2: evaluate all candidate generators across the domain pool.
-     Keyed by (function, region id) — region ids are unique per PST. *)
+     Keyed by (function, region id) — region ids are unique per PST. A
+     generator that raises poisons only its own region: that region gets
+     no candidates (the DP leaves it on the CPU) and the failure is
+     recorded in visit order, so one broken kernel cannot abort the
+     other 27 benchmarks' worth of selection. *)
   let own_points :
       (string * int, Hls.Kernel.point list) Hashtbl.t =
     Hashtbl.create 64
   in
   let points = ref 0 in
+  let failures = ref [] in
   let gen_results =
     Obs.Trace.span ~cat:"select" "select.gen" (fun () ->
-        Engine.Pool.map ?jobs
+        Engine.Pool.map_result ?jobs
           (fun (ctx, r) ->
             Obs.Trace.span ~cat:"select" "select.gen-region" (fun () ->
                 gen ctx r))
           tasks)
   in
   List.iter2
-    (fun ((ctx : Hls.Ctx.t), (r : An.Region.t)) pts ->
+    (fun ((ctx : Hls.Ctx.t), (r : An.Region.t)) res ->
+      let fname = ctx.Hls.Ctx.func.Cayman_ir.Func.name in
+      let pts =
+        match res with
+        | Ok pts -> pts
+        | Error (e, _bt) ->
+          Obs.Metrics.incr m_gen_failures;
+          failures :=
+            { fb_func = fname; fb_region = An.Region.name r;
+              fb_reason = failure_reason e }
+            :: !failures;
+          []
+      in
       points := !points + List.length pts;
-      Hashtbl.replace own_points
-        (ctx.Hls.Ctx.func.Cayman_ir.Func.name, r.An.Region.id)
-        pts)
+      Hashtbl.replace own_points (fname, r.An.Region.id) pts)
     tasks gen_results;
+  let failures = List.rev !failures in
   (* Phase 3: the DP proper, consuming precomputed candidates. *)
   let rec dp (ctx : Hls.Ctx.t) (r : An.Region.t) : Solution.t list =
     if pruned_region ctx r then [ Solution.empty ]
@@ -164,4 +207,6 @@ let select ?(params = default_params) ?jobs ~(gen : accel_gen)
           [ Solution.empty ] wpst.An.Wpst.funcs)
   in
   Obs.Metrics.add m_points !points;
-  frontier, { visited = !visited; pruned = !pruned; points_evaluated = !points }
+  frontier,
+  { visited = !visited; pruned = !pruned; points_evaluated = !points;
+    failures }

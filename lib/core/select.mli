@@ -18,21 +18,40 @@ type params = {
 
 val default_params : params
 
+(** A region whose candidate generation raised. Selection degrades
+    rather than aborts: the region contributes no accelerator (it stays
+    on the CPU) and the failure is reported here. *)
+type failure = {
+  fb_func : string;  (** enclosing function *)
+  fb_region : string;  (** region name *)
+  fb_reason : string;  (** stable one-line cause *)
+}
+
 type stats = {
   visited : int;  (** wPST vertices entered *)
   pruned : int;
   points_evaluated : int;  (** design points produced by the model *)
+  failures : failure list;
+      (** generation failures in region visit order; empty on a healthy
+          run *)
 }
+
+val failure_reason : exn -> string
+(** Deterministic one-line rendering of a generation failure's cause
+    (used for {!failure.fb_reason}; exposed for the fault campaign). *)
 
 (** [select ~gen ctxs wpst profile] returns the filtered Pareto frontier
     [F(root)] of the whole application plus search statistics.
 
     Candidate generation — the [gen] call on every non-pruned region —
-    runs across [jobs] domains via [Engine.Pool.map] (default: the
-    engine's resolution of [CAYMAN_JOBS] /
+    runs across [jobs] domains via [Engine.Pool.map_result] (default:
+    the engine's resolution of [CAYMAN_JOBS] /
     [Domain.recommended_domain_count]). The result is deterministic:
     any [jobs] value yields the same frontier and stats,
-    solution-for-solution, as [~jobs:1]. *)
+    solution-for-solution, as [~jobs:1]. A [gen] that raises on some
+    region poisons only that region: it is recorded in
+    [stats.failures], its subtree still combines children normally, and
+    every other region's candidates are unaffected. *)
 val select :
   ?params:params ->
   ?jobs:int ->

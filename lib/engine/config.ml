@@ -29,3 +29,33 @@ let jobs ?jobs () =
        (match from_env () with
         | Some n -> n
         | None -> clamp (Domain.recommended_domain_count ())))
+
+(* --- fuel --- *)
+
+let fuel_env_var = "CAYMAN_FUEL"
+
+let default_fuel = 2_000_000_000
+
+let fuel_override : int option Atomic.t = Atomic.make None
+
+let set_fuel n = if n >= 1 then Atomic.set fuel_override (Some n)
+let clear_fuel () = Atomic.set fuel_override None
+
+let fuel_from_env () =
+  match Sys.getenv_opt fuel_env_var with
+  | None -> None
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some n when n >= 1 -> Some n
+     | Some _ | None -> None)
+
+let fuel ?fuel () =
+  match fuel with
+  | Some n when n >= 1 -> n
+  | Some _ | None ->
+    (match Atomic.get fuel_override with
+     | Some n -> n
+     | None ->
+       (match fuel_from_env () with
+        | Some n -> n
+        | None -> default_fuel))

@@ -31,3 +31,32 @@ val jobs : ?jobs:int -> unit -> int
 (** [jobs ()] resolves the effective worker count as documented above.
     [jobs ~jobs:n ()] short-circuits resolution with [n] (still
     clamped); non-positive [n] falls through to normal resolution. *)
+
+(** {1 Fuel}
+
+    Interpreter runs throughout the pipeline (profiling, co-simulation,
+    fault campaigns) consume fuel — one unit per executed instruction —
+    and raise [Cayman_sim.Interp.Out_of_fuel] when it runs out. The
+    default budget is resolved here so every entry point shares one
+    knob: a {!set_fuel} override (the CLI's [--fuel] flag), then the
+    [CAYMAN_FUEL] environment variable, then {!default_fuel}. A finite
+    default turns would-be hangs into catchable diagnostics. *)
+
+val fuel_env_var : string
+(** Name of the environment variable consulted by {!fuel}
+    (["CAYMAN_FUEL"]). *)
+
+val default_fuel : int
+(** Fallback fuel budget (2e9 executed instructions — far above any
+    legitimate benchmark run, small enough to terminate). *)
+
+val set_fuel : int -> unit
+(** [set_fuel n] installs a process-wide override. Non-positive [n] is
+    ignored. Used by the CLI's [--fuel] flag. *)
+
+val clear_fuel : unit -> unit
+(** Remove the override installed by {!set_fuel}. *)
+
+val fuel : ?fuel:int -> unit -> int
+(** [fuel ()] resolves the effective fuel budget as documented above.
+    [fuel ~fuel:n ()] short-circuits with [n] when positive. *)

@@ -250,3 +250,13 @@ let map ?jobs f xs = mapi ?jobs (fun _ x -> f x) xs
 
 let map_reduce ?jobs ~map:mapf ~combine ~init xs =
   List.fold_left combine init (map ?jobs mapf xs)
+
+(* Capturing the backtrace inside the task thunk — before the pool's
+   own frames unwind — keeps it pointing at the task's raise site. *)
+let guard f x =
+  match f x with
+  | v -> Ok v
+  | exception e -> Error (e, Printexc.get_raw_backtrace ())
+
+let run_map_result t f xs = run_map t (guard f) xs
+let map_result ?jobs f xs = map ?jobs (guard f) xs

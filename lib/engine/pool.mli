@@ -71,3 +71,22 @@ val map_reduce :
 (** [map_reduce ~map ~combine ~init xs] maps in parallel, then folds
     [combine] over the results sequentially in task-index order —
     deterministic even for a non-commutative [combine]. *)
+
+val map_result :
+  ?jobs:int ->
+  ('a -> 'b) ->
+  'a list ->
+  ('b, exn * Printexc.raw_backtrace) result list
+(** Isolating variant of {!map}: a task that raises yields
+    [Error (exn, backtrace)] in its slot instead of aborting the whole
+    batch, so one poisoned item cannot take down its siblings. The
+    backtrace is captured at the raise site inside the task. Result
+    order — including which slots hold errors — is schedule-independent
+    under the usual determinism contract. *)
+
+val run_map_result :
+  t ->
+  ('a -> 'b) ->
+  'a list ->
+  ('b, exn * Printexc.raw_backtrace) result list
+(** {!map_result} on an existing pool. *)

@@ -1,0 +1,93 @@
+(** Deterministic fault-injection campaign over the full pipeline.
+
+    Two sections, from the same seed:
+
+    - {e RTL mutation testing}: for each benchmark and interface mode,
+      select accelerators normally, then inject {!Inject.t} faults into
+      the first selected kernel's netlist and measure which checker
+      catches each mutant — [Rtl.Lint] for structural damage,
+      differential co-simulation for behavioral corruption. All
+      behavioral mutants of one benchmark/mode share a single observed
+      golden-interpreter pass via [Rtl.Cosim.run_many]'s fault slots.
+    - {e stage faults}: arm an [Obs.Faultpoint] at each pipeline stage
+      boundary (parse, lower, ifconv, schedule, netlist, select,
+      cosim) and run the pipeline end to end, recording whether the
+      fault was absorbed with degradation (selection's CPU fallback),
+      surfaced as a structured diagnostic, never reached, or escaped
+      as a raw exception (a robustness bug).
+
+    Determinism contract: the report — including {!to_string}'s
+    rendering, byte for byte — is a pure function of [(options,
+    benchmark list)]. Benchmarks fan out across the engine pool;
+    results return in input order and all sampling is per-benchmark
+    seeded, so any [CAYMAN_JOBS] value produces the identical
+    report. *)
+
+type options = {
+  seed : int;
+  faults_per_kernel : int;  (** RTL faults sampled per benchmark/mode *)
+  max_invocations : int;  (** co-simulated invocations per mutant *)
+  fuel : int option;  (** [None]: resolve via [Engine.Config.fuel] *)
+  budget_ratio : float;  (** area budget for kernel selection *)
+  stage_benchmarks : int;
+      (** stage faults run on the first [k] benchmarks of the list
+          (each stage run is a full pipeline execution) *)
+}
+
+val default_options : options
+(** seed 42, 9 faults per kernel, 2 invocations, default fuel, 25%
+    budget, stage faults on the first 2 benchmarks. *)
+
+type verdict =
+  | Detected_lint of string  (** first lint finding *)
+  | Detected_cosim of int  (** functional mismatch count *)
+  | Detected_simerror of string  (** netlist simulator raised *)
+  | Missed of string  (** reason the mutant survived *)
+
+type rtl_result = {
+  fr_bench : string;
+  fr_mode : string;
+  fr_kernel : string;  (** [func/region] *)
+  fr_fault : string;  (** {!Inject.describe} *)
+  fr_verdict : verdict;
+}
+
+type stage_outcome =
+  | Graceful of string
+      (** fault hit and handled: absorbed with degradation, or
+          surfaced as a structured diagnostic (detail says which) *)
+  | Benign  (** the armed point was never reached *)
+  | Unhandled of string
+      (** a raw exception escaped the pipeline: robustness bug *)
+
+type stage_result = {
+  sr_bench : string;
+  sr_stage : string;
+  sr_nth : int;  (** which hit of the point was armed *)
+  sr_outcome : stage_outcome;
+}
+
+type report = {
+  rp_seed : int;
+  rp_benchmarks : int;
+  rp_rtl : rtl_result list;
+  rp_stage : stage_result list;
+}
+
+val run :
+  ?jobs:int -> options -> Cayman_suites.Suite.benchmark list -> report
+
+val detected : report -> int
+(** RTL mutants caught by any checker. *)
+
+val coverage : report -> float
+(** [detected / total] over RTL mutants; [1.0] when none were drawn. *)
+
+val unhandled : report -> int
+(** Stage faults that escaped as raw exceptions (should be 0). *)
+
+val to_string : report -> string
+(** Byte-stable human-readable report: per-mutant verdict table,
+    coverage summary with every miss enumerated, stage-fault table. *)
+
+val to_json : report -> Obs.Json.t

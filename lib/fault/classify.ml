@@ -1,0 +1,35 @@
+(* Stable, deterministic classification of the exceptions the pipeline
+   can raise. Campaign reports key on these strings, so they must not
+   depend on memory addresses, hashes, or locale — every constructor
+   below renders from its payload only. *)
+
+let exn_class = function
+  | Obs.Faultpoint.Injected p -> "injected:" ^ p
+  | Cayman_frontend.Diag.Error d ->
+    "diag:" ^ Cayman_frontend.Diag.to_string d
+  | Cayman_frontend.Lower.Internal_error m -> "frontend-internal: " ^ m
+  | Cayman_sim.Interp.Out_of_fuel -> "out-of-fuel"
+  | Cayman_sim.Interp.Runtime_error m -> "runtime-error: " ^ m
+  | Cayman_sim.Memory.Fault m -> "memory-fault: " ^ m
+  | Cayman_sim.Value.Type_error m -> "type-error: " ^ m
+  | Rtl.Sim.Rtl_error m -> "rtl-error: " ^ m
+  | Rtl.Cosim.Internal_error m -> "cosim-internal: " ^ m
+  | Engine.Pool.Internal_error m -> "pool-internal: " ^ m
+  | Failure m -> "failure: " ^ m
+  | Invalid_argument m -> "invalid-argument: " ^ m
+  | Not_found -> "not-found"
+  | Stack_overflow -> "stack-overflow"
+  | e -> Printexc.to_string e
+
+(* A structured exception is one the CLI converts into a clean
+   diagnostic instead of a crash: the unified frontend Diag, fuel
+   exhaustion, an injected fault surfacing by design, or a documented
+   domain error. Raw [Failure]/[Invalid_argument]/internal errors are
+   NOT structured — a pipeline that lets them escape is mishandling the
+   fault. *)
+let is_structured = function
+  | Obs.Faultpoint.Injected _ | Cayman_frontend.Diag.Error _
+  | Cayman_sim.Interp.Out_of_fuel | Cayman_sim.Interp.Runtime_error _
+  | Rtl.Sim.Rtl_error _ ->
+    true
+  | _ -> false

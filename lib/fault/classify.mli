@@ -1,0 +1,14 @@
+(** Deterministic exception classification for fault reports. *)
+
+val exn_class : exn -> string
+(** Stable one-line class of an exception: every known pipeline
+    exception renders from its payload only (no addresses or hashes),
+    so campaign reports keyed on it are byte-identical across runs and
+    job counts. *)
+
+val is_structured : exn -> bool
+(** Whether the exception is a documented, user-facing diagnostic
+    (frontend [Diag.Error], [Out_of_fuel], [Rtl_error], an injected
+    fault surfacing by design, …) as opposed to a raw
+    [Failure]/internal error that indicates the pipeline mishandled
+    the fault. *)

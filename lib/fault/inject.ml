@@ -1,0 +1,250 @@
+module Hls = Cayman_hls
+module Ir = Cayman_ir
+
+type t =
+  | F_stuck_zero of string
+  | F_stuck_one of string
+  | F_flip of string * int * int
+  | F_swap_commit of string * string
+  | F_drop_commit of string * string
+  | F_drop_wire of string
+  | F_redeclare_wire of string
+  | F_extra_driver of string
+  | F_retarget_port of string
+  | F_drop_transition of string * string
+  | F_bogus_commit_wire of string
+
+let describe = function
+  | F_stuck_zero r -> Printf.sprintf "stuck-at-0 %%%s" r
+  | F_stuck_one r -> Printf.sprintf "stuck-at-1 %%%s" r
+  | F_flip (r, bit, nth) ->
+    Printf.sprintf "flip-bit %%%s bit=%d write=%d" r bit nth
+  | F_swap_commit (a, b) -> Printf.sprintf "swap-commit %%%s<-%%%s" a b
+  | F_drop_commit (s, r) -> Printf.sprintf "drop-commit %s/%%%s" s r
+  | F_drop_wire w -> Printf.sprintf "drop-wire %s" w
+  | F_redeclare_wire w -> Printf.sprintf "redeclare-wire %s" w
+  | F_extra_driver w -> Printf.sprintf "extra-driver %s" w
+  | F_retarget_port i -> Printf.sprintf "retarget-port %s" i
+  | F_drop_transition (a, b) -> Printf.sprintf "drop-transition %s->%s" a b
+  | F_bogus_commit_wire s -> Printf.sprintf "bogus-commit-wire %s" s
+
+let is_structural = function
+  | F_drop_wire _ | F_redeclare_wire _ | F_extra_driver _
+  | F_retarget_port _ | F_drop_transition _ | F_bogus_commit_wire _ ->
+    true
+  | F_stuck_zero _ | F_stuck_one _ | F_flip _ | F_swap_commit _
+  | F_drop_commit _ ->
+    false
+
+(* --- site enumeration --- *)
+
+(* Registers the FSM actually commits: live state whose corruption can
+   propagate to an observable exit. Sorted and deduplicated so the site
+   list is independent of hash-table iteration order. *)
+let committed_regs (nl : Hls.Netlist.structure) =
+  List.sort_uniq String.compare
+    (List.concat_map
+       (fun (_, pairs) ->
+         List.map (fun ((r : Ir.Instr.reg), _) -> r.Ir.Instr.id) pairs)
+       nl.Hls.Netlist.nl_commits)
+
+(* Wires whose disappearance lint is guaranteed to notice: assign
+   targets and commit sources both have dedicated rules. *)
+let load_bearing_wires (nl : Hls.Netlist.structure) =
+  let open Hls.Netlist in
+  List.sort_uniq String.compare
+    (List.map fst nl.nl_assigns
+     @ List.concat_map
+         (fun (_, pairs) -> List.map snd pairs)
+         nl.nl_commits)
+
+(* Transitions that are the sole outgoing edge of their source state:
+   dropping one leaves a guaranteed dead-end state. *)
+let sole_transitions (nl : Hls.Netlist.structure) =
+  let open Hls.Netlist in
+  let outgoing = Hashtbl.create 16 in
+  List.iter
+    (fun (t : transition) ->
+      Hashtbl.replace outgoing t.t_from
+        (1 + Option.value ~default:0 (Hashtbl.find_opt outgoing t.t_from)))
+    nl.nl_transitions;
+  List.filter
+    (fun (t : transition) -> Hashtbl.find_opt outgoing t.t_from = Some 1)
+    nl.nl_transitions
+
+let commit_states (nl : Hls.Netlist.structure) =
+  List.filter_map
+    (fun (s, pairs) -> if pairs = [] then None else Some (s, pairs))
+    nl.Hls.Netlist.nl_commits
+
+(* --- sampling --- *)
+
+let structural_candidates rng (nl : Hls.Netlist.structure) =
+  let open Hls.Netlist in
+  let wires = List.map fst nl.nl_wires in
+  let cands = ref [] in
+  let add c = cands := c :: !cands in
+  (match load_bearing_wires nl with
+   | [] -> ()
+   | ws -> add (fun () -> F_drop_wire (Rng.pick rng ws)));
+  (match wires with
+   | [] -> ()
+   | ws ->
+     add (fun () -> F_redeclare_wire (Rng.pick rng ws));
+     add (fun () -> F_extra_driver (Rng.pick rng ws)));
+  (match nl.nl_instances with
+   | [] -> ()
+   | is ->
+     add (fun () ->
+         F_retarget_port (Rng.pick rng is).Hls.Netlist.i_name));
+  (match sole_transitions nl with
+   | [] -> ()
+   | ts ->
+     add (fun () ->
+         let t = Rng.pick rng ts in
+         F_drop_transition (t.Hls.Netlist.t_from, t.Hls.Netlist.t_to)));
+  (match commit_states nl with
+   | [] -> ()
+   | ss -> add (fun () -> F_bogus_commit_wire (fst (Rng.pick rng ss))));
+  List.rev !cands
+
+let behavioral_candidates rng (nl : Hls.Netlist.structure) =
+  let regs = committed_regs nl in
+  let cands = ref [] in
+  let add c = cands := c :: !cands in
+  (match regs with
+   | [] -> ()
+   | rs ->
+     add (fun () -> F_stuck_one (Rng.pick rng rs));
+     add (fun () -> F_stuck_zero (Rng.pick rng rs));
+     add (fun () ->
+         F_flip (Rng.pick rng rs, Rng.int rng 32, 1 + Rng.int rng 2));
+     if List.length rs >= 2 then
+       add (fun () ->
+           let a = Rng.pick rng rs in
+           let b = Rng.pick rng (List.filter (fun r -> r <> a) rs) in
+           F_swap_commit (a, b)));
+  (match commit_states nl with
+   | [] -> ()
+   | ss ->
+     add (fun () ->
+         let s, pairs = Rng.pick rng ss in
+         let (r : Ir.Instr.reg), _ = Rng.pick rng pairs in
+         F_drop_commit (s, r.Ir.Instr.id)));
+  List.rev !cands
+
+let sample rng ~n (nl : Hls.Netlist.structure) =
+  let structural = structural_candidates rng nl in
+  let behavioral = behavioral_candidates rng nl in
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  let tries = ref 0 in
+  let max_tries = 8 * n in
+  while List.length !out < n && !tries < max_tries do
+    incr tries;
+    (* 2:1 structural bias: the lint-guaranteed classes anchor overall
+       coverage, the behavioral third exercises the co-simulation side *)
+    let pool =
+      if !tries mod 3 = 2 then behavioral else structural
+    in
+    let pool = if pool = [] then structural @ behavioral else pool in
+    match pool with
+    | [] -> tries := max_tries
+    | pool ->
+      let f = (Rng.pick rng pool) () in
+      let key = describe f in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.replace seen key ();
+        out := f :: !out
+      end
+  done;
+  List.rev !out
+
+(* --- mutation --- *)
+
+let fresh_id = "w_fault_injected_undeclared"
+
+let mutate (nl : Hls.Netlist.structure) fault =
+  let open Hls.Netlist in
+  match fault with
+  | F_stuck_zero r ->
+    None, Some { Rtl.Sim.f_reg = r; f_kind = Rtl.Sim.Stuck_zero; f_nth = 1 }
+  | F_stuck_one r ->
+    None, Some { Rtl.Sim.f_reg = r; f_kind = Rtl.Sim.Stuck_one; f_nth = 1 }
+  | F_flip (r, bit, nth) ->
+    None,
+    Some { Rtl.Sim.f_reg = r; f_kind = Rtl.Sim.Flip_bit bit; f_nth = nth }
+  | F_swap_commit (a, b) ->
+    None,
+    Some { Rtl.Sim.f_reg = a; f_kind = Rtl.Sim.Swap_with b; f_nth = 2 }
+  | F_drop_commit (state, reg) ->
+    let nl_commits =
+      List.map
+        (fun (s, pairs) ->
+          if String.equal s state then
+            ( s,
+              List.filter
+                (fun ((r : Ir.Instr.reg), _) ->
+                  not (String.equal r.Ir.Instr.id reg))
+                pairs )
+          else s, pairs)
+        nl.nl_commits
+    in
+    Some { nl with nl_commits }, None
+  | F_drop_wire w ->
+    Some
+      { nl with
+        nl_wires =
+          List.filter (fun (w', _) -> not (String.equal w w')) nl.nl_wires },
+    None
+  | F_redeclare_wire w ->
+    let width =
+      Option.value ~default:32 (List.assoc_opt w nl.nl_wires)
+    in
+    Some { nl with nl_wires = (w, width) :: nl.nl_wires }, None
+  | F_extra_driver w ->
+    (* two drivers so the fault is caught even on an undriven wire *)
+    Some
+      { nl with nl_assigns = (w, "1'b0") :: (w, "1'b1") :: nl.nl_assigns },
+    None
+  | F_retarget_port iname ->
+    let nl_instances =
+      List.map
+        (fun (inst : instance) ->
+          if String.equal inst.i_name iname then
+            match inst.i_ports with
+            | (f, _) :: rest -> { inst with i_ports = (f, fresh_id) :: rest }
+            | [] -> inst
+          else inst)
+        nl.nl_instances
+    in
+    Some { nl with nl_instances }, None
+  | F_drop_transition (from_, to_) ->
+    let dropped = ref false in
+    let nl_transitions =
+      List.filter
+        (fun (t : transition) ->
+          if
+            (not !dropped)
+            && String.equal t.t_from from_
+            && String.equal t.t_to to_
+          then begin
+            dropped := true;
+            false
+          end
+          else true)
+        nl.nl_transitions
+    in
+    Some { nl with nl_transitions }, None
+  | F_bogus_commit_wire state ->
+    let nl_commits =
+      List.map
+        (fun (s, pairs) ->
+          if String.equal s state then
+            match pairs with
+            | (r, _) :: rest -> s, (r, fresh_id) :: rest
+            | [] -> s, pairs
+          else s, pairs)
+        nl.nl_commits
+    in
+    Some { nl with nl_commits }, None

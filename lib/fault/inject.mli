@@ -1,0 +1,60 @@
+(** RTL fault models over structured kernel netlists.
+
+    Two families, mirroring how the checkers observe them:
+
+    - {e structural} faults damage the netlist-as-data (dropped or
+      redeclared wires, extra drivers, retargeted instance ports,
+      dropped FSM transitions, corrupted commit lists) and are the
+      prey of [Rtl.Lint];
+    - {e behavioral} faults corrupt architectural register writes
+      during simulation (stuck-at, bit flip, swapped commit) and are
+      the prey of differential co-simulation ([Rtl.Cosim]) — the
+      netlist text is untouched, so lint cannot see them.
+
+    {!sample} draws a deterministic mixed population from a seeded
+    {!Rng.t}; {!mutate} turns one fault into the concrete artefacts
+    the checkers consume. *)
+
+type t =
+  | F_stuck_zero of string
+      (** register: every write sticks to the all-zero pattern *)
+  | F_stuck_one of string  (** register: writes stick to all-ones *)
+  | F_flip of string * int * int  (** register, bit, nth write upset *)
+  | F_swap_commit of string * string
+      (** first register's first write takes the other's value *)
+  | F_drop_commit of string * string
+      (** (state, register): the state no longer latches the register *)
+  | F_drop_wire of string  (** wire declaration removed *)
+  | F_redeclare_wire of string  (** wire declared twice *)
+  | F_extra_driver of string  (** two extra constant drivers added *)
+  | F_retarget_port of string
+      (** instance: first port rewired to an undeclared identifier *)
+  | F_drop_transition of string * string
+      (** (from, to): FSM edge removed *)
+  | F_bogus_commit_wire of string
+      (** state: first commit's driving wire renamed to an undeclared
+          identifier *)
+
+val describe : t -> string
+(** Stable one-line rendering, usable as a deterministic report key. *)
+
+val is_structural : t -> bool
+(** [true] for netlist-mutating faults (lint's prey), [false] for
+    register faults and dropped commits (co-simulation's prey). *)
+
+val sample : Rng.t -> n:int -> Cayman_hls.Netlist.structure -> t list
+(** [sample rng ~n nl] draws up to [n] distinct faults applicable to
+    [nl], deterministically in [rng]. The mix is biased roughly 2:1
+    towards structural faults; classes without a valid site in [nl]
+    (e.g. no FSM state with a sole outgoing edge) are skipped. Fewer
+    than [n] faults come back when the netlist is too small to host
+    [n] distinct ones. *)
+
+val mutate :
+  Cayman_hls.Netlist.structure ->
+  t ->
+  Cayman_hls.Netlist.structure option * Rtl.Sim.fault option
+(** Concrete fault artefacts: a mutated netlist structure (structural
+    faults and dropped commits) and/or a register fault for
+    [Rtl.Sim.run]. Exactly one of the two is [Some] for every fault
+    produced by {!sample}. *)

@@ -1,0 +1,45 @@
+(* SplitMix64 (Steele, Lea & Flood 2014): a tiny, high-quality,
+   splittable generator. State is one int64; [next] adds the golden
+   gamma and mixes. [split] hashes a label into the *seed* (not the
+   current state), so derived streams are insensitive to how much of
+   the parent stream has been consumed. *)
+
+type t = {
+  seed : int64;  (* immutable: the stream's identity, used by [split] *)
+  mutable state : int64;
+}
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let of_seed64 s = { seed = s; state = s }
+
+let make seed = of_seed64 (mix64 (Int64.of_int seed))
+
+(* FNV-1a over the label bytes, folded into the parent seed. *)
+let split t label =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001B3L)
+    label;
+  of_seed64 (mix64 (Int64.logxor t.seed !h))
+
+let next t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Fault.Rng.int: bound must be positive";
+  Int64.to_int (Int64.unsigned_rem (next t) (Int64.of_int bound))
+
+let pick t = function
+  | [] -> invalid_arg "Fault.Rng.pick: empty list"
+  | xs -> List.nth xs (int t (List.length xs))

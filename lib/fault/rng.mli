@@ -1,0 +1,27 @@
+(** Deterministic splittable PRNG (SplitMix64) for fault campaigns.
+
+    Seeded explicitly and split by label, never from wall-clock or
+    process state, so a campaign's fault sample is a pure function of
+    [(seed, benchmark, mode)] — the same faults are drawn for any job
+    count, platform, or run. Streams derived via {!split} are
+    statistically independent, letting parallel campaign tasks draw
+    without sharing state. *)
+
+type t
+
+val make : int -> t
+(** Fresh generator from an integer seed. *)
+
+val split : t -> string -> t
+(** [split rng label] derives an independent generator from [rng]'s
+    seed and [label], without consuming [rng]'s own stream: splitting
+    the same generator with the same label always yields the same
+    stream, regardless of draws made from [rng] in between. *)
+
+val int : t -> int -> int
+(** [int rng bound] draws uniformly from [0 .. bound - 1]. [bound]
+    must be positive. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform draw from a non-empty list.
+    @raise Invalid_argument on an empty list. *)

@@ -1,0 +1,26 @@
+type span = {
+  line : int;
+  col : int;
+}
+
+type t = {
+  d_phase : string;
+  d_span : span option;
+  d_message : string;
+}
+
+exception Error of t
+
+let error ~phase ?span fmt =
+  Printf.ksprintf
+    (fun d_message -> raise (Error { d_phase = phase; d_span = span; d_message }))
+    fmt
+
+let to_string d =
+  match d.d_span with
+  | Some { line; col } when col > 0 ->
+    Printf.sprintf "%s:%d:%d: %s" d.d_phase line col d.d_message
+  | Some { line; _ } -> Printf.sprintf "%s:%d: %s" d.d_phase line d.d_message
+  | None -> Printf.sprintf "%s: %s" d.d_phase d.d_message
+
+let pp fmt d = Format.pp_print_string fmt (to_string d)

@@ -1,0 +1,33 @@
+(** Shared diagnostic type for every user-facing pipeline error.
+
+    The frontend phases (lexing, parsing, lowering) and the downstream
+    degradation paths (selection fallback, fault campaigns) all speak
+    {!t}: a phase tag, an optional source span, and a message. A single
+    exception — {!Error} — replaces the per-module [Lexer.Error] /
+    [Parser.Error] / [Lower.Error] variants, which remain as aliases so
+    existing handlers keep working. *)
+
+(** Source position. [col] is 1-based; 0 means "column unknown" (the
+    AST only records lines, so lowering errors locate to a line). *)
+type span = {
+  line : int;
+  col : int;
+}
+
+type t = {
+  d_phase : string;  (** "lex", "parse", "lower", "validate", ... *)
+  d_span : span option;
+  d_message : string;
+}
+
+exception Error of t
+
+(** [error ~phase ?span fmt] raises {!Error} with a formatted message. *)
+val error : phase:string -> ?span:span -> ('a, unit, string, 'b) format4 -> 'a
+
+(** ["phase:line:col: message"]; omits the location when absent and the
+    column when unknown. Deterministic — used verbatim in fault-campaign
+    reports. *)
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -50,8 +50,6 @@ type token =
   | SHR
   | EOF
 
-exception Error of { line : int; message : string }
-
 let token_to_string = function
   | INT n -> string_of_int n
   | FLOAT x -> string_of_float x
@@ -122,18 +120,36 @@ let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '
 let is_digit c = c >= '0' && c <= '9'
 let is_ident_char c = is_ident_start c || is_digit c
 
-(* Tokenize [src] into a list of [(token, line)] pairs ending with [EOF]. *)
+(* Tokenize [src] into a list of [(token, span)] pairs ending with [EOF].
+   [bol] is the offset just past the last newline, so a token starting at
+   [p] sits in column [p - bol + 1]. *)
 let tokenize src =
   let n = String.length src in
   let toks = ref [] in
   let line = ref 1 in
+  let bol = ref 0 in
   let pos = ref 0 in
   let peek k = if !pos + k < n then Some src.[!pos + k] else None in
-  let fail message = raise (Error { line = !line; message }) in
-  let push t = toks := (t, !line) :: !toks in
+  let span_at p = { Diag.line = !line; col = p - !bol + 1 } in
+  let fail fmt =
+    Printf.ksprintf
+      (fun message ->
+        raise
+          (Diag.Error
+             { Diag.d_phase = "lex"; d_span = Some (span_at !pos);
+               d_message = message }))
+      fmt
+  in
+  (* Every token is pushed with the span of its first character; [start]
+     defaults to the current position for single-lexeme tokens. *)
+  let push ?start t =
+    let start = Option.value ~default:!pos start in
+    toks := (t, span_at start) :: !toks
+  in
+  let newline () = incr line; incr pos; bol := !pos in
   while !pos < n do
     let c = src.[!pos] in
-    if c = '\n' then begin incr line; incr pos end
+    if c = '\n' then newline ()
     else if c = ' ' || c = '\t' || c = '\r' then incr pos
     else if c = '/' && peek 1 = Some '/' then begin
       while !pos < n && src.[!pos] <> '\n' do incr pos done
@@ -148,7 +164,7 @@ let tokenize src =
           closed := true
         end
         else begin
-          if src.[!pos] = '\n' then incr line;
+          if src.[!pos] = '\n' then begin incr line; bol := !pos + 1 end;
           incr pos
         end
       done
@@ -158,8 +174,8 @@ let tokenize src =
       while !pos < n && is_ident_char src.[!pos] do incr pos done;
       let word = String.sub src start (!pos - start) in
       match keyword_of_string word with
-      | Some kw -> push kw
-      | None -> push (IDENT word)
+      | Some kw -> push ~start kw
+      | None -> push ~start (IDENT word)
     end
     else if is_digit c then begin
       let start = !pos in
@@ -180,19 +196,19 @@ let tokenize src =
         end;
         let text = String.sub src start (!pos - start) in
         match float_of_string_opt text with
-        | Some x -> push (FLOAT x)
-        | None -> fail ("bad float literal " ^ text)
+        | Some x -> push ~start (FLOAT x)
+        | None -> fail "bad float literal %s" text
       end
       else begin
         let text = String.sub src start (!pos - start) in
         match int_of_string_opt text with
-        | Some v -> push (INT v)
-        | None -> fail ("bad int literal " ^ text)
+        | Some v -> push ~start (INT v)
+        | None -> fail "bad int literal %s" text
       end
     end
     else begin
-      let two tok = pos := !pos + 2; push tok in
-      let one tok = incr pos; push tok in
+      let two tok = push tok; pos := !pos + 2 in
+      let one tok = push tok; incr pos in
       match c, peek 1 with
       | '+', Some '=' -> two PLUS_ASSIGN
       | '-', Some '=' -> two MINUS_ASSIGN
@@ -236,9 +252,9 @@ let tokenize src =
         while !pos < n && is_digit src.[!pos] do incr pos done;
         let text = String.sub src start (!pos - start) in
         (match float_of_string_opt text with
-         | Some x -> push (FLOAT x)
-         | None -> fail ("bad float literal " ^ text))
-      | _ -> fail (Printf.sprintf "unexpected character %C" c)
+         | Some x -> push ~start (FLOAT x)
+         | None -> fail "bad float literal %s" text)
+      | _ -> fail "unexpected character %C" c
     end
   done;
   push EOF;

@@ -52,11 +52,10 @@ type token =
   | SHR
   | EOF
 
-exception Error of { line : int; message : string }
-
 val token_to_string : token -> string
 
-(** Tokenize a source string into [(token, line)] pairs; the result always
-    ends with [EOF]. Supports [//] and [/* */] comments.
-    @raise Error on malformed input. *)
-val tokenize : string -> (token * int) list
+(** Tokenize a source string into [(token, span)] pairs, each span naming
+    the token's first character; the result always ends with [EOF].
+    Supports [//] and [/* */] comments.
+    @raise Diag.Error on malformed input (phase ["lex"], precise span). *)
+val tokenize : string -> (token * Diag.span) list

@@ -1,8 +1,16 @@
 module Ir = Cayman_ir
 
-exception Error of { line : int; message : string }
-
-let fail line fmt = Format.kasprintf (fun message -> raise (Error { line; message })) fmt
+(* AST nodes carry only a line, so lowering diagnostics locate to a line
+   with the column unknown (0). *)
+let fail line fmt =
+  Format.kasprintf
+    (fun message ->
+      raise
+        (Diag.Error
+           { Diag.d_phase = "lower";
+             d_span = Some { Diag.line; col = 0 };
+             d_message = message }))
+    fmt
 
 (* A frontend invariant was violated: unlike {!Error}, this is a bug in
    the lowering itself, not in the user's program. The message names the
@@ -658,15 +666,20 @@ let lower (items : Ast.program) =
 let m_programs = Obs.Metrics.counter "frontend.programs_compiled"
 let m_funcs = Obs.Metrics.counter "frontend.functions_lowered"
 
+let fp_parse = Obs.Faultpoint.register "parse"
+let fp_lower = Obs.Faultpoint.register "lower"
+
 let compile src =
   Obs.Trace.span ~cat:"frontend" "frontend.compile" (fun () ->
       let ast =
         Obs.Trace.span ~cat:"frontend" "frontend.parse" (fun () ->
-            try Parser.parse src with
-            | Parser.Error { line; message } -> raise (Error { line; message }))
+            Obs.Faultpoint.hit fp_parse;
+            Parser.parse src)
       in
       let program =
-        Obs.Trace.span ~cat:"frontend" "frontend.lower" (fun () -> lower ast)
+        Obs.Trace.span ~cat:"frontend" "frontend.lower" (fun () ->
+            Obs.Faultpoint.hit fp_lower;
+            lower ast)
       in
       Obs.Trace.span ~cat:"frontend" "frontend.validate" (fun () ->
           match Ir.Validate.check program with
@@ -679,7 +692,9 @@ let compile src =
                    errors)
             in
             raise
-              (Error { line = 0; message = "internal lowering error: " ^ message }));
+              (Diag.Error
+                 { Diag.d_phase = "validate"; d_span = None;
+                   d_message = "internal lowering error: " ^ message }));
       Obs.Metrics.incr m_programs;
       Obs.Metrics.add m_funcs (List.length program.Ir.Program.funcs);
       program)

@@ -6,17 +6,17 @@
     regions. Loop labels ([linear: for (...)]) become block-name prefixes
     and thus readable region names. *)
 
-exception Error of { line : int; message : string }
-
 (** A lowering invariant was violated: a bug in the frontend itself, not
     in the user's program. The message names the offending construct and
     source line. *)
 exception Internal_error of string
 
-(** Lower a parsed program. The entry function must be called [main]. *)
+(** Lower a parsed program. The entry function must be called [main].
+    @raise Diag.Error on type errors (phase ["lower"], line-located). *)
 val lower : Ast.program -> Cayman_ir.Program.t
 
 (** [compile src] parses, lowers, and validates. The result is guaranteed
     to pass {!Cayman_ir.Validate.check}.
-    @raise Error on lexical, syntax, type, or internal validation errors. *)
+    @raise Diag.Error on lexical, syntax, type, or internal validation
+    errors — phases ["lex"], ["parse"], ["lower"], ["validate"]. *)
 val compile : string -> Cayman_ir.Program.t

@@ -1,14 +1,16 @@
-exception Error of { line : int; message : string }
-
-type state = { toks : (Lexer.token * int) array; mutable cursor : int }
+type state = { toks : (Lexer.token * Diag.span) array; mutable cursor : int }
 
 let peek st = fst st.toks.(st.cursor)
 let peek2 st =
   if st.cursor + 1 < Array.length st.toks then fst st.toks.(st.cursor + 1)
   else Lexer.EOF
-let line st = snd st.toks.(st.cursor)
+let span st = snd st.toks.(st.cursor)
+let line st = (span st).Diag.line
 
-let fail st message = raise (Error { line = line st; message })
+let fail st message =
+  raise
+    (Diag.Error
+       { Diag.d_phase = "parse"; d_span = Some (span st); d_message = message })
 
 let advance st =
   if st.cursor + 1 < Array.length st.toks then st.cursor <- st.cursor + 1
@@ -495,6 +497,6 @@ let parse_tokens toks =
   in
   loop []
 
-let parse src =
-  try parse_tokens (Lexer.tokenize src) with
-  | Lexer.Error { line; message } -> raise (Error { line; message })
+(* Lexical errors are already {!Diag.Error} (phase "lex") and propagate
+   unchanged. *)
+let parse src = parse_tokens (Lexer.tokenize src)

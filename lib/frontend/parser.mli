@@ -1,7 +1,6 @@
 (** Recursive-descent parser for MiniC. *)
 
-exception Error of { line : int; message : string }
-
 (** Parse a MiniC source string into an AST.
-    @raise Error on lexical or syntax errors, with the offending line. *)
+    @raise Diag.Error on lexical or syntax errors: phase ["parse"] with
+    the span of the offending token (lexical ones keep phase ["lex"]). *)
 val parse : string -> Ast.program

@@ -304,7 +304,10 @@ type plan = {
 }
 
 let plan (ctx : Ctx.t) (r : An.Region.t) ?(beta = default_beta) config =
-  if region_has_call ctx r then None
+  (* A malformed configuration (non-positive unroll, e.g. from a fault
+     campaign's corrupted input) is unsynthesizable, not a crash. *)
+  if config.unroll <= 0 then None
+  else if region_has_call ctx r then None
   else begin
     let loops_in = loops_inside ctx r in
     let pipelined =
@@ -394,7 +397,10 @@ let scale_units mult units = List.map (fun (k, c) -> k, c * mult) units
 let m_estimates = Obs.Metrics.counter "hls.kernel_estimates"
 let m_points = Obs.Metrics.counter "hls.kernel_points"
 
+let fp_schedule = Obs.Faultpoint.register "schedule"
+
 let estimate (ctx : Ctx.t) (r : An.Region.t) ?(beta = default_beta) config =
+  Obs.Faultpoint.hit fp_schedule;
   Obs.Metrics.incr m_estimates;
   let func = ctx.Ctx.func in
   let profile = ctx.Ctx.profile in

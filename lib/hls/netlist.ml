@@ -292,9 +292,12 @@ let emit_block buf acc ~suffix ~state ~state_name (dfg : Dfg.t) ~iface =
 
 let m_netlists = Obs.Metrics.counter "hls.netlists_built"
 
+let fp_netlist = Obs.Faultpoint.register "netlist"
+
 let of_kernel (ctx : Ctx.t) (region : An.Region.t) ?beta
     (config : Kernel.config) =
   Obs.Trace.span ~cat:"hls" "hls.netlist" @@ fun () ->
+  Obs.Faultpoint.hit fp_netlist;
   match Kernel.plan ctx region ?beta config with
   | None -> None
   | Some plan ->

@@ -1,0 +1,62 @@
+(* Named fault-injection points; see the interface for the contract.
+
+   The registry is global (guarded by a mutex, write-once per name);
+   the arming is domain-local so concurrent campaign tasks cannot
+   perturb each other. *)
+
+type t = { fp_name : string }
+
+exception Injected of string
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 16
+let registry_mutex = Mutex.create ()
+
+let register name =
+  Mutex.lock registry_mutex;
+  let p =
+    match Hashtbl.find_opt registry name with
+    | Some p -> p
+    | None ->
+      let p = { fp_name = name } in
+      Hashtbl.add registry name p;
+      p
+  in
+  Mutex.unlock registry_mutex;
+  p
+
+let points () =
+  Mutex.lock registry_mutex;
+  let names = Hashtbl.fold (fun name _ acc -> name :: acc) registry [] in
+  Mutex.unlock registry_mutex;
+  List.sort String.compare names
+
+(* name of the armed point and a countdown to the raising hit *)
+type arming = { mutable a_name : string; mutable a_remaining : int }
+
+let armed : arming option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let arm ?(nth = 1) name =
+  Domain.DLS.set armed (Some { a_name = name; a_remaining = max 1 nth })
+
+let disarm () = Domain.DLS.set armed None
+
+let armed_name () =
+  match Domain.DLS.get armed with
+  | None -> None
+  | Some a -> Some a.a_name
+
+let hit p =
+  match Domain.DLS.get armed with
+  | None -> ()
+  | Some a ->
+    if String.equal a.a_name p.fp_name then begin
+      a.a_remaining <- a.a_remaining - 1;
+      if a.a_remaining = 0 then begin
+        Domain.DLS.set armed None;
+        raise (Injected p.fp_name)
+      end
+    end
+
+let with_armed ?nth name f =
+  arm ?nth name;
+  Fun.protect ~finally:disarm f

@@ -1,0 +1,52 @@
+(** Named fault-injection points for pipeline stages.
+
+    A fault point is a named hook placed at a stage boundary (parse,
+    lower, schedule, netlist, select, …). In normal operation every
+    hook is a no-op costing one domain-local read. A fault campaign
+    {e arms} a point — optionally only its k-th hit — and the next
+    matching {!hit} raises {!Injected} from inside the stage, which
+    lets the campaign observe how the surrounding pipeline degrades
+    (structured diagnostic and fallback vs. aborting the run).
+
+    Arming is domain-local ([Domain.DLS]): a campaign task armed on a
+    pool worker never perturbs sibling tasks on other workers, and
+    because nested pool maps run sequentially in-domain (see
+    [Engine.Pool]), the k-th hit of a point within one task is
+    deterministic for any job count. Always disarm with [Fun.protect]
+    (or {!with_armed}) so a fault that propagates out of the stage
+    cannot leak into the next task scheduled on the same domain. *)
+
+type t
+
+exception Injected of string
+(** Raised by {!hit} at an armed point. The payload is the point name —
+    stable for a given arming, suitable for deterministic reports. *)
+
+val register : string -> t
+(** [register name] interns the fault point [name] (idempotent: the
+    same name yields the same point). *)
+
+val hit : t -> unit
+(** Fault hook. No-op unless this domain armed the point; raises
+    {!Injected} on the armed occurrence. *)
+
+val arm : ?nth:int -> string -> unit
+(** [arm name] arms point [name] on the calling domain so that its
+    [nth] subsequent {!hit} (1-based, default 1) raises. Re-arming
+    replaces any previous arming and resets the hit counter. *)
+
+val disarm : unit -> unit
+(** Remove the calling domain's arming (if any). *)
+
+val armed_name : unit -> string option
+(** Name of the point currently armed on this domain, if any. A
+    campaign checks this after a run: an arming still present means the
+    fault point was never reached (the fault was benign). *)
+
+val with_armed : ?nth:int -> string -> (unit -> 'a) -> 'a
+(** [with_armed name f] runs [f] with [name] armed and always disarms
+    afterwards, even if [f] raises. *)
+
+val points : unit -> string list
+(** Names of every registered point, sorted — the campaign's stage
+    catalogue. Stable once the libraries placing hooks are loaded. *)

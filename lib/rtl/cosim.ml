@@ -67,6 +67,7 @@ type report = {
   r_iterations : int;
   r_mismatches : mismatch list;  (* first [mismatch_cap] in order *)
   r_n_mismatches : int;
+  r_fault_fired : bool;  (* injected register fault activated at least once *)
 }
 
 let mismatch_cap = 8
@@ -116,6 +117,7 @@ type spec = {
 type kstate = {
   ks_spec : spec;
   ks_nl : Hls.Netlist.structure;
+  ks_fault : Sim.fault option;  (* injected register fault, if any *)
   ks_func : string;
   ks_name : string;
   mutable ks_pending : (Sim.outcome, string) result option;
@@ -126,6 +128,7 @@ type kstate = {
   mutable ks_mm : mismatch list;  (* reversed *)
   mutable ks_n_mm : int;
   mutable ks_capped : bool;
+  mutable ks_fault_fired : bool;
 }
 
 let note ks kind fmt =
@@ -190,7 +193,7 @@ let resolve ks (read : string -> Value.t option) (golden_mem : Memory.t) how =
          (fun (base, detail) -> note ks "memory" "%s: %s" base detail)
          (Memory.diff golden_mem o.Sim.o_mem))
 
-let enter ks max_invocations (read : string -> Value.t option)
+let enter ks max_invocations max_cycles (read : string -> Value.t option)
     (mem : Memory.t) =
   ks.ks_inv <- ks.ks_inv + 1;
   match max_invocations with
@@ -200,7 +203,13 @@ let enter ks max_invocations (read : string -> Value.t option)
     let shadow = Memory.snapshot mem in
     ks.ks_pending <-
       Some
-        (try Ok (Sim.run ks.ks_spec.k_ctx ks.ks_nl ~env:read ~mem:shadow)
+        (try
+           let o =
+             Sim.run ?max_cycles ?fault:ks.ks_fault ks.ks_spec.k_ctx
+               ks.ks_nl ~env:read ~mem:shadow
+           in
+           if o.Sim.o_fault_fired then ks.ks_fault_fired <- true;
+           Ok o
          with
         | Sim.Rtl_error m -> Error ("Rtl_error: " ^ m)
         | Interp.Runtime_error m -> Error ("Runtime_error: " ^ m)
@@ -217,27 +226,51 @@ let m_invocations = Obs.Metrics.counter "rtl.cosim_invocations"
 let m_sim_cycles = Obs.Metrics.counter "rtl.cosim_sim_cycles"
 let m_mismatches = Obs.Metrics.counter "rtl.cosim_mismatches"
 
+let fp_cosim = Obs.Faultpoint.register "cosim"
+
 let run_many ?fuel ?(tolerance = default_tolerance) ?max_invocations
-    (program : Ir.Program.t) (specs : spec list) =
+    ?max_cycles ?faults (program : Ir.Program.t) (specs : spec list) =
   Obs.Trace.span ~cat:"rtl" "rtl.cosim" @@ fun () ->
+  Obs.Faultpoint.hit fp_cosim;
   Obs.Metrics.incr m_runs;
   Obs.Metrics.add m_kernels (List.length specs);
+  (* [faults] pairs up with [specs] positionally: a structure override
+     (a pre-mutated netlist replacing the freshly built one) and/or a
+     register fault for the netlist simulator. *)
+  let fault_for =
+    match faults with
+    | None -> fun _ -> None, None
+    | Some fs ->
+      let n_specs = List.length specs and n_faults = List.length fs in
+      if n_faults <> n_specs then
+        invalid_arg
+          (Printf.sprintf "Cosim: %d fault slots for %d specs" n_faults
+             n_specs);
+      let arr = Array.of_list fs in
+      fun i -> arr.(i)
+  in
   let kstates =
-    List.map
-      (fun spec ->
+    List.mapi
+      (fun i spec ->
         let func = spec.k_ctx.Hls.Ctx.func.Ir.Func.name in
+        let structure_override, sim_fault = fault_for i in
         let nl =
-          match
-            Hls.Netlist.of_kernel spec.k_ctx spec.k_region spec.k_config
-          with
-          | Some { Hls.Netlist.structure = Some s; _ } -> s
-          | Some { Hls.Netlist.structure = None; _ } | None ->
-            invalid_arg
-              (Printf.sprintf "Cosim: kernel %s/%s is not synthesizable" func
-                 (An.Region.name spec.k_region))
+          match structure_override with
+          | Some s -> s
+          | None ->
+            (match
+               Hls.Netlist.of_kernel spec.k_ctx spec.k_region spec.k_config
+             with
+             | Some { Hls.Netlist.structure = Some s; _ } -> s
+             | Some { Hls.Netlist.structure = None; _ } | None ->
+               invalid_arg
+                 (Printf.sprintf "Cosim: kernel %s/%s is not synthesizable"
+                    func
+                    (An.Region.name spec.k_region)))
         in
         { ks_spec = spec;
           ks_nl = nl;
+          ks_fault = sim_fault;
           ks_func = func;
           ks_name = func ^ "/" ^ An.Region.name spec.k_region;
           ks_pending = None;
@@ -247,7 +280,8 @@ let run_many ?fuel ?(tolerance = default_tolerance) ?max_invocations
           ks_iters = 0;
           ks_mm = [];
           ks_n_mm = 0;
-          ks_capped = false })
+          ks_capped = false;
+          ks_fault_fired = false })
       specs
   in
   let observer =
@@ -265,7 +299,7 @@ let run_many ?fuel ?(tolerance = default_tolerance) ?max_invocations
                 if
                   String.equal label ks.ks_spec.k_region.An.Region.entry
                   && ks.ks_pending = None
-                then enter ks max_invocations read mem
+                then enter ks max_invocations max_cycles read mem
               end)
             kstates);
       Interp.obs_return =
@@ -276,7 +310,8 @@ let run_many ?fuel ?(tolerance = default_tolerance) ?max_invocations
                 resolve ks read mem (`Return value))
             kstates) }
   in
-  let (_ : Interp.result) = Interp.run ?fuel ~observer program in
+  let fuel = Engine.Config.fuel ?fuel () in
+  let (_ : Interp.result) = Interp.run ~fuel ~observer program in
   List.map
     (fun ks ->
       (* a pending invocation can only survive the run if the golden
@@ -313,7 +348,8 @@ let run_many ?fuel ?(tolerance = default_tolerance) ?max_invocations
         r_cycles_ok = (not checked) || ok;
         r_iterations = ks.ks_iters;
         r_mismatches = List.rev ks.ks_mm;
-        r_n_mismatches = ks.ks_n_mm })
+        r_n_mismatches = ks.ks_n_mm;
+        r_fault_fired = ks.ks_fault_fired })
     kstates
 
 let run ?fuel ?tolerance ?max_invocations program spec =

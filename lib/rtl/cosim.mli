@@ -48,6 +48,9 @@ type report = {
   r_iterations : int;  (** pipelined-loop iterations simulated *)
   r_mismatches : mismatch list;  (** first 8, in execution order *)
   r_n_mismatches : int;  (** total, including those past the cap *)
+  r_fault_fired : bool;
+      (** an injected register fault activated in at least one
+          invocation; always [false] without [?faults] *)
 }
 
 val functional_ok : report -> bool
@@ -65,13 +68,29 @@ type spec = {
     interpreter pass; reports come back in [specs] order. Regions may
     belong to different functions; nested specs are handled
     independently.
-    @raise Invalid_argument if a spec's kernel is not synthesizable.
+
+    [?faults] supports fault-injection campaigns: one slot per spec
+    (positionally), each carrying an optional pre-mutated netlist
+    structure that replaces the freshly built one, and/or an optional
+    {!Sim.fault} injected into every simulated invocation of that
+    kernel. Batching many mutants of the same program into one call
+    amortizes the single golden interpreter pass over all of them.
+
+    [?max_cycles] bounds each simulated invocation (default: the
+    netlist simulator's own large budget). A mutant that corrupts its
+    loop registers can otherwise spin its FSM for billions of cycles;
+    exceeding the budget raises inside the simulator and is reported
+    as a ["sim-error"] mismatch, i.e. the fault counts as detected.
+    @raise Invalid_argument if a spec's kernel is not synthesizable, or
+    if [faults] has a different length than [specs].
     @raise Cayman_sim.Interp.Runtime_error if the golden program itself
     faults. *)
 val run_many :
   ?fuel:int ->
   ?tolerance:tolerance ->
   ?max_invocations:int ->
+  ?max_cycles:int ->
+  ?faults:(Cayman_hls.Netlist.structure option * Sim.fault option) list ->
   Cayman_ir.Program.t ->
   spec list ->
   report list

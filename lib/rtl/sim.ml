@@ -37,6 +37,48 @@ exception Rtl_error of string
 
 let fail fmt = Printf.ksprintf (fun m -> raise (Rtl_error m)) fmt
 
+(* --- register fault models ---
+
+   A fault targets one architectural register and corrupts the value
+   written to it. Writes are counted per invocation — power-up
+   initialization is write 1, then every commit increments — so a
+   given [f_nth] activates at a deterministic point of the FSM walk
+   and stays active from that write onward: a stuck cell never
+   recovers, and a shorted bit line or mis-selected commit mux
+   corrupts every write through it. *)
+
+type fault_kind =
+  | Stuck_zero
+  | Stuck_one
+  | Flip_bit of int
+  | Swap_with of string
+
+type fault = {
+  f_reg : string;
+  f_kind : fault_kind;
+  f_nth : int;
+}
+
+let stuck_zero = function
+  | Value.Vint _ -> Value.Vint 0
+  | Value.Vbool _ -> Value.Vbool false
+  | Value.Vfloat _ -> Value.Vfloat 0.0
+
+(* all-ones bit pattern of the value's storage (NaN for floats) *)
+let stuck_one = function
+  | Value.Vint _ -> Value.Vint (-1)
+  | Value.Vbool _ -> Value.Vbool true
+  | Value.Vfloat _ -> Value.Vfloat (Int64.float_of_bits (-1L))
+
+let flip_bit k = function
+  | Value.Vint n -> Value.Vint (n lxor (1 lsl (k mod 62)))
+  | Value.Vbool b -> Value.Vbool (not b)
+  | Value.Vfloat x ->
+    Value.Vfloat
+      (Int64.float_of_bits
+         (Int64.logxor (Int64.bits_of_float x)
+            (Int64.shift_left 1L (k mod 62))))
+
 type outcome = {
   o_regs : (string * Value.t) list;
       (* architectural register file after S_DONE, sorted by id *)
@@ -46,6 +88,7 @@ type outcome = {
   o_cycles : int;  (* invocation cycles incl. DMA + invoke overhead *)
   o_iterations : int;  (* pipelined-loop iterations executed *)
   o_activations : int;  (* FSM state activations *)
+  o_fault_fired : bool;  (* the injected fault corrupted at least one write *)
 }
 
 let eval_operand ~wires ~regs ~where (o : Ir.Instr.operand) =
@@ -91,7 +134,7 @@ let eval_block (ctx : Hls.Ctx.t) ~regs ~load ~store label =
     dfg.Hls.Dfg.instrs;
   wires, dfg.Hls.Dfg.block.Ir.Block.term
 
-let run ?(max_cycles = 2_000_000_000) (ctx : Hls.Ctx.t)
+let run ?(max_cycles = 2_000_000_000) ?fault (ctx : Hls.Ctx.t)
     (nl : Hls.Netlist.structure) ~env ~mem =
   let open Hls.Netlist in
   (* architectural register file; unwritten registers power up at the
@@ -99,6 +142,36 @@ let run ?(max_cycles = 2_000_000_000) (ctx : Hls.Ctx.t)
      defined them — the netlist reads them only on paths where the
      golden model defined them first, or not at all) *)
   let regs : (string, Value.t) Hashtbl.t = Hashtbl.create 32 in
+  (* every register write funnels through here so the injected fault
+     sees a deterministic write count *)
+  let fault_writes = ref 0 in
+  let fault_fired = ref false in
+  let write_reg rid v =
+    let v =
+      match fault with
+      | Some f when String.equal f.f_reg rid ->
+        incr fault_writes;
+        (* every fault class is persistent from the [f_nth] write on:
+           a flipped bit or swapped commit source models a shorted line
+           or wrong mux select, which corrupts every write through it,
+           not just one *)
+        let active = !fault_writes >= f.f_nth in
+        if not active then v
+        else begin
+          fault_fired := true;
+          match f.f_kind with
+          | Stuck_zero -> stuck_zero v
+          | Stuck_one -> stuck_one v
+          | Flip_bit k -> flip_bit k v
+          | Swap_with other ->
+            (match Hashtbl.find_opt regs other with
+             | Some w -> w
+             | None -> v)
+        end
+      | Some _ | None -> v
+    in
+    Hashtbl.replace regs rid v
+  in
   List.iter
     (fun (rid, ty) ->
       let v =
@@ -106,7 +179,7 @@ let run ?(max_cycles = 2_000_000_000) (ctx : Hls.Ctx.t)
         | Some v -> v
         | None -> Value.zero_of ty
       in
-      Hashtbl.replace regs rid v)
+      write_reg rid v)
     nl.nl_arch_regs;
   (* scratchpad shadow: DMA-in every cached array (store-only arrays
      are also fetched so partial write-back cannot clobber untouched
@@ -181,7 +254,7 @@ let run ?(max_cycles = 2_000_000_000) (ctx : Hls.Ctx.t)
     List.iter
       (fun ((r : Ir.Instr.reg), _wire) ->
         match Hashtbl.find_opt wires r.Ir.Instr.id with
-        | Some v -> Hashtbl.replace regs r.Ir.Instr.id v
+        | Some v -> write_reg r.Ir.Instr.id v
         | None ->
           fail "commit of %%%s has no driving wire in %s" r.Ir.Instr.id
             nl.nl_name)
@@ -194,7 +267,7 @@ let run ?(max_cycles = 2_000_000_000) (ctx : Hls.Ctx.t)
         match Ir.Instr.def instr with
         | Some (r : Ir.Instr.reg) ->
           (match Hashtbl.find_opt wires r.Ir.Instr.id with
-           | Some v -> Hashtbl.replace regs r.Ir.Instr.id v
+           | Some v -> write_reg r.Ir.Instr.id v
            | None -> ())
         | None -> ())
       dfg.Hls.Dfg.instrs
@@ -204,7 +277,16 @@ let run ?(max_cycles = 2_000_000_000) (ctx : Hls.Ctx.t)
   let run_pipe (pc : pipe_ctrl) =
     let in_loop l = List.exists (String.equal l) pc.pc_blocks in
     let trip = ref 0 in
+    let steps = ref 0 in
     let rec step label =
+      (* cycles are charged only once the loop converges, so bound the
+         walk itself: an injected fault that corrupts the loop counter
+         must hit the budget, not spin forever *)
+      incr steps;
+      if !steps > max_cycles then
+        fail "cycle budget exceeded (pipelined loop %s walked %d blocks) \
+              in %s"
+          pc.pc_header !steps nl.nl_name;
       let wires, term = eval_block ctx ~regs ~load ~store label in
       let next =
         match term with
@@ -320,4 +402,5 @@ let run ?(max_cycles = 2_000_000_000) (ctx : Hls.Ctx.t)
        | None -> None);
     o_cycles = !cycles;
     o_iterations = !iterations;
-    o_activations = !activations }
+    o_activations = !activations;
+    o_fault_fired = !fault_fired }

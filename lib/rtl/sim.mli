@@ -18,6 +18,33 @@
     malformed FSM, or an exceeded cycle budget. *)
 exception Rtl_error of string
 
+(** {1 Register fault models}
+
+    A fault targets one architectural register and corrupts values
+    written to it during simulation. Register writes are counted per
+    invocation — power-up initialization is write 1, then every FSM
+    commit increments — so [f_nth] pins the fault to a deterministic
+    point of the walk. Every fault class remains active from the
+    [f_nth] write onward: a stuck cell never recovers, and a shorted
+    bit line or mis-selected commit mux corrupts every write through
+    it. A fault whose register is never written [f_nth] times simply
+    never fires (see {!outcome.o_fault_fired}). *)
+
+type fault_kind =
+  | Stuck_zero  (** writes become the all-zero pattern of their type *)
+  | Stuck_one
+      (** writes become the all-ones pattern (int -1, bool true, float
+          NaN — the bit pattern, not a numeric value) *)
+  | Flip_bit of int  (** XOR bit [k mod 62] of the written value *)
+  | Swap_with of string
+      (** write the current value of another register instead *)
+
+type fault = {
+  f_reg : string;  (** targeted architectural register id *)
+  f_kind : fault_kind;
+  f_nth : int;  (** 1-based write occurrence at which the fault activates *)
+}
+
 type outcome = {
   o_regs : (string * Cayman_sim.Value.t) list;
       (** architectural register file at S_DONE, sorted by IR id *)
@@ -32,16 +59,22 @@ type outcome = {
           + {!Cayman_hls.Tech.invoke_overhead_cycles} *)
   o_iterations : int;  (** pipelined-loop iterations executed *)
   o_activations : int;  (** FSM state activations *)
+  o_fault_fired : bool;
+      (** the injected fault corrupted at least one register write this
+          invocation; always [false] without [?fault] *)
 }
 
 (** [run ctx nl ~env ~mem] simulates one invocation. [env] supplies the
     incoming value of each live-in architectural register ([None] powers
     the register up at zero of its type); [mem] is mutated in place by
     direct-interface stores and by the scratchpad write-back.
+    [?fault] injects a register fault for this invocation (fault
+    campaigns); the pristine path is untouched when absent.
     @raise Rtl_error on simulation failure (never on a well-formed
     netlist driven with well-typed inputs). *)
 val run :
   ?max_cycles:int ->
+  ?fault:fault ->
   Cayman_hls.Ctx.t ->
   Cayman_hls.Netlist.structure ->
   env:(string -> Cayman_sim.Value.t option) ->

@@ -19,5 +19,5 @@ val names : string list
 val fig6 : string list
 
 (** Compile a benchmark's MiniC source to IR.
-    @raise Cayman_frontend.Lower.Error on frontend errors. *)
+    @raise Cayman_frontend.Diag.Error on frontend errors. *)
 val compile : benchmark -> Cayman_ir.Program.t

@@ -13,6 +13,8 @@ let () =
       "merge", Test_merge.tests;
       "netlist", Test_netlist.tests;
       "rtl", Test_rtl.tests;
+      "fault", Test_fault.tests;
+      "diag", Test_diag.tests;
       "random", Test_random.tests;
       "cache-dse", Test_cache_dse.tests;
       "suites", Test_suites.tests;

@@ -116,7 +116,7 @@ let test_cli_building_blocks () =
   (* analyze_source error path *)
   (match Core.Cayman.analyze_source "int main() { return x; }" with
    | _ -> Alcotest.fail "must reject unknown variable"
-   | exception Cayman_frontend.Lower.Error _ -> ());
+   | exception Cayman_frontend.Diag.Error _ -> ());
   (* a valid trivial program flows end-to-end *)
   let a = Core.Cayman.analyze_source "int main() { return 0; }" in
   let r = Core.Cayman.run ~mode:Hls.Kernel.Heuristic a in

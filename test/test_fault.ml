@@ -1,0 +1,317 @@
+(* Tests for the fault-injection subsystem (lib/fault + Obs.Faultpoint +
+   selection degradation): deterministic RNG splitting, lint-guaranteed
+   structural mutations, campaign byte-determinism across job counts
+   with the >= 90% coverage bar, graceful selection fallback when
+   kernel generation throws, and the engine pool's error capture. *)
+
+module Ir = Cayman_ir
+module An = Cayman_analysis
+module Hls = Cayman_hls
+module Suite = Cayman_suites.Suite
+module Fault = Cayman_fault
+
+(* --- seeded RNG --- *)
+
+let test_rng_determinism () =
+  let draws rng = List.init 32 (fun _ -> Fault.Rng.int rng 1000) in
+  let a = draws (Fault.Rng.make 7) in
+  let b = draws (Fault.Rng.make 7) in
+  Alcotest.(check (list int)) "same seed, same stream" a b;
+  let c = draws (Fault.Rng.make 8) in
+  Alcotest.(check bool) "different seed differs" true (a <> c)
+
+let test_rng_split () =
+  let rng = Fault.Rng.make 42 in
+  let a = Fault.Rng.split rng "atax" in
+  let b = Fault.Rng.split rng "mvt" in
+  let sa = List.init 16 (fun _ -> Fault.Rng.int a 1_000_000) in
+  let sb = List.init 16 (fun _ -> Fault.Rng.int b 1_000_000) in
+  Alcotest.(check bool) "labels give independent streams" true (sa <> sb);
+  (* splitting depends on the parent's seed, not its consumed state:
+     draws in between must not change the derived stream *)
+  let rng' = Fault.Rng.make 42 in
+  let (_ : int) = Fault.Rng.int rng' 10 in
+  let (_ : int) = Fault.Rng.int rng' 10 in
+  let a' = Fault.Rng.split rng' "atax" in
+  let sa' = List.init 16 (fun _ -> Fault.Rng.int a' 1_000_000) in
+  Alcotest.(check (list int)) "split ignores parent draws" sa sa'
+
+(* --- fault points --- *)
+
+let test_faultpoint () =
+  let p = Obs.Faultpoint.register "test.point" in
+  (* unarmed: a no-op *)
+  Obs.Faultpoint.hit p;
+  (* nth=2: first hit passes, second raises *)
+  Obs.Faultpoint.arm ~nth:2 "test.point";
+  Obs.Faultpoint.hit p;
+  (match Obs.Faultpoint.hit p with
+   | () -> Alcotest.fail "second hit should raise"
+   | exception Obs.Faultpoint.Injected name ->
+     Alcotest.(check string) "payload is the point name" "test.point" name);
+  Alcotest.(check (option string))
+    "arming cleared after firing" None
+    (Obs.Faultpoint.armed_name ());
+  (* never-reached arming stays visible (the campaign's benign case) *)
+  Obs.Faultpoint.arm "test.point";
+  Alcotest.(check (option string))
+    "armed and unreached" (Some "test.point")
+    (Obs.Faultpoint.armed_name ());
+  Obs.Faultpoint.disarm ();
+  (* with_armed disarms even when the body raises *)
+  (try
+     Obs.Faultpoint.with_armed "test.point" (fun () ->
+         Obs.Faultpoint.hit p)
+   with Obs.Faultpoint.Injected _ -> ());
+  Alcotest.(check (option string))
+    "with_armed disarms on raise" None
+    (Obs.Faultpoint.armed_name ());
+  (* the pipeline's stage points are all registered *)
+  let points = Obs.Faultpoint.points () in
+  List.iter
+    (fun stage ->
+      Alcotest.(check bool)
+        (stage ^ " registered") true
+        (List.mem stage points))
+    [ "parse"; "lower"; "ifconv"; "schedule"; "netlist"; "select"; "cosim" ]
+
+(* --- structural mutations are lint-guaranteed --- *)
+
+(* First synthesizable kernel netlist of a benchmark under the default
+   heuristic configs. *)
+let first_netlist (a : Core.Cayman.analyzed) =
+  let found = ref None in
+  Hashtbl.iter
+    (fun fname (ctx : Hls.Ctx.t) ->
+      match An.Wpst.func_tree a.Core.Cayman.wpst fname with
+      | None -> ()
+      | Some ft ->
+        An.Region.iter
+          (fun r ->
+            if !found = None then
+              List.iter
+                (fun cfg ->
+                  if !found = None then
+                    match Hls.Netlist.of_kernel ctx r cfg with
+                    | Some { Hls.Netlist.structure = Some nl; _ } ->
+                      found := Some nl
+                    | Some { Hls.Netlist.structure = None; _ } | None -> ())
+                (Hls.Kernel.default_configs Hls.Kernel.Heuristic))
+          ft.An.Wpst.root)
+    a.Core.Cayman.ctxs;
+  match !found with
+  | Some nl -> nl
+  | None -> Alcotest.fail "no synthesizable kernel found"
+
+let test_inject_structural_lint () =
+  let a = Core.Cayman.analyze (Suite.compile (Suite.find_exn "atax")) in
+  let nl = first_netlist a in
+  Alcotest.(check (list string))
+    "pristine netlist is lint-clean" []
+    (List.map Rtl.Lint.to_string (Rtl.Lint.check nl));
+  let rng = Fault.Rng.make 3 in
+  let faults = Fault.Inject.sample rng ~n:16 nl in
+  Alcotest.(check bool) "sampled something" true (faults <> []);
+  (* duplicates are filtered by description *)
+  let descs = List.map Fault.Inject.describe faults in
+  Alcotest.(check int) "descriptions unique"
+    (List.length descs)
+    (List.length (List.sort_uniq String.compare descs));
+  List.iter
+    (fun f ->
+      match Fault.Inject.mutate nl f with
+      | Some mutant, None when Fault.Inject.is_structural f ->
+        Alcotest.(check bool)
+          (Fault.Inject.describe f ^ " caught by lint")
+          true
+          (Rtl.Lint.check mutant <> [])
+      | None, Some (_ : Rtl.Sim.fault) ->
+        Alcotest.(check bool)
+          (Fault.Inject.describe f ^ " is behavioral")
+          false
+          (Fault.Inject.is_structural f)
+      | Some _, None ->
+        (* structure-level but Sim-visible (drop-commit): lint-clean by
+           design, detected by co-simulation instead *)
+        ()
+      | _ ->
+        Alcotest.failf "%s: unexpected mutation artefacts"
+          (Fault.Inject.describe f))
+    faults;
+  (* sampling is a pure function of the seed *)
+  let again = Fault.Inject.sample (Fault.Rng.make 3) ~n:16 nl in
+  Alcotest.(check (list string))
+    "resample identical" descs
+    (List.map Fault.Inject.describe again)
+
+(* --- the campaign: determinism and coverage --- *)
+
+let campaign_options =
+  { Fault.Campaign.default_options with
+    Fault.Campaign.faults_per_kernel = 6;
+    stage_benchmarks = 1 }
+
+let campaign_benches () =
+  List.filter_map Suite.find [ "atax"; "mvt" ]
+
+let test_campaign_deterministic () =
+  let benches = campaign_benches () in
+  let r1 = Fault.Campaign.run ~jobs:1 campaign_options benches in
+  let r4 = Fault.Campaign.run ~jobs:4 campaign_options benches in
+  Alcotest.(check string)
+    "reports byte-identical across job counts"
+    (Fault.Campaign.to_string r1)
+    (Fault.Campaign.to_string r4);
+  Alcotest.(check string)
+    "json identical across job counts"
+    (Obs.Json.to_string (Fault.Campaign.to_json r1))
+    (Obs.Json.to_string (Fault.Campaign.to_json r4));
+  (* coverage bar: >= 90% of RTL mutants detected, every miss named *)
+  Alcotest.(check bool)
+    (Printf.sprintf "coverage %.3f >= 0.9" (Fault.Campaign.coverage r1))
+    true
+    (Fault.Campaign.coverage r1 >= 0.9);
+  List.iter
+    (fun (r : Fault.Campaign.rtl_result) ->
+      match r.Fault.Campaign.fr_verdict with
+      | Fault.Campaign.Missed reason ->
+        Alcotest.(check bool) "miss carries a reason" true (reason <> "")
+      | _ -> ())
+    r1.Fault.Campaign.rp_rtl;
+  (* robustness: no stage fault may escape as a raw exception *)
+  Alcotest.(check int) "no unhandled stage faults" 0
+    (Fault.Campaign.unhandled r1);
+  Alcotest.(check bool) "stage faults ran" true
+    (r1.Fault.Campaign.rp_stage <> [])
+
+(* --- selection degrades instead of aborting --- *)
+
+let test_select_degradation () =
+  let analyze name =
+    Core.Cayman.analyze (Suite.compile (Suite.find_exn name))
+  in
+  let gen = Core.Cayman.gen Hls.Kernel.Heuristic in
+  let baseline a =
+    Core.Select.select ~jobs:1 ~gen a.Core.Cayman.ctxs a.Core.Cayman.wpst
+      a.Core.Cayman.profile
+  in
+  let atax = analyze "atax" and bicg = analyze "bicg" in
+  let f_atax, _ = baseline atax in
+  let f_bicg, _ = baseline bicg in
+  (* fault one benchmark's generation wholesale: selection must finish,
+     recording every failure, instead of aborting the run *)
+  let mvt = analyze "mvt" in
+  let boom _ _ = failwith "injected gen failure" in
+  let frontier, stats =
+    Core.Select.select ~jobs:1 ~gen:boom mvt.Core.Cayman.ctxs
+      mvt.Core.Cayman.wpst mvt.Core.Cayman.profile
+  in
+  Alcotest.(check bool) "failures recorded" true
+    (stats.Core.Select.failures <> []);
+  List.iter
+    (fun (f : Core.Select.failure) ->
+      Alcotest.(check string)
+        "stable failure reason" "failure: injected gen failure"
+        f.Core.Select.fb_reason)
+    stats.Core.Select.failures;
+  (* every region fell back to the CPU: the frontier carries no
+     accelerators, so the best solution is the all-CPU one *)
+  List.iter
+    (fun (s : Core.Solution.t) ->
+      Alcotest.(check int) "no accelerators" 0
+        (List.length s.Core.Solution.accels))
+    frontier;
+  (* failure order is the deterministic visit order, not the schedule *)
+  let _, stats4 =
+    Core.Select.select ~jobs:4 ~gen:boom mvt.Core.Cayman.ctxs
+      mvt.Core.Cayman.wpst mvt.Core.Cayman.profile
+  in
+  Alcotest.(check (list string))
+    "failures identical across job counts"
+    (List.map (fun f -> f.Core.Select.fb_func ^ "/" ^ f.Core.Select.fb_region)
+       stats.Core.Select.failures)
+    (List.map (fun f -> f.Core.Select.fb_func ^ "/" ^ f.Core.Select.fb_region)
+       stats4.Core.Select.failures);
+  (* other benchmarks are untouched by the faulted run *)
+  let f_atax', _ = baseline atax in
+  let f_bicg', _ = baseline bicg in
+  Alcotest.(check bool) "atax frontier unchanged" true
+    (Core.Solution.equal_frontier f_atax f_atax');
+  Alcotest.(check bool) "bicg frontier unchanged" true
+    (Core.Solution.equal_frontier f_bicg f_bicg')
+
+(* --- engine pool error capture --- *)
+
+let test_pool_map_result () =
+  let f i = if i mod 3 = 1 then failwith ("boom " ^ string_of_int i) else 2 * i in
+  let results = Engine.Pool.map_result ~jobs:4 f [ 0; 1; 2; 3; 4; 5 ] in
+  Alcotest.(check int) "arity preserved" 6 (List.length results);
+  List.iteri
+    (fun i res ->
+      match res with
+      | Ok v ->
+        Alcotest.(check bool) "ok slot" true (i mod 3 <> 1);
+        Alcotest.(check int) "ok value" (2 * i) v
+      | Error (Failure m, bt) ->
+        Alcotest.(check bool) "error slot" true (i mod 3 = 1);
+        Alcotest.(check string) "error payload" ("boom " ^ string_of_int i) m;
+        (* the captured backtrace renders without raising *)
+        let (_ : string) = Printexc.raw_backtrace_to_string bt in
+        ()
+      | Error (e, _) ->
+        Alcotest.failf "unexpected exception %s" (Printexc.to_string e))
+    results
+
+(* Pool.map re-raises the lowest-index failure, deterministically, with
+   its original backtrace (regression for the capture-and-reraise
+   path). *)
+let test_pool_reraise_lowest () =
+  match
+    Engine.Pool.map ~jobs:4
+      (fun i ->
+        if i >= 4 then failwith ("fail " ^ string_of_int i) else i)
+      [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+  with
+  | (_ : int list) -> Alcotest.fail "expected a re-raised failure"
+  | exception Failure m ->
+    Alcotest.(check string) "lowest-index failure wins" "fail 4" m
+
+(* --- fuel: hangs become catchable diagnostics --- *)
+
+let test_fuel_budget () =
+  Engine.Config.clear_fuel ();
+  Engine.Config.set_fuel 1234;
+  Alcotest.(check int) "override wins" 1234 (Engine.Config.fuel ());
+  Alcotest.(check int) "explicit beats override" 99
+    (Engine.Config.fuel ~fuel:99 ());
+  Engine.Config.clear_fuel ();
+  Alcotest.(check bool) "default is finite and positive" true
+    (Engine.Config.fuel () > 0);
+  (* a run that exhausts its budget surfaces the structured exception *)
+  (match
+     Core.Cayman.analyze ~fuel:100 (Suite.compile (Suite.find_exn "atax"))
+   with
+   | (_ : Core.Cayman.analyzed) ->
+     Alcotest.fail "expected Out_of_fuel with a 100-instruction budget"
+   | exception Cayman_sim.Interp.Out_of_fuel ->
+     Alcotest.(check bool) "classified as structured" true
+       (Fault.Classify.is_structured Cayman_sim.Interp.Out_of_fuel);
+     Alcotest.(check string) "stable class" "out-of-fuel"
+       (Fault.Classify.exn_class Cayman_sim.Interp.Out_of_fuel))
+
+let tests =
+  [ Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+    Alcotest.test_case "rng split-by-label" `Quick test_rng_split;
+    Alcotest.test_case "fault points arm/hit/disarm" `Quick test_faultpoint;
+    Alcotest.test_case "structural mutants are lint-caught" `Quick
+      test_inject_structural_lint;
+    Alcotest.test_case "campaign deterministic, coverage >= 90%" `Slow
+      test_campaign_deterministic;
+    Alcotest.test_case "selection degrades on gen failure" `Slow
+      test_select_degradation;
+    Alcotest.test_case "pool map_result captures errors" `Quick
+      test_pool_map_result;
+    Alcotest.test_case "pool re-raises lowest index" `Quick
+      test_pool_reraise_lowest;
+    Alcotest.test_case "fuel budget is a diagnostic" `Quick
+      test_fuel_budget ]

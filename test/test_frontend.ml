@@ -36,13 +36,17 @@ let test_lexer_block_comment () =
 
 let test_lexer_line_numbers () =
   let toks = Fe.Lexer.tokenize "int\nfloat\nvoid" in
-  let lines = List.map snd toks in
-  Alcotest.(check (list int)) "line numbers" [ 1; 2; 3; 3 ] lines
+  let lines = List.map (fun (_, s) -> s.Fe.Diag.line) toks in
+  Alcotest.(check (list int)) "line numbers" [ 1; 2; 3; 3 ] lines;
+  let cols = List.map (fun (_, s) -> s.Fe.Diag.col) toks in
+  Alcotest.(check (list int)) "column numbers" [ 1; 1; 1; 5 ] cols
 
 let test_lexer_error () =
   match Fe.Lexer.tokenize "int @ x" with
   | _ -> Alcotest.fail "expected lexer error"
-  | exception Fe.Lexer.Error { line = 1; _ } -> ()
+  | exception Fe.Diag.Error
+      { Fe.Diag.d_phase = "lex"; d_span = Some { line = 1; col = 5 }; _ } ->
+    ()
 
 (* --- expression semantics --- *)
 

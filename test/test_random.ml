@@ -226,8 +226,8 @@ let arb_prog = QCheck.make ~print:prog_to_minic gen_prog
 
 let compile_ok src =
   try Ok (Cayman_frontend.Lower.compile src) with
-  | Cayman_frontend.Lower.Error { line; message } ->
-    Error (Printf.sprintf "line %d: %s" line message)
+  | Cayman_frontend.Diag.Error d ->
+    Error (Cayman_frontend.Diag.to_string d)
 
 let qcheck_compiles =
   Testutil.qtest ~count:60 "random programs compile and validate" arb_prog

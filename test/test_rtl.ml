@@ -185,8 +185,8 @@ let test_cosim_exact_cycles () =
 
 let compile_ok src =
   try Ok (Cayman_frontend.Lower.compile src) with
-  | Cayman_frontend.Lower.Error { line; message } ->
-    Error (Printf.sprintf "line %d: %s" line message)
+  | Cayman_frontend.Diag.Error d ->
+    Error (Cayman_frontend.Diag.to_string d)
 
 (* Small invocation budget; each kernel co-simulated independently
    through the pool so the jobs=1 and jobs=4 schedules must agree

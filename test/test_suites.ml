@@ -30,8 +30,9 @@ let test_all_compile_and_validate () =
     (fun b ->
       let program =
         try Suite.compile b with
-        | Cayman_frontend.Lower.Error { line; message } ->
-          Alcotest.failf "%s: line %d: %s" b.Suite.name line message
+        | Cayman_frontend.Diag.Error d ->
+          Alcotest.failf "%s: %s" b.Suite.name
+            (Cayman_frontend.Diag.to_string d)
       in
       match Ir.Validate.check program with
       | Ok () -> ()

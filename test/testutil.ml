@@ -30,7 +30,7 @@ let check_main_returns name src expected =
 let expect_frontend_error name src =
   match Cayman_frontend.Lower.compile src with
   | _ -> Alcotest.failf "%s: expected a frontend error" name
-  | exception Cayman_frontend.Lower.Error _ -> ()
+  | exception Cayman_frontend.Diag.Error _ -> ()
 
 (* First function with the given name, with its analyses. *)
 let func_ctx program res name =
