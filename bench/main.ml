@@ -30,11 +30,17 @@ type method_run = {
                          over-reports under the parallel engine *)
 }
 
-let run_gen (gen : Core.Select.accel_gen) (a : Core.Cayman.analyzed) =
+(* [memo_key] names the generator for the on-disk memoization store
+   (see lib/memo); per-region kernel generation is shared across
+   benchmarks and across runs when the cache is enabled (the default —
+   [--no-cache] turns it off, and cached results are bit-identical to
+   recomputed ones, so stdout stays byte-stable either way). *)
+let run_gen ~memo_key (gen : Core.Select.accel_gen) (a : Core.Cayman.analyzed)
+    =
   let (frontier, _), m_runtime =
     Engine.Clock.timed (fun () ->
-        Core.Select.select ~gen a.Core.Cayman.ctxs a.Core.Cayman.wpst
-          a.Core.Cayman.profile)
+        Core.Select.select ~memo_key ~gen a.Core.Cayman.ctxs
+          a.Core.Cayman.wpst a.Core.Cayman.profile)
   in
   { m_frontier = frontier; m_runtime }
 
@@ -51,10 +57,17 @@ let evaluate (bench : Suite.benchmark) =
   let a = Core.Cayman.analyze (Suite.compile bench) in
   { bench;
     a;
-    full = run_gen (Core.Cayman.gen Hls.Kernel.Heuristic) a;
-    coupled = run_gen (Core.Cayman.gen Hls.Kernel.Coupled_only) a;
-    novia = run_gen Cayman_baselines.Novia.gen a;
-    qscores = run_gen Cayman_baselines.Qscores.gen a }
+    full =
+      run_gen
+        ~memo_key:(Core.Cayman.gen_key Hls.Kernel.Heuristic)
+        (Core.Cayman.gen Hls.Kernel.Heuristic) a;
+    coupled =
+      run_gen
+        ~memo_key:(Core.Cayman.gen_key Hls.Kernel.Coupled_only)
+        (Core.Cayman.gen Hls.Kernel.Coupled_only) a;
+    novia = run_gen ~memo_key:"baseline.novia" Cayman_baselines.Novia.gen a;
+    qscores =
+      run_gen ~memo_key:"baseline.qscores" Cayman_baselines.Qscores.gen a }
 
 let best frontier budget_ratio =
   let budget = budget_ratio *. Hls.Tech.cva6_tile_area in
@@ -686,6 +699,7 @@ let ablation_filter () =
       let (frontier, stats), dt =
         Engine.Clock.timed (fun () ->
             Core.Select.select ~params
+              ~memo_key:(Core.Cayman.gen_key Hls.Kernel.Heuristic)
               ~gen:(Core.Cayman.gen Hls.Kernel.Heuristic)
               a.Core.Cayman.ctxs a.Core.Cayman.wpst a.Core.Cayman.profile)
       in
@@ -925,6 +939,7 @@ let faults ?(name = "faults")
 let usage () =
   print_endline
     "usage: main.exe [--bechamel] [--json BASE] [--fuel N]\n\
+    \                [--cache-dir DIR] [--no-cache]\n\
     \                [table1|fig2|fig4|table2|fig6|cosim|faults|\n\
     \                 ablation-filter|ablation-merge|ablation-cache|\n\
     \                 ablation-dse|all]\n\
@@ -932,9 +947,16 @@ let usage () =
      byte-identical for every N (wall-time reports go to stderr).\n\
      --json BASE additionally writes BASE_<experiment>.json for the\n\
      experiments with machine-readable output (table2, fig6, cosim,\n\
-     faults); stdout is unchanged.\n\
+     faults) plus BASE_cache.json with memoization-cache statistics;\n\
+     stdout is unchanged.\n\
      --fuel N bounds every interpreter run at N executed instructions\n\
-     (also CAYMAN_FUEL); exhaustion is a diagnostic, not a hang."
+     (also CAYMAN_FUEL); exhaustion is a diagnostic, not a hang.\n\
+     The on-disk memoization cache (CAYMAN_CACHE_DIR, default\n\
+     ~/.cache/cayman) is enabled by default; --cache-dir DIR relocates\n\
+     it and --no-cache disables it. Cached and recomputed results are\n\
+     bit-identical, so stdout does not depend on the cache state.\n\
+     (Note: the ablation-cache experiment is about the simulated L1\n\
+     data cache, not this memoization cache.)"
 
 let () =
   (* The first spurious stdout line keeps the output diff-stable when the
@@ -961,6 +983,21 @@ let () =
     | [] -> []
   in
   let args = strip_fuel args in
+  let cache_dir = ref None in
+  let no_cache = ref false in
+  let rec strip_cache = function
+    | "--cache-dir" :: dir :: rest ->
+      cache_dir := Some dir;
+      strip_cache rest
+    | "--no-cache" :: rest ->
+      no_cache := true;
+      strip_cache rest
+    | x :: rest -> x :: strip_cache rest
+    | [] -> []
+  in
+  let args = strip_cache args in
+  if !no_cache then Memo.Store.disable ()
+  else Memo.Store.enable ?dir:!cache_dir ();
   let experiments =
     match args with
     | [] | [ "all" ] ->
@@ -969,6 +1006,8 @@ let () =
         "ablation-dse" ]
     | xs -> xs
   in
+  let (), wall =
+    Engine.Clock.timed @@ fun () ->
   List.iter
     (fun x ->
       (match x with
@@ -1006,10 +1045,16 @@ let () =
          usage ());
       print_newline ();
       flush stdout)
-    experiments;
+    experiments
+  in
   (* With --json armed, also dump every pipeline metric accumulated over
-     the experiments that just ran (BASE_metrics.json). Counters and
-     histograms are schedule-independent, so the file is comparable
-     across CAYMAN_JOBS values up to the gauge entries. *)
-  if Json_out.enabled () then Json_out.write "metrics" (Obs.Metrics.to_json ());
+     the experiments that just ran (BASE_metrics.json) and the
+     memoization-cache report (BASE_cache.json: enabled/dir, hit and
+     miss counters, store size). Counters and histograms are
+     schedule-independent, so the files are comparable across
+     CAYMAN_JOBS values up to the gauge entries. *)
+  if Json_out.enabled () then begin
+    Json_out.write "metrics" (Obs.Metrics.to_json ());
+    Json_out.write "cache" (Memo.Store.report_json ~wall_s:wall)
+  end;
   if bechamel then bechamel_run ()

@@ -77,6 +77,28 @@ let fuel_arg =
 
 let apply_fuel fuel = if fuel > 0 then Engine.Config.set_fuel fuel
 
+let cache_dir_arg =
+  let doc =
+    "Memoization cache directory (default: $(b,CAYMAN_CACHE_DIR), else \
+     ~/.cache/cayman). Not the simulated data cache: see the \
+     ablation-cache bench target for that."
+  in
+  Arg.(value & opt (some string) None & info [ "cache-dir" ] ~doc ~docv:"DIR")
+
+let no_cache_arg =
+  let doc =
+    "Disable the on-disk memoization cache for this run (results are \
+     bit-identical either way, just slower)."
+  in
+  Arg.(value & flag & info [ "no-cache" ] ~doc)
+
+(* The library default is cache-off; the CLI turns it on after flag
+   parsing. Fault campaigns force recomputation internally whatever the
+   ambient state (see Fault.Campaign). *)
+let apply_cache cache_dir no_cache =
+  if no_cache then Memo.Store.disable ()
+  else Memo.Store.enable ?dir:cache_dir ()
+
 (* Convert the documented pipeline exceptions into clean one-line
    diagnostics + exit 1; anything else is a genuine crash and should
    keep its backtrace. *)
@@ -121,16 +143,23 @@ let with_trace trace f =
      | code -> flush (); code
      | exception e -> flush (); raise e)
 
+(* Generator plus its memoization identity (what the generator closes
+   over; the baselines have no knobs, so a fixed tag suffices). *)
 let gen_of_mode = function
-  | "full" -> Ok (Core.Cayman.gen Hls.Kernel.Heuristic)
-  | "coupled-only" -> Ok (Core.Cayman.gen Hls.Kernel.Coupled_only)
-  | "novia" -> Ok Cayman_baselines.Novia.gen
-  | "qscores" -> Ok Cayman_baselines.Qscores.gen
+  | "full" ->
+    Ok (Core.Cayman.gen Hls.Kernel.Heuristic,
+        Core.Cayman.gen_key Hls.Kernel.Heuristic)
+  | "coupled-only" ->
+    Ok (Core.Cayman.gen Hls.Kernel.Coupled_only,
+        Core.Cayman.gen_key Hls.Kernel.Coupled_only)
+  | "novia" -> Ok (Cayman_baselines.Novia.gen, "baseline.novia")
+  | "qscores" -> Ok (Cayman_baselines.Qscores.gen, "baseline.qscores")
   | other -> Error (Printf.sprintf "unknown mode %s" other)
 
-let run_cmd bench file budget mode alpha jobs fuel trace =
+let run_cmd bench file budget mode alpha jobs fuel cache_dir no_cache trace =
   apply_jobs jobs;
   apply_fuel fuel;
+  apply_cache cache_dir no_cache;
   with_trace trace @@ fun () ->
   with_diagnostics @@ fun () ->
   match load_program ~bench ~file with
@@ -138,7 +167,7 @@ let run_cmd bench file budget mode alpha jobs fuel trace =
   | Ok program ->
     (match gen_of_mode mode with
      | Error m -> prerr_endline ("cayman: " ^ m); 1
-     | Ok gen ->
+     | Ok (gen, memo_key) ->
        let a = Core.Cayman.analyze program in
        Printf.printf "profiled: %d host cycles (%.6f s), %d dynamic instrs\n"
          (Sim.Profile.total_cycles a.Core.Cayman.profile)
@@ -146,8 +175,8 @@ let run_cmd bench file budget mode alpha jobs fuel trace =
          (Sim.Profile.total_instrs a.Core.Cayman.profile);
        let params = { Core.Select.default_params with Core.Select.alpha } in
        let frontier, stats =
-         Core.Select.select ~params ~gen a.Core.Cayman.ctxs a.Core.Cayman.wpst
-           a.Core.Cayman.profile
+         Core.Select.select ~params ~memo_key ~gen a.Core.Cayman.ctxs
+           a.Core.Cayman.wpst a.Core.Cayman.profile
        in
        Printf.printf
          "selection: %d vertices visited (%d pruned), %d design points, %d \
@@ -180,8 +209,9 @@ let run_cmd bench file budget mode alpha jobs fuel trace =
          m.Core.Merge.saving_pct m.Core.Merge.n_reusable;
        0)
 
-let dump_cmd bench file fuel trace =
+let dump_cmd bench file fuel cache_dir no_cache trace =
   apply_fuel fuel;
+  apply_cache cache_dir no_cache;
   with_trace trace @@ fun () ->
   with_diagnostics @@ fun () ->
   match load_program ~bench ~file with
@@ -199,9 +229,10 @@ let out_arg =
   let doc = "Output directory for generated Verilog." in
   Arg.(value & opt string "cayman_rtl" & info [ "o"; "out" ] ~doc)
 
-let emit_cmd bench file budget out jobs fuel trace =
+let emit_cmd bench file budget out jobs fuel cache_dir no_cache trace =
   apply_jobs jobs;
   apply_fuel fuel;
+  apply_cache cache_dir no_cache;
   with_trace trace @@ fun () ->
   with_diagnostics @@ fun () ->
   match load_program ~bench ~file with
@@ -286,9 +317,11 @@ let max_inv_arg =
    the golden interpreter. Per-kernel co-sims fan out through the engine
    pool; reports print in selection order, so stdout is byte-stable
    across job counts. *)
-let cosim_cmd bench file budget mode jobs max_inv fuel trace =
+let cosim_cmd bench file budget mode jobs max_inv fuel cache_dir no_cache
+    trace =
   apply_jobs jobs;
   apply_fuel fuel;
+  apply_cache cache_dir no_cache;
   with_trace trace @@ fun () ->
   with_diagnostics @@ fun () ->
   match load_program ~bench ~file with
@@ -364,7 +397,8 @@ let cosim_cmd bench file budget mode jobs max_inv fuel trace =
          if ok then 0 else 1
        end)
 
-let graph_cmd bench file out trace =
+let graph_cmd bench file out cache_dir no_cache trace =
+  apply_cache cache_dir no_cache;
   with_trace trace @@ fun () ->
   match load_program ~bench ~file with
   | Error m -> prerr_endline ("cayman: " ^ m); 1
@@ -396,24 +430,26 @@ let list_cmd () =
 (* Run the full flow with tracing armed internally and report where the
    time and the work went: a per-span rollup plus every pipeline metric
    grouped by phase. *)
-let stats_cmd bench file budget mode alpha jobs fuel trace =
+let stats_cmd bench file budget mode alpha jobs fuel cache_dir no_cache
+    trace =
   apply_jobs jobs;
   apply_fuel fuel;
+  apply_cache cache_dir no_cache;
   with_diagnostics @@ fun () ->
   match load_program ~bench ~file with
   | Error m -> prerr_endline ("cayman: " ^ m); 1
   | Ok program ->
     (match gen_of_mode mode with
      | Error m -> prerr_endline ("cayman: " ^ m); 1
-     | Ok gen ->
+     | Ok (gen, memo_key) ->
        Obs.Metrics.reset ();
        Obs.Trace.reset ();
        Obs.Trace.set_enabled true;
        let a = Core.Cayman.analyze program in
        let params = { Core.Select.default_params with Core.Select.alpha } in
        let frontier, _stats =
-         Core.Select.select ~params ~gen a.Core.Cayman.ctxs a.Core.Cayman.wpst
-           a.Core.Cayman.profile
+         Core.Select.select ~params ~memo_key ~gen a.Core.Cayman.ctxs
+           a.Core.Cayman.wpst a.Core.Cayman.profile
        in
        let budget_area = budget *. Hls.Tech.cva6_tile_area in
        let s =
@@ -470,9 +506,12 @@ let default_fault_benches =
   [ "atax"; "bicg"; "mvt"; "trisolv"; "doitgen"; "fft"; "spmv"; "nw" ]
 
 let faults_cmd seed n_faults max_inv benches all budget stage_benches jobs
-    fuel json trace =
+    fuel cache_dir no_cache json trace =
   apply_jobs jobs;
   apply_fuel fuel;
+  (* accepted for interface uniformity; the campaign recomputes through
+     [Memo.Store.without_cache] regardless *)
+  apply_cache cache_dir no_cache;
   with_trace trace @@ fun () ->
   with_diagnostics @@ fun () ->
   let resolve names =
@@ -525,18 +564,20 @@ let faults_cmd seed n_faults max_inv benches all budget stage_benches jobs
 let run_t =
   Cmd.v (Cmd.info "run" ~doc:"Run the full Cayman flow on a program")
     Term.(const run_cmd $ bench_arg $ file_arg $ budget_arg $ mode_arg
-          $ alpha_arg $ jobs_arg $ fuel_arg $ trace_arg)
+          $ alpha_arg $ jobs_arg $ fuel_arg $ cache_dir_arg $ no_cache_arg
+          $ trace_arg)
 
 let dump_t =
   Cmd.v (Cmd.info "dump" ~doc:"Dump IR, wPST and profile of a program")
-    Term.(const dump_cmd $ bench_arg $ file_arg $ fuel_arg $ trace_arg)
+    Term.(const dump_cmd $ bench_arg $ file_arg $ fuel_arg $ cache_dir_arg
+          $ no_cache_arg $ trace_arg)
 
 let emit_t =
   Cmd.v
     (Cmd.info "emit"
        ~doc:"Emit Verilog netlists for the selected accelerators")
     Term.(const emit_cmd $ bench_arg $ file_arg $ budget_arg $ out_arg
-          $ jobs_arg $ fuel_arg $ trace_arg)
+          $ jobs_arg $ fuel_arg $ cache_dir_arg $ no_cache_arg $ trace_arg)
 
 let cosim_t =
   let mode_arg =
@@ -549,7 +590,8 @@ let cosim_t =
          "Differentially co-simulate selected kernel netlists against the \
           golden interpreter (plus a static lint of each netlist)")
     Term.(const cosim_cmd $ bench_arg $ file_arg $ budget_arg $ mode_arg
-          $ jobs_arg $ max_inv_arg $ fuel_arg $ trace_arg)
+          $ jobs_arg $ max_inv_arg $ fuel_arg $ cache_dir_arg $ no_cache_arg
+          $ trace_arg)
 
 let faults_t =
   let seed_arg =
@@ -593,12 +635,13 @@ let faults_t =
           verify the pipeline degrades instead of crashing")
     Term.(const faults_cmd $ seed_arg $ n_faults_arg $ max_inv_arg
           $ benches_arg $ all_arg $ budget_arg $ stage_arg $ jobs_arg
-          $ fuel_arg $ json_arg $ trace_arg)
+          $ fuel_arg $ cache_dir_arg $ no_cache_arg $ json_arg $ trace_arg)
 
 let graph_t =
   Cmd.v
     (Cmd.info "graph" ~doc:"Write graphviz dot files (CFGs + wPST)")
-    Term.(const graph_cmd $ bench_arg $ file_arg $ out_arg $ trace_arg)
+    Term.(const graph_cmd $ bench_arg $ file_arg $ out_arg $ cache_dir_arg
+          $ no_cache_arg $ trace_arg)
 
 let list_t =
   Cmd.v (Cmd.info "list" ~doc:"List suite benchmarks")
@@ -612,13 +655,97 @@ let stats_t =
           metrics (region counts, prune/memo hits, design points, DP \
           frontier sizes)")
     Term.(const stats_cmd $ bench_arg $ file_arg $ budget_arg $ mode_arg
-          $ alpha_arg $ jobs_arg $ fuel_arg $ trace_arg)
+          $ alpha_arg $ jobs_arg $ fuel_arg $ cache_dir_arg $ no_cache_arg
+          $ trace_arg)
+
+(* cayman cache {stats,gc,clear} — maintenance for the memoization store.
+   These operate on the directory directly (no ambient enable), so they
+   work on any store path without arming caching for the process. *)
+
+let cache_target_dir = function
+  | Some d -> d
+  | None -> Memo.Store.default_dir ()
+
+let cache_stats_cmd cache_dir =
+  let dir = cache_target_dir cache_dir in
+  if not (Memo.Store.is_store dir) then begin
+    Printf.printf "no cache at %s\n" dir;
+    0
+  end
+  else
+    match Memo.Store.open_store dir with
+    | Error m -> prerr_endline ("cayman: " ^ m); 1
+    | Ok store ->
+      let s = Memo.Store.stats_of store in
+      Printf.printf "cache %s: %d entries, %d bytes (%.1f MiB)\n" dir
+        s.Memo.Store.st_entries s.Memo.Store.st_bytes
+        (float_of_int s.Memo.Store.st_bytes /. (1024. *. 1024.));
+      0
+
+let cache_gc_cmd cache_dir max_mb =
+  let dir = cache_target_dir cache_dir in
+  if not (Memo.Store.is_store dir) then begin
+    Printf.printf "no cache at %s\n" dir;
+    0
+  end
+  else
+    match Memo.Store.open_store dir with
+    | Error m -> prerr_endline ("cayman: " ^ m); 1
+    | Ok store ->
+      let max_bytes =
+        match max_mb with
+        | Some mb -> mb * 1024 * 1024
+        | None -> Memo.Store.default_max_bytes ()
+      in
+      let evicted, freed = Memo.Store.gc store ~max_bytes in
+      Printf.printf "evicted %d entries, freed %d bytes\n" evicted freed;
+      0
+
+let cache_clear_cmd cache_dir =
+  let dir = cache_target_dir cache_dir in
+  if not (Sys.file_exists dir) then begin
+    Printf.printf "no cache at %s\n" dir;
+    0
+  end
+  else
+    match Memo.Store.clear dir with
+    | Ok n -> Printf.printf "removed %d entries from %s\n" n dir; 0
+    | Error m -> prerr_endline ("cayman: " ^ m); 1
+
+let cache_t =
+  let max_mb_arg =
+    let doc =
+      "Size cap in MiB for gc (default: CAYMAN_CACHE_MAX_MB, else 2048)."
+    in
+    Arg.(value & opt (some int) None & info [ "max-mb" ] ~doc ~docv:"MB")
+  in
+  Cmd.group
+    (Cmd.info "cache"
+       ~doc:
+         "Inspect and maintain the on-disk memoization cache (distinct \
+          from the simulated data cache reported by the ablation-cache \
+          bench)")
+    [ Cmd.v
+        (Cmd.info "stats" ~doc:"Print entry count and total size")
+        Term.(const cache_stats_cmd $ cache_dir_arg);
+      Cmd.v
+        (Cmd.info "gc"
+           ~doc:"Evict least-recently-used entries down to the size cap")
+        Term.(const cache_gc_cmd $ cache_dir_arg $ max_mb_arg);
+      Cmd.v
+        (Cmd.info "clear"
+           ~doc:
+             "Remove all entries (refuses directories that are not a \
+              cayman store)")
+        Term.(const cache_clear_cmd $ cache_dir_arg);
+    ]
 
 let main =
   Cmd.group
     (Cmd.info "cayman" ~version:"1.0.0"
        ~doc:"Custom accelerator generation with control flow and data access \
              optimization")
-    [ run_t; dump_t; emit_t; cosim_t; faults_t; graph_t; list_t; stats_t ]
+    [ run_t; dump_t; emit_t; cosim_t; faults_t; graph_t; list_t; stats_t;
+      cache_t ]
 
 let () = exit (Cmd.eval' main)

@@ -18,6 +18,32 @@ let m_analyzes = Obs.Metrics.counter "core.analyzes"
 
 let fp_ifconv = Obs.Faultpoint.register "ifconv"
 
+(* The profiling interpreter pass is a pure function of the validated,
+   if-converted program and the fuel bound, and it dominates the wall
+   time of a cold evaluation — memoize it keyed by the program's
+   printed form. [Profile.publish_metrics] (normally run inside
+   [Interp.run]) is replayed on a cache hit so the metric totals are
+   identical whether the profile came from disk or from execution.
+   Fault campaigns run under [Memo.Store.without_cache], so armed
+   interpreter faultpoints always re-execute. *)
+let profile_of ~fuel program =
+  if not (Memo.Store.active ()) then
+    (Sim.Interp.run ~fuel program).Sim.Interp.profile
+  else begin
+    let b = Memo.Hash.builder ~ns:"profile" in
+    Memo.Hash.str b (Digest.to_hex (Digest.string (Ir.Program.to_string program)));
+    Memo.Hash.int b fuel;
+    let key = Memo.Hash.digest b in
+    match Memo.Store.find ~ns:"profile" ~key with
+    | Some p ->
+      Sim.Profile.publish_metrics p;
+      p
+    | None ->
+      let p = (Sim.Interp.run ~fuel program).Sim.Interp.profile in
+      Memo.Store.save ~ns:"profile" ~key p;
+      p
+  end
+
 let analyze ?fuel ?(if_convert = true) (program : Ir.Program.t) =
   Obs.Trace.span ~cat:"core" "core.analyze" @@ fun () ->
   Obs.Metrics.incr m_analyzes;
@@ -31,8 +57,7 @@ let analyze ?fuel ?(if_convert = true) (program : Ir.Program.t) =
   in
   Ir.Validate.check_exn program;
   let fuel = Engine.Config.fuel ?fuel () in
-  let res = Sim.Interp.run ~fuel program in
-  let profile = res.Sim.Interp.profile in
+  let profile = profile_of ~fuel program in
   let wpst = An.Wpst.build program in
   let ctxs = Hls.Ctx.for_program program profile in
   { program; profile; wpst; ctxs; t_all = Sim.Profile.total_seconds profile }
@@ -45,6 +70,18 @@ let gen ?(beta = Hls.Kernel.default_beta) mode : Select.accel_gen =
  fun ctx region ->
   Hls.Kernel.estimate_all ctx region ~beta (Hls.Kernel.default_configs mode)
 
+(* Everything [gen] closes over, rendered stably: the memoization key
+   fragment that pairs with the per-region structural facts. Beta is
+   hashed by its bits, configs by their canonical strings, so any knob
+   change invalidates cached candidate lists. *)
+let gen_key ?(beta = Hls.Kernel.default_beta) mode =
+  Printf.sprintf "cayman.gen mode=%s beta=%Lx configs=[%s]"
+    (Hls.Kernel.mode_to_string mode)
+    (Int64.bits_of_float beta)
+    (String.concat "; "
+       (List.map Hls.Kernel.config_to_string
+          (Hls.Kernel.default_configs mode)))
+
 type run_result = {
   frontier : Solution.t list;
   stats : Select.stats;
@@ -56,7 +93,8 @@ let run ?(params = Select.default_params) ?beta ?jobs ~mode (a : analyzed) =
      and would over-report under the parallel engine. *)
   let t0 = Engine.Clock.wall () in
   let frontier, stats =
-    Select.select ~params ?jobs ~gen:(gen ?beta mode) a.ctxs a.wpst a.profile
+    Select.select ~params ?jobs ~memo_key:(gen_key ?beta mode)
+      ~gen:(gen ?beta mode) a.ctxs a.wpst a.profile
   in
   let runtime_s = Engine.Clock.wall () -. t0 in
   { frontier; stats; runtime_s }

@@ -28,6 +28,11 @@ val analyze_source : ?fuel:int -> ?if_convert:bool -> string -> analyzed
 (** Cayman's accelerator model packaged as a selection plug-in. *)
 val gen : ?beta:float -> Cayman_hls.Kernel.mode -> Select.accel_gen
 
+(** Stable identity of {!gen}'s knobs (mode, beta, config list) for
+    {!Select.select}'s [memo_key]: callers that pass [gen ?beta mode]
+    pass [gen_key ?beta mode] alongside. {!run} does so itself. *)
+val gen_key : ?beta:float -> Cayman_hls.Kernel.mode -> string
+
 type run_result = {
   frontier : Solution.t list;  (** filtered Pareto frontier F(root) *)
   stats : Select.stats;

@@ -51,10 +51,22 @@ val failure_reason : exn -> string
     solution-for-solution, as [~jobs:1]. A [gen] that raises on some
     region poisons only that region: it is recorded in
     [stats.failures], its subtree still combines children normally, and
-    every other region's candidates are unaffected. *)
+    every other region's candidates are unaffected.
+
+    [memo_key] opts the per-region generation into the ambient
+    {!Memo.Store}: it must identify [gen] and everything it closes over
+    (mode, beta, config list — see {!Cayman.gen_key}), and is combined
+    with [Fingerprint.points_key]'s alpha-equivalent region facts, so
+    structurally identical regions — across benchmarks and across runs —
+    generate once. Cached candidate lists are bit-identical to
+    recomputed ones (the codec round-trips floats exactly), so the
+    frontier and stats are unchanged by caching; when the store is
+    disabled (the default) [memo_key] has no effect. Failures are never
+    cached. *)
 val select :
   ?params:params ->
   ?jobs:int ->
+  ?memo_key:string ->
   gen:accel_gen ->
   (string, Cayman_hls.Ctx.t) Hashtbl.t ->
   Cayman_analysis.Wpst.t ->

@@ -247,6 +247,12 @@ let stage_results_for ~fuel (bench : Suite.benchmark) =
 (* --- the campaign --- *)
 
 let run ?jobs options (benches : Suite.benchmark list) =
+  (* A campaign must recompute, never replay: armed faultpoints and
+     injected mutants sit on the kernel/netlist/cosim compute paths, and
+     a warm memoization cache would skip those paths (or worse, persist
+     a mutant's verdict under a clean key). Verdicts stay byte-identical
+     whatever cache state the process started with. *)
+  Memo.Store.without_cache @@ fun () ->
   Obs.Trace.span ~cat:"fault" "fault.campaign" @@ fun () ->
   let rng0 = Rng.make options.seed in
   let fuel = Engine.Config.fuel ?fuel:options.fuel () in

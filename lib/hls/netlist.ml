@@ -294,7 +294,7 @@ let m_netlists = Obs.Metrics.counter "hls.netlists_built"
 
 let fp_netlist = Obs.Faultpoint.register "netlist"
 
-let of_kernel (ctx : Ctx.t) (region : An.Region.t) ?beta
+let build_kernel (ctx : Ctx.t) (region : An.Region.t) ?beta
     (config : Kernel.config) =
   Obs.Trace.span ~cat:"hls" "hls.netlist" @@ fun () ->
   Obs.Faultpoint.hit fp_netlist;
@@ -680,6 +680,25 @@ let of_kernel (ctx : Ctx.t) (region : An.Region.t) ?beta
         stats =
           { n_compute = !n_compute; n_mem = !n_mem; n_regs; n_states; n_wires };
         structure = Some structure }
+
+(* Netlists are deterministic functions of the analysis context, the
+   region, beta and the config — exactly what [Fingerprint.netlist_key]
+   enumerates (exact names: the module name, FSM states and
+   architectural registers all embed them) — so construction memoizes
+   through the ambient store. Identity while caching is disabled, which
+   it always is during fault campaigns (the [netlist] faultpoint must
+   keep firing on the build path). *)
+let of_kernel (ctx : Ctx.t) (region : An.Region.t) ?beta
+    (config : Kernel.config) =
+  if not (Memo.Store.active ()) then build_kernel ctx region ?beta config
+  else
+    let key =
+      Fingerprint.netlist_key ctx region
+        ~beta:(Option.value beta ~default:Kernel.default_beta)
+        ~config
+    in
+    Memo.Store.memoize ~ns:"netlist" ~key (fun () ->
+        build_kernel ctx region ?beta config)
 
 (* A reusable (merged) accelerator, the hardware of the paper's Fig. 5:
    one reconfigurable datapath bank sized by the merged resource vector,

@@ -1,0 +1,77 @@
+(** Structural hashing for cache keys.
+
+    Two layers:
+
+    - a tiny incremental {e key builder} ([b]): callers feed it strings,
+      ints, floats and booleans (each self-delimiting, so concatenated
+      fields can never collide by sliding), and read back an MD5 digest.
+      Every builder is seeded with {!version} — the library version salt
+      — and a caller-chosen namespace, so keys from different subsystems
+      or library versions never collide;
+
+    - a {e canonicalizer} for IR regions ({!canon_region}): a
+      deterministic traversal of a region's blocks that renames labels
+      and virtual registers by first occurrence. Two regions that differ
+      only in register/label names produce the same [canon_code], so
+      cache keys built from it survive irrelevant renames; any semantic
+      change (an opcode, a constant, a type, the shape of the CFG)
+      changes it. Array/global names are kept verbatim — they are
+      program symbols with aliasing semantics, not renameable
+      temporaries.
+
+    Soundness contract for cache keys built here: equal keys must imply
+    equal results. The canonical code makes that hold for anything
+    computed from the region's instructions alone; facts a computation
+    reads from outside the code (profiles, analyses, configuration) must
+    be fed to the builder explicitly by the caller. *)
+
+(** Version salt mixed into every key (and into {!Store}'s on-disk
+    digests). Bump on any change to cached-value semantics, the key
+    derivation, or the codec: old entries then simply miss. *)
+val version : string
+
+(** {1 Key builder} *)
+
+type b
+
+(** [builder ~ns] is a fresh builder seeded with {!version} and the
+    namespace [ns]. *)
+val builder : ns:string -> b
+
+val str : b -> string -> unit
+val int : b -> int -> unit
+val bool : b -> bool -> unit
+
+(** Exact: hashes the IEEE-754 bits, not a decimal rendering. *)
+val float : b -> float -> unit
+
+val int_opt : b -> int option -> unit
+
+(** 32-character lowercase hex MD5 of everything fed so far. *)
+val digest : b -> string
+
+(** {1 Region canonicalization} *)
+
+type canon = {
+  canon_code : string;
+      (** alpha-renamed region listing: blocks in canonical order, labels
+          as [B0..], registers as [r0..], exit targets as [X0..] *)
+  exact_code : string;
+      (** the same traversal with original names (for caches whose values
+          embed names, e.g. netlists) *)
+  block_order : string list;  (** original labels, canonical order *)
+  canon_of_label : string -> string;
+      (** canonical name of an original label ([B<k>] inside the region,
+          [X<k>] for recorded exit targets, [?<l>] otherwise) *)
+  canon_of_reg : string -> string;
+      (** canonical name of an original register ([?<r>] if it never
+          occurs in the region) *)
+}
+
+(** Canonicalize [region] of [func]. Traversal: breadth-first from the
+    region entry following terminator successor order — a property of
+    the CFG shape only, so the canonical order (and all derived names)
+    is invariant under renaming. Blocks unreachable from the entry
+    within the region (defensive; SESE regions have none) are appended
+    in sorted label order. *)
+val canon_region : Cayman_ir.Func.t -> Cayman_analysis.Region.t -> canon

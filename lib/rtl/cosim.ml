@@ -228,7 +228,7 @@ let m_mismatches = Obs.Metrics.counter "rtl.cosim_mismatches"
 
 let fp_cosim = Obs.Faultpoint.register "cosim"
 
-let run_many ?fuel ?(tolerance = default_tolerance) ?max_invocations
+let run_many_uncached ?fuel ?(tolerance = default_tolerance) ?max_invocations
     ?max_cycles ?faults (program : Ir.Program.t) (specs : spec list) =
   Obs.Trace.span ~cat:"rtl" "rtl.cosim" @@ fun () ->
   Obs.Faultpoint.hit fp_cosim;
@@ -351,6 +351,88 @@ let run_many ?fuel ?(tolerance = default_tolerance) ?max_invocations
         r_n_mismatches = ks.ks_n_mm;
         r_fault_fired = ks.ks_fault_fired })
     kstates
+
+(* One spec's verdict is independent of which other specs observe the
+   same golden run (observers are read-only), so reports cache
+   per-spec. The key enumerates everything a verdict depends on: the
+   whole program (the golden run), the interpreter fuel, the tolerance
+   and caps, and the exact netlist key (code + profile/analysis facts +
+   config + tech + version salt). Cached verdicts are only consulted on
+   fault-free runs: an injection campaign must re-execute the build and
+   simulate paths it is trying to break. *)
+let m_cached = Obs.Metrics.counter "rtl.cosim_cached_reports"
+
+let spec_key ~program_digest ~fuel ~tolerance ~max_invocations ~max_cycles
+    spec =
+  let b = Memo.Hash.builder ~ns:"cosim" in
+  Memo.Hash.str b program_digest;
+  Memo.Hash.int b fuel;
+  Memo.Hash.float b tolerance.tol_rel;
+  Memo.Hash.int b tolerance.tol_abs;
+  Memo.Hash.int_opt b max_invocations;
+  Memo.Hash.int_opt b max_cycles;
+  Memo.Hash.str b
+    (Hls.Fingerprint.netlist_key spec.k_ctx spec.k_region
+       ~beta:Hls.Kernel.default_beta ~config:spec.k_config);
+  Memo.Hash.digest b
+
+let run_many ?fuel ?(tolerance = default_tolerance) ?max_invocations
+    ?max_cycles ?faults (program : Ir.Program.t) (specs : spec list) =
+  match faults with
+  | Some _ ->
+    run_many_uncached ?fuel ~tolerance ?max_invocations ?max_cycles ?faults
+      program specs
+  | None ->
+    if not (Memo.Store.active ()) then
+      run_many_uncached ?fuel ~tolerance ?max_invocations ?max_cycles program
+        specs
+    else begin
+      let fuel = Engine.Config.fuel ?fuel () in
+      let program_digest =
+        Digest.to_hex (Digest.string (Ir.Program.to_string program))
+      in
+      let keys =
+        List.map
+          (spec_key ~program_digest ~fuel ~tolerance ~max_invocations
+             ~max_cycles)
+          specs
+      in
+      let cached =
+        List.map (fun key -> (Memo.Store.find ~ns:"cosim" ~key : report option)) keys
+      in
+      let missing =
+        List.filter_map
+          (fun (spec, hit) -> if hit = None then Some spec else None)
+          (List.combine specs cached)
+      in
+      (* Only the uncached specs replay against the golden run; with a
+         fully warm cache the interpreter pass is skipped entirely. *)
+      let fresh =
+        match missing with
+        | [] -> []
+        | _ ->
+          run_many_uncached ~fuel ~tolerance ?max_invocations ?max_cycles
+            program missing
+      in
+      let fresh = ref fresh in
+      List.map2
+        (fun key hit ->
+          match hit with
+          | Some r ->
+            Obs.Metrics.incr m_cached;
+            r
+          | None ->
+            (match !fresh with
+             | r :: rest ->
+               fresh := rest;
+               Memo.Store.save ~ns:"cosim" ~key r;
+               r
+             | [] ->
+               raise
+                 (Internal_error
+                    "rtl.cosim: fewer fresh reports than uncached specs")))
+        keys cached
+    end
 
 let run ?fuel ?tolerance ?max_invocations program spec =
   match run_many ?fuel ?tolerance ?max_invocations program [ spec ] with

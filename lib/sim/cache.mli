@@ -1,7 +1,14 @@
 (** Set-associative LRU cache simulator driven by the interpreter's real
     access trace. Used to validate the fixed average memory costs of
     {!Cpu_model} against each benchmark's locality (see the
-    [ablation-cache] bench target). *)
+    [ablation-cache] bench target).
+
+    Naming note: this models a {e data cache inside the simulated
+    system}. It is unrelated to [Memo.Store], the toolchain's on-disk
+    memoization cache ([--cache-dir]/[--no-cache], [cayman cache ...]).
+    The [memo] library deliberately contains no module named [Cache], so
+    [open Cayman_sim] followed by [open Memo] (or vice versa) can never
+    silently rebind this module — a property the test suite asserts. *)
 
 type config = {
   line_words : int;  (** elements per line, power of two *)

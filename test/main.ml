@@ -16,6 +16,7 @@ let () =
       "fault", Test_fault.tests;
       "diag", Test_diag.tests;
       "random", Test_random.tests;
+      "memo", Test_memo.tests;
       "cache-dse", Test_cache_dse.tests;
       "suites", Test_suites.tests;
       "e2e", Test_e2e.tests ]

@@ -63,6 +63,74 @@ let () =
     fail "deterministic metrics differ between CAYMAN_JOBS=%d and jobs=1"
       resolved
   end;
+  (* 5. warm-cache determinism: against a private memoization store, a
+     cold run primes the cache; warm runs at jobs=1 and at the
+     env-resolved job count must then reproduce the cache-off frontier
+     bit-for-bit, with bit-identical deterministic metrics between the
+     two warm runs and a nonzero disk hit count (the phases above ran
+     with the store disabled — the library default — so their metric
+     comparisons are unaffected). *)
+  let store_dir =
+    let f = Filename.temp_file "cayman-test-jobs-store" "" in
+    Sys.remove f;
+    Sys.mkdir f 0o700;
+    f
+  in
+  let rec rm_rf path =
+    if Sys.is_directory path then begin
+      Array.iter
+        (fun e -> rm_rf (Filename.concat path e))
+        (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Memo.Store.disable ();
+      Memo.Store.reset_memory ();
+      if Sys.file_exists store_dir then rm_rf store_dir)
+    (fun () ->
+      Memo.Store.enable ~dir:store_dir ();
+      if not (Memo.Store.active ()) then
+        fail "private memoization store failed to enable";
+      let cold = Core.Cayman.run ~mode:Hls.Kernel.Heuristic a in
+      if
+        not
+          (Core.Solution.equal_frontier cold.Core.Cayman.frontier
+             seq_run.Core.Cayman.frontier)
+      then fail "cold cached frontier differs from the cache-off frontier";
+      let warm_run jobs =
+        Memo.Store.reset_memory ();
+        Obs.Metrics.reset ();
+        let r = Core.Cayman.run ?jobs ~mode:Hls.Kernel.Heuristic a in
+        r, Obs.Metrics.deterministic_snapshot ()
+      in
+      let warm_seq, warm_seq_metrics = warm_run (Some 1) in
+      let warm_env, warm_env_metrics = warm_run None in
+      let hits =
+        Obs.Metrics.value (Obs.Metrics.counter "memo.disk_hits")
+      in
+      if
+        not
+          (Core.Solution.equal_frontier warm_seq.Core.Cayman.frontier
+             seq_run.Core.Cayman.frontier)
+      then fail "warm jobs=1 frontier differs from the cache-off frontier";
+      if
+        not
+          (Core.Solution.equal_frontier warm_env.Core.Cayman.frontier
+             seq_run.Core.Cayman.frontier)
+      then
+        fail "warm CAYMAN_JOBS=%d frontier differs from the cache-off \
+              frontier" resolved;
+      if warm_seq_metrics <> warm_env_metrics then
+        fail "warm-cache deterministic metrics differ between jobs=1 and \
+              CAYMAN_JOBS=%d" resolved;
+      if hits <= 0 then
+        fail "warm run recorded no memoization disk hits";
+      Printf.printf
+        "test_jobs: warm cache ok (%d disk hits at CAYMAN_JOBS=%d)\n" hits
+        resolved);
   Printf.printf
     "test_jobs: ok (CAYMAN_JOBS=%d, %d frontier solutions, %d deterministic \
      metrics)\n"

@@ -1,0 +1,554 @@
+(* Tests for lib/memo: the key builder, alpha-equivalent structural
+   hashing (rename invariance + single-mutation sensitivity, both as
+   QCheck properties over random CFGs), the on-disk content-addressed
+   store (round-trip, corruption tolerance, gc, clear safety), and
+   end-to-end cached-vs-uncached equality of selection frontiers and
+   co-simulation reports. *)
+
+module Ir = Cayman_ir
+module An = Cayman_analysis
+module Hls = Cayman_hls
+
+(* ------------------------------------------------------------------ *)
+(* Temp-store helpers                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_dir () =
+  let f = Filename.temp_file "cayman-memo-test" "" in
+  Sys.remove f;
+  Sys.mkdir f 0o700;
+  f
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+(* Run [f] against a private enabled store; always disables the ambient
+   store and drops the in-memory table afterwards so the other suites
+   (which assume caching off) are unaffected. *)
+let with_store f =
+  let dir = fresh_dir () in
+  Fun.protect
+    ~finally:(fun () ->
+      Memo.Store.disable ();
+      Memo.Store.reset_memory ();
+      if Sys.file_exists dir then rm_rf dir)
+    (fun () ->
+      Memo.Store.enable ~dir ();
+      Alcotest.(check bool) "store enabled" true (Memo.Store.active ());
+      f dir)
+
+let counter name = Obs.Metrics.value (Obs.Metrics.counter name)
+
+(* Object files of a store directory (leaves under objects/). *)
+let object_files dir =
+  let obj = Filename.concat dir "objects" in
+  if not (Sys.file_exists obj) then []
+  else
+    Array.to_list (Sys.readdir obj)
+    |> List.concat_map (fun d ->
+           let sub = Filename.concat obj d in
+           if Sys.is_directory sub then
+             Array.to_list (Sys.readdir sub)
+             |> List.map (Filename.concat sub)
+           else [])
+
+(* ------------------------------------------------------------------ *)
+(* Key builder                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_builder () =
+  let d feed =
+    let b = Memo.Hash.builder ~ns:"t" in
+    feed b;
+    Memo.Hash.digest b
+  in
+  Alcotest.(check string) "deterministic"
+    (d (fun b -> Memo.Hash.str b "x"; Memo.Hash.int b 7))
+    (d (fun b -> Memo.Hash.str b "x"; Memo.Hash.int b 7));
+  (* fields are self-delimiting: no sliding between adjacent strings *)
+  Alcotest.(check bool) "no field sliding" true
+    (d (fun b -> Memo.Hash.str b "ab"; Memo.Hash.str b "c")
+    <> d (fun b -> Memo.Hash.str b "a"; Memo.Hash.str b "bc"));
+  Alcotest.(check bool) "int vs string" true
+    (d (fun b -> Memo.Hash.int b 1) <> d (fun b -> Memo.Hash.str b "1"));
+  Alcotest.(check bool) "float bits" true
+    (d (fun b -> Memo.Hash.float b 0.1)
+    <> d (fun b -> Memo.Hash.float b 0.2));
+  Alcotest.(check bool) "int_opt none vs some" true
+    (d (fun b -> Memo.Hash.int_opt b None)
+    <> d (fun b -> Memo.Hash.int_opt b (Some 0)));
+  let other_ns =
+    let b = Memo.Hash.builder ~ns:"u" in
+    Memo.Hash.str b "x";
+    Memo.Hash.int b 7;
+    Memo.Hash.digest b
+  in
+  Alcotest.(check bool) "namespace separates" true
+    (other_ns <> d (fun b -> Memo.Hash.str b "x"; Memo.Hash.int b 7))
+
+(* ------------------------------------------------------------------ *)
+(* Random CFGs for the canonicalizer properties                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Small functions over float registers t0..t3, an I32 induction
+   register i, a Bool register c, and arrays A/B: enough variety to
+   exercise every operand and instruction shape the canonicalizer
+   renders, in three SESE structures (straight line, diamond, loop). *)
+
+let freg i = Ir.Instr.reg (Printf.sprintf "t%d" i) Ir.Types.F32
+let ireg = Ir.Instr.reg "i" Ir.Types.I32
+let creg = Ir.Instr.reg "c" Ir.Types.Bool
+
+type shape = Straight | Diamond | Loop
+
+open QCheck.Gen
+
+let gen_operand =
+  frequency
+    [ 3, map (fun i -> Ir.Instr.Reg (freg i)) (int_range 0 3);
+      2, map (fun n -> Ir.Instr.Imm_int n) (int_range 0 9);
+      1,
+      map
+        (fun n -> Ir.Instr.Imm_float (float_of_int n /. 4.0))
+        (int_range (-8) 8) ]
+
+let gen_index =
+  frequency
+    [ 2, return (Ir.Instr.Reg ireg);
+      1, map (fun n -> Ir.Instr.Imm_int n) (int_range 0 7) ]
+
+let gen_base = map (fun b -> if b then "A" else "B") bool
+
+let gen_instr =
+  frequency
+    [ 2,
+      map2 (fun d a -> Ir.Instr.Assign (freg d, a)) (int_range 0 3)
+        gen_operand;
+      3,
+      (int_range 0 3 >>= fun d ->
+       oneofl [ Ir.Op.Fadd; Ir.Op.Fsub; Ir.Op.Fmul ] >>= fun op ->
+       map2 (fun a b -> Ir.Instr.Binary (freg d, op, a, b)) gen_operand
+         gen_operand);
+      2,
+      (int_range 0 3 >>= fun d ->
+       map2
+         (fun base index ->
+           Ir.Instr.Load (freg d, { Ir.Instr.base; index }))
+         gen_base gen_index);
+      2,
+      map3
+        (fun base index v -> Ir.Instr.Store ({ Ir.Instr.base; index }, v))
+        gen_base gen_index gen_operand ]
+
+let gen_body = list_size (int_range 1 4) gen_instr
+
+let gen_func =
+  oneofl [ Straight; Diamond; Loop ] >>= fun shape ->
+  gen_body >>= fun b1 ->
+  gen_body >>= fun b2 ->
+  gen_body >>= fun b3 ->
+  gen_operand >>= fun cmp_rhs ->
+  let block label instrs term = Ir.Block.v ~label ~instrs ~term in
+  let blocks =
+    match shape with
+    | Straight ->
+      [ block "entry" b1 (Ir.Instr.Return (Some (Ir.Instr.Reg (freg 0)))) ]
+    | Diamond ->
+      [ block "entry"
+          (b1
+          @ [ Ir.Instr.Compare
+                (creg, Ir.Op.Flt, Ir.Instr.Reg (freg 0), cmp_rhs) ])
+          (Ir.Instr.Branch (Ir.Instr.Reg creg, "then", "else"));
+        block "then" b2 (Ir.Instr.Jump "join");
+        block "else" b3 (Ir.Instr.Jump "join");
+        block "join" []
+          (Ir.Instr.Return (Some (Ir.Instr.Reg (freg 0)))) ]
+    | Loop ->
+      [ block "entry"
+          (Ir.Instr.Assign (ireg, Ir.Instr.Imm_int 0) :: b1)
+          (Ir.Instr.Jump "head");
+        block "head"
+          [ Ir.Instr.Compare
+              (creg, Ir.Op.Lt, Ir.Instr.Reg ireg, Ir.Instr.Imm_int 8) ]
+          (Ir.Instr.Branch (Ir.Instr.Reg creg, "body", "exit"));
+        block "body"
+          (b2
+          @ [ Ir.Instr.Binary
+                (ireg, Ir.Op.Add, Ir.Instr.Reg ireg, Ir.Instr.Imm_int 1) ])
+          (Ir.Instr.Jump "head");
+        block "exit" b3
+          (Ir.Instr.Return (Some (Ir.Instr.Reg (freg 0)))) ]
+  in
+  return (Ir.Func.v ~name:"f" ~params:[] ~ret:(Some Ir.Types.F32) ~blocks)
+
+let arb_func =
+  QCheck.make ~print:(Format.asprintf "%a" Ir.Func.pp) gen_func
+
+(* A bijective rename of every register and label (array bases are
+   program symbols and stay put — the canonicalizer must keep them). *)
+let rename_func (f : Ir.Func.t) =
+  let rr (r : Ir.Instr.reg) = { r with Ir.Instr.id = "zz_" ^ r.Ir.Instr.id } in
+  let rl l = "Q" ^ l ^ "_renamed" in
+  let rop = function
+    | Ir.Instr.Reg r -> Ir.Instr.Reg (rr r)
+    | (Ir.Instr.Imm_int _ | Ir.Instr.Imm_float _ | Ir.Instr.Imm_bool _) as o
+      -> o
+  in
+  let rmem (m : Ir.Instr.mem_ref) =
+    { m with Ir.Instr.index = rop m.Ir.Instr.index }
+  in
+  let rinstr = function
+    | Ir.Instr.Assign (r, a) -> Ir.Instr.Assign (rr r, rop a)
+    | Ir.Instr.Unary (r, op, a) -> Ir.Instr.Unary (rr r, op, rop a)
+    | Ir.Instr.Binary (r, op, a, b) ->
+      Ir.Instr.Binary (rr r, op, rop a, rop b)
+    | Ir.Instr.Compare (r, op, a, b) ->
+      Ir.Instr.Compare (rr r, op, rop a, rop b)
+    | Ir.Instr.Select (r, c, a, b) ->
+      Ir.Instr.Select (rr r, rop c, rop a, rop b)
+    | Ir.Instr.Load (r, m) -> Ir.Instr.Load (rr r, rmem m)
+    | Ir.Instr.Store (m, v) -> Ir.Instr.Store (rmem m, rop v)
+    | Ir.Instr.Call (r, name, args) ->
+      Ir.Instr.Call (Option.map rr r, name, List.map rop args)
+  in
+  let rterm = function
+    | Ir.Instr.Jump l -> Ir.Instr.Jump (rl l)
+    | Ir.Instr.Branch (c, t, e) -> Ir.Instr.Branch (rop c, rl t, rl e)
+    | Ir.Instr.Return v -> Ir.Instr.Return (Option.map rop v)
+  in
+  Ir.Func.v ~name:f.Ir.Func.name
+    ~params:(List.map rr f.Ir.Func.params)
+    ~ret:f.Ir.Func.ret
+    ~blocks:
+      (List.map
+         (fun (b : Ir.Block.t) ->
+           Ir.Block.v ~label:(rl b.Ir.Block.label)
+             ~instrs:(List.map rinstr b.Ir.Block.instrs)
+             ~term:(rterm b.Ir.Block.term))
+         f.Ir.Func.blocks)
+
+let canon_of f = Memo.Hash.canon_region f (An.Region.pst f)
+
+let test_rename_invariance =
+  Testutil.qtest ~count:150 "canon_code is rename-invariant" arb_func
+    (fun f ->
+      let g = rename_func f in
+      let cf = canon_of f and cg = canon_of g in
+      if cf.Memo.Hash.canon_code <> cg.Memo.Hash.canon_code then
+        QCheck.Test.fail_reportf "canon differs under rename:\n%s\n--\n%s"
+          cf.Memo.Hash.canon_code cg.Memo.Hash.canon_code;
+      (* the canonical names of corresponding originals agree too *)
+      List.iter2
+        (fun l l' ->
+          if
+            cf.Memo.Hash.canon_of_label l <> cg.Memo.Hash.canon_of_label l'
+          then QCheck.Test.fail_reportf "label canon differs for %s" l)
+        cf.Memo.Hash.block_order cg.Memo.Hash.block_order;
+      (* renaming is visible in the exact listing whenever the function
+         has at least one named thing (it always has a terminator label
+         or register here) *)
+      cf.Memo.Hash.exact_code <> cg.Memo.Hash.exact_code)
+
+(* One point mutation to the first instruction of the first block that
+   has one: any semantic change must change the canonical listing. *)
+let mutate_func (f : Ir.Func.t) =
+  let bump = function
+    | Ir.Instr.Imm_int n -> Ir.Instr.Imm_int (n + 1)
+    | Ir.Instr.Imm_float x -> Ir.Instr.Imm_float (x +. 1.0)
+    | Ir.Instr.Imm_bool b -> Ir.Instr.Imm_bool (not b)
+    | Ir.Instr.Reg _ -> Ir.Instr.Imm_int 424242
+  in
+  let mutate_instr = function
+    | Ir.Instr.Assign (r, a) -> Ir.Instr.Assign (r, bump a)
+    | Ir.Instr.Unary (r, op, a) -> Ir.Instr.Unary (r, op, bump a)
+    | Ir.Instr.Binary (r, op, a, b) ->
+      let op' = if op = Ir.Op.Fadd then Ir.Op.Fsub else Ir.Op.Fadd in
+      Ir.Instr.Binary (r, op', a, b)
+    | Ir.Instr.Compare (r, op, a, b) -> Ir.Instr.Compare (r, op, bump a, b)
+    | Ir.Instr.Select (r, c, a, b) -> Ir.Instr.Select (r, c, bump a, b)
+    | Ir.Instr.Load (r, m) ->
+      Ir.Instr.Load (r, { m with Ir.Instr.base = m.Ir.Instr.base ^ "2" })
+    | Ir.Instr.Store (m, v) -> Ir.Instr.Store (m, bump v)
+    | Ir.Instr.Call (r, name, args) -> Ir.Instr.Call (r, name ^ "2", args)
+  in
+  let mutated = ref false in
+  let blocks =
+    List.map
+      (fun (b : Ir.Block.t) ->
+        match b.Ir.Block.instrs with
+        | i :: rest when not !mutated ->
+          mutated := true;
+          Ir.Block.v ~label:b.Ir.Block.label
+            ~instrs:(mutate_instr i :: rest)
+            ~term:b.Ir.Block.term
+        | _ -> b)
+      f.Ir.Func.blocks
+  in
+  if !mutated then
+    Some
+      (Ir.Func.v ~name:f.Ir.Func.name ~params:f.Ir.Func.params
+         ~ret:f.Ir.Func.ret ~blocks)
+  else None
+
+let test_mutation_sensitivity =
+  Testutil.qtest ~count:150 "canon_code is mutation-sensitive" arb_func
+    (fun f ->
+      match mutate_func f with
+      | None -> QCheck.assume_fail ()
+      | Some g ->
+        let cf = canon_of f and cg = canon_of g in
+        if cf.Memo.Hash.canon_code = cg.Memo.Hash.canon_code then
+          QCheck.Test.fail_reportf
+            "mutation did not change canon:\n%s" cf.Memo.Hash.canon_code;
+        true)
+
+(* ------------------------------------------------------------------ *)
+(* Store round-trip, compute-once, corruption, gc, clear               *)
+(* ------------------------------------------------------------------ *)
+
+let test_roundtrip () =
+  with_store @@ fun _dir ->
+  let v = ([ 1; 2; 3 ], "payload", 0.5) in
+  Memo.Store.save ~ns:"test" ~key:"k1" v;
+  (match Memo.Store.find ~ns:"test" ~key:"k1" with
+   | Some got ->
+     Alcotest.(check bool) "round-trips" true (got = v)
+   | None -> Alcotest.fail "saved entry not found");
+  Alcotest.(check bool) "missing key misses" true
+    (Memo.Store.find ~ns:"test" ~key:"other" = (None : int option));
+  (* same key, different namespace: distinct entries *)
+  Alcotest.(check bool) "namespace isolates" true
+    (Memo.Store.find ~ns:"test2" ~key:"k1" = (None : int option))
+
+let test_memoize_compute_once () =
+  with_store @@ fun _dir ->
+  let calls = ref 0 in
+  let f () = incr calls; !calls * 100 in
+  let a = Memo.Store.memoize ~ns:"m" ~key:"k" f in
+  let b = Memo.Store.memoize ~ns:"m" ~key:"k" f in
+  Alcotest.(check int) "computed once" 1 !calls;
+  Alcotest.(check int) "same value" a b;
+  (* a fresh process (simulated by dropping the in-memory table) reads
+     the disk entry instead of recomputing *)
+  Memo.Store.reset_memory ();
+  let hits0 = counter "memo.disk_hits" in
+  let c = Memo.Store.memoize ~ns:"m" ~key:"k" f in
+  Alcotest.(check int) "disk hit, not recomputed" 1 !calls;
+  Alcotest.(check int) "disk value equals computed" a c;
+  Alcotest.(check bool) "disk_hits incremented" true
+    (counter "memo.disk_hits" > hits0);
+  (* a failing computation propagates and caches nothing *)
+  (match
+     Memo.Store.memoize ~ns:"m" ~key:"boom" (fun () ->
+         failwith "expected")
+   with
+  | (_ : int) -> Alcotest.fail "exception swallowed"
+  | exception Failure _ -> ());
+  Alcotest.(check bool) "failure not cached" true
+    (Memo.Store.find ~ns:"m" ~key:"boom" = (None : int option))
+
+let test_corruption_tolerated () =
+  with_store @@ fun dir ->
+  Memo.Store.save ~ns:"test" ~key:"victim" [ "some"; "value" ];
+  (* drop the in-run memory table so the reads below hit the disk *)
+  Memo.Store.reset_memory ();
+  let files = object_files dir in
+  Alcotest.(check bool) "one object on disk" true (List.length files = 1);
+  let path = List.hd files in
+  (* truncate the entry mid-payload *)
+  let full = In_channel.with_open_bin path In_channel.input_all in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc
+        (String.sub full 0 (String.length full / 2)));
+  let corrupt0 = counter "memo.corrupt_entries" in
+  Alcotest.(check bool) "truncated entry reads as miss" true
+    (Memo.Store.find ~ns:"test" ~key:"victim" = (None : string list option));
+  Alcotest.(check bool) "counted as corrupt" true
+    (counter "memo.corrupt_entries" > corrupt0);
+  (* scribbled garbage (not even the magic) also reads as a miss *)
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc "not a cayman entry at all");
+  Alcotest.(check bool) "garbage entry reads as miss" true
+    (Memo.Store.find ~ns:"test" ~key:"victim" = (None : string list option));
+  (* and the slot is rewritable afterwards *)
+  Memo.Store.save ~ns:"test" ~key:"victim" [ "fresh" ];
+  Memo.Store.reset_memory ();
+  Alcotest.(check bool) "slot recovers on rewrite" true
+    (Memo.Store.find ~ns:"test" ~key:"victim" = Some [ "fresh" ])
+
+let test_gc_evicts () =
+  with_store @@ fun dir ->
+  let payload = String.make 10_000 'x' in
+  for i = 1 to 5 do
+    Memo.Store.save ~ns:"gc" ~key:(string_of_int i) (payload, i)
+  done;
+  match Memo.Store.ambient () with
+  | None -> Alcotest.fail "ambient store missing"
+  | Some t ->
+    let s0 = Memo.Store.stats_of t in
+    Alcotest.(check int) "five entries" 5 s0.Memo.Store.st_entries;
+    let evicted, freed = Memo.Store.gc t ~max_bytes:25_000 in
+    Alcotest.(check bool) "evicted some" true (evicted >= 1 && freed > 0);
+    let s1 = Memo.Store.stats_of t in
+    Alcotest.(check bool) "under the cap" true
+      (s1.Memo.Store.st_bytes <= 25_000);
+    Alcotest.(check bool) "kept some" true (s1.Memo.Store.st_entries >= 1);
+    Alcotest.(check bool) "dir still a store" true (Memo.Store.is_store dir)
+
+let test_clear_refuses_non_store () =
+  (* a directory full of somebody else's files must not be cleared *)
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let precious = Filename.concat dir "precious.txt" in
+  Out_channel.with_open_bin precious (fun oc ->
+      Out_channel.output_string oc "keep me");
+  (match Memo.Store.clear dir with
+   | Ok _ -> Alcotest.fail "cleared a non-store directory"
+   | Error _ -> ());
+  Alcotest.(check bool) "foreign file untouched" true
+    (Sys.file_exists precious);
+  Alcotest.(check bool) "not a store" true (not (Memo.Store.is_store dir));
+  (* a real store clears fine *)
+  with_store @@ fun sdir ->
+  Memo.Store.save ~ns:"test" ~key:"k" 42;
+  Memo.Store.reset_memory ();
+  (match Memo.Store.clear sdir with
+   | Ok n -> Alcotest.(check bool) "cleared entries" true (n >= 1)
+   | Error e -> Alcotest.failf "clear refused a real store: %s" e);
+  Alcotest.(check bool) "entry gone" true
+    (Memo.Store.find ~ns:"test" ~key:"k" = (None : int option))
+
+let test_open_store_refuses_nonempty () =
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  Out_channel.with_open_bin (Filename.concat dir "data") (fun oc ->
+      Out_channel.output_string oc "unrelated");
+  match Memo.Store.open_store dir with
+  | Ok _ -> Alcotest.fail "opened a non-empty unmarked directory"
+  | Error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Cached vs recomputed: selection frontiers and cosim reports         *)
+(* ------------------------------------------------------------------ *)
+
+let flow_src =
+  {|
+const int N = 64;
+float x[N]; float y[N];
+
+void kernel(float k, float b) {
+  for (int i = 0; i < N; i++) {
+    y[i] = k * x[i] + b;
+  }
+}
+
+int main() {
+  for (int i = 0; i < N; i++) { x[i] = (float)i * 0.5; }
+  for (int t = 0; t < 3; t++) { kernel(1.5, 2.0); }
+  float s = 0.0;
+  for (int i = 0; i < N; i++) { s += y[i]; }
+  return (int)s;
+}
+|}
+
+let test_select_cached_equals_uncached () =
+  let a = Core.Cayman.analyze_source flow_src in
+  Memo.Store.disable ();
+  let base = Core.Cayman.run ~mode:Hls.Kernel.Heuristic a in
+  with_store @@ fun _dir ->
+  let cold = Core.Cayman.run ~mode:Hls.Kernel.Heuristic a in
+  Memo.Store.reset_memory ();
+  let hits0 = counter "memo.disk_hits" in
+  let warm = Core.Cayman.run ~mode:Hls.Kernel.Heuristic a in
+  Alcotest.(check bool) "cold frontier = uncached" true
+    (Core.Solution.equal_frontier cold.Core.Cayman.frontier
+       base.Core.Cayman.frontier);
+  Alcotest.(check bool) "warm frontier = uncached" true
+    (Core.Solution.equal_frontier warm.Core.Cayman.frontier
+       base.Core.Cayman.frontier);
+  Alcotest.(check bool) "warm run hit the disk" true
+    (counter "memo.disk_hits" > hits0);
+  Alcotest.(check bool) "frontier nonempty" true
+    (base.Core.Cayman.frontier <> [])
+
+(* Cosim specs of the 25%-budget heuristic solution, as the bench
+   harness builds them. *)
+let cosim_specs (a : Core.Cayman.analyzed) (s : Core.Solution.t) =
+  List.filter_map
+    (fun (acc : Core.Solution.accel) ->
+      let ctx = Hashtbl.find a.Core.Cayman.ctxs acc.Core.Solution.a_func in
+      match
+        An.Wpst.region a.Core.Cayman.wpst
+          { An.Wpst.vfunc = acc.Core.Solution.a_func;
+            vid = acc.Core.Solution.a_region_id }
+      with
+      | None -> None
+      | Some region ->
+        Some
+          { Rtl.Cosim.k_ctx = ctx;
+            k_region = region;
+            k_config = acc.Core.Solution.a_point.Hls.Kernel.config })
+    s.Core.Solution.accels
+
+let test_cosim_cached_equals_uncached () =
+  let a = Core.Cayman.analyze_source flow_src in
+  Memo.Store.disable ();
+  let r = Core.Cayman.run ~mode:Hls.Kernel.Heuristic a in
+  let sel = Core.Cayman.best_under_ratio r ~budget_ratio:0.25 in
+  let specs = cosim_specs a sel in
+  Alcotest.(check bool) "has kernels to co-simulate" true (specs <> []);
+  let program = a.Core.Cayman.program in
+  let base = Rtl.Cosim.run_many program specs in
+  with_store @@ fun _dir ->
+  let cold = Rtl.Cosim.run_many program specs in
+  Alcotest.(check bool) "cold reports = uncached" true (cold = base);
+  Memo.Store.reset_memory ();
+  let cached0 = counter "rtl.cosim_cached_reports" in
+  let warm = Rtl.Cosim.run_many program specs in
+  Alcotest.(check bool) "warm reports = uncached" true (warm = base);
+  Alcotest.(check bool) "warm reports came from the cache" true
+    (counter "rtl.cosim_cached_reports" >= cached0 + List.length specs)
+
+(* ------------------------------------------------------------------ *)
+(* Naming hygiene: Sim.Cache (data-cache model) vs Memo.Store          *)
+(* ------------------------------------------------------------------ *)
+
+(* [lib/sim]'s [Cache] simulates a hardware data cache; [Memo.Store] is
+   the toolchain's memoization cache. The [memo] library deliberately
+   has no module named [Cache], so opening both libraries cannot rebind
+   the simulator's module (see the notes in sim/cache.mli and
+   memo/store.mli). *)
+let test_cache_naming () =
+  let open Cayman_sim in
+  let open Memo in
+  (* after [open Memo], [Cache] still resolves to the simulator's module *)
+  let (config : Cache.config) = Cache.default_l1 in
+  Alcotest.(check bool) "sim data-cache geometry" true
+    (config.Cache.sets > 0 && config.Cache.ways > 0
+    && config.Cache.miss_cycles > config.Cache.hit_cycles);
+  Alcotest.(check bool) "memo store is the other cache" true
+    (not (Store.active ()) || true)
+
+let tests =
+  [ Alcotest.test_case "key builder fields" `Quick test_builder;
+    test_rename_invariance;
+    test_mutation_sensitivity;
+    Alcotest.test_case "store round-trip" `Quick test_roundtrip;
+    Alcotest.test_case "memoize computes once" `Quick
+      test_memoize_compute_once;
+    Alcotest.test_case "corrupt entries read as misses" `Quick
+      test_corruption_tolerated;
+    Alcotest.test_case "gc evicts to the cap" `Quick test_gc_evicts;
+    Alcotest.test_case "clear refuses non-store dirs" `Quick
+      test_clear_refuses_non_store;
+    Alcotest.test_case "open_store refuses non-empty dirs" `Quick
+      test_open_store_refuses_nonempty;
+    Alcotest.test_case "cached selection = uncached" `Slow
+      test_select_cached_equals_uncached;
+    Alcotest.test_case "cached cosim = uncached" `Slow
+      test_cosim_cached_equals_uncached;
+    Alcotest.test_case "Sim.Cache vs Memo naming" `Quick test_cache_naming ]
