@@ -25,3 +25,15 @@ let write experiment (v : t) =
     let path = Printf.sprintf "%s_%s.json" base experiment in
     Obs.Json.write_file path v;
     Printf.eprintf "wrote %s\n%!" path
+
+(* Writes <base>.json itself, with no experiment suffix. Used by the
+   [profile] trajectory experiment whose committed artifact is a
+   numbered BENCH_<n>.json at the repo root (ROADMAP item 5), so the
+   base given on the command line is the final filename. *)
+let write_trajectory (v : t) =
+  match !base with
+  | None -> ()
+  | Some base ->
+    let path = base ^ ".json" in
+    Obs.Json.write_file path v;
+    Printf.eprintf "wrote %s\n%!" path

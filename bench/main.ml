@@ -8,8 +8,8 @@
      dune exec bench/main.exe -- --json BENCH table2 cosim
          # additionally write BENCH_table2.json, BENCH_cosim.json
 
-   Experiments: table1 fig2 fig4 table2 fig6 cosim ablation-filter
-   ablation-merge ablation-cache ablation-dse *)
+   Experiments: table1 fig2 fig4 table2 fig6 cosim faults profile
+   ablation-filter ablation-merge ablation-cache ablation-dse *)
 
 module Ir = Cayman_ir
 module An = Cayman_analysis
@@ -933,6 +933,131 @@ let faults ?(name = "faults")
     (Cayman_fault.Campaign.unhandled report)
 
 (* ------------------------------------------------------------------ *)
+(* Interpreter engine trajectory: staged vs reference wall time        *)
+(* ------------------------------------------------------------------ *)
+
+(* Opt-in (not part of `all`): unlike the default experiments its
+   stdout carries measured wall times, so it is machine- and
+   run-dependent by design. Each benchmark is interpreted end to end
+   under both engines, CAYMAN_BENCH_REPS (default 5) timed reps per
+   engine after one untimed warm-up whose profile Marshal digest
+   doubles as an inline parity check. Runs are serial regardless of
+   CAYMAN_JOBS so the reps do not contend with each other. With
+   --json BASE the result is written to BASE.json itself — the
+   committed BENCH_<n>.json perf trajectory of ROADMAP item 5. *)
+
+let profile_benchmarks =
+  [ "atax"; "jacobi-2d"; "fft"; "parser-125k"; "nnet-test" ]
+
+let profile () =
+  let reps =
+    match
+      Option.bind (Sys.getenv_opt "CAYMAN_BENCH_REPS") int_of_string_opt
+    with
+    | Some n when n > 0 -> n
+    | Some _ | None -> 5
+  in
+  Printf.printf
+    "== Interpreter engines: sim.profile wall time, reference vs staged \
+     (%d timed reps each) ==\n"
+    reps;
+  let stats runs =
+    let n = float_of_int (List.length runs) in
+    let mean = List.fold_left ( +. ) 0.0 runs /. n in
+    let var =
+      List.fold_left (fun acc x -> acc +. (((x -. mean) ** 2.) /. n)) 0.0 runs
+    in
+    mean, var, sqrt var
+  in
+  let time_engine e program =
+    let warm =
+      Sim.Interp.with_engine e (fun () -> Sim.Interp.run program)
+    in
+    let digest =
+      Digest.to_hex
+        (Digest.string (Marshal.to_string warm.Sim.Interp.profile []))
+    in
+    let runs =
+      List.init reps (fun _ ->
+          Sim.Interp.with_engine e (fun () ->
+              snd
+                (Engine.Clock.timed (fun () ->
+                     ignore (Sim.Interp.run program : Sim.Interp.result)))))
+    in
+    warm, digest, runs
+  in
+  Printf.printf "%-26s %10s %18s %18s %8s %7s\n" "benchmark" "Minstrs"
+    "reference mean(s)" "staged mean(s)" "speedup" "parity";
+  let rows =
+    List.map
+      (fun name ->
+        let b = Suite.find_exn name in
+        let program = Suite.compile b in
+        let warm, d_ref, runs_ref =
+          time_engine Sim.Interp.Reference program
+        in
+        let _, d_stg, runs_stg = time_engine Sim.Interp.Staged program in
+        let instrs = Sim.Profile.total_instrs warm.Sim.Interp.profile in
+        let mean_ref, var_ref, sd_ref = stats runs_ref in
+        let mean_stg, var_stg, sd_stg = stats runs_stg in
+        let speedup = mean_ref /. mean_stg in
+        let parity = d_ref = d_stg in
+        Printf.printf "%-26s %10.2f %9.4f ± %.4f %9.4f ± %.4f %7.2fx %7s\n"
+          name
+          (float_of_int instrs /. 1e6)
+          mean_ref sd_ref mean_stg sd_stg speedup
+          (if parity then "ok" else "FAIL");
+        let engine_json mean var sd runs =
+          Json_out.Obj
+            [ "mean_s", Json_out.Float mean;
+              "stddev_s", Json_out.Float sd;
+              "variance_s2", Json_out.Float var;
+              "runs_s", Json_out.List (List.map (fun t -> Json_out.Float t) runs)
+            ]
+        in
+        ( speedup,
+          parity,
+          Json_out.Obj
+            [ "benchmark", Json_out.String name;
+              "suite", Json_out.String b.Suite.suite;
+              "dynamic_instrs", Json_out.Int instrs;
+              "reference", engine_json mean_ref var_ref sd_ref runs_ref;
+              "staged", engine_json mean_stg var_stg sd_stg runs_stg;
+              "speedup", Json_out.Float speedup;
+              "profile_parity", Json_out.Bool parity ] ))
+      profile_benchmarks
+  in
+  let speedups = List.map (fun (s, _, _) -> s) rows in
+  let geomean =
+    exp
+      (List.fold_left (fun acc s -> acc +. log s) 0.0 speedups
+      /. float_of_int (List.length speedups))
+  in
+  let min_speedup = List.fold_left Float.min infinity speedups in
+  let all_parity = List.for_all (fun (_, p, _) -> p) rows in
+  Printf.printf
+    "profile summary: staged is %.2fx geomean (%.2fx min) over %d \
+     benchmark(s), profile parity %s\n"
+    geomean min_speedup (List.length rows)
+    (if all_parity then "ok" else "FAIL");
+  flush stdout;
+  Json_out.write_trajectory
+    (Json_out.Obj
+       [ "experiment", Json_out.String "profile";
+         "metric", Json_out.String "sim.profile wall seconds";
+         "reps", Json_out.Int reps;
+         "benchmarks", Json_out.List (List.map (fun (_, _, j) -> j) rows);
+         ( "summary",
+           Json_out.Obj
+             [ "geomean_speedup", Json_out.Float geomean;
+               "min_speedup", Json_out.Float min_speedup;
+               "profile_parity", Json_out.Bool all_parity ] ) ]);
+  if not all_parity then begin
+    prerr_endline "profile: engine parity violated";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -940,7 +1065,7 @@ let usage () =
   print_endline
     "usage: main.exe [--bechamel] [--json BASE] [--fuel N]\n\
     \                [--cache-dir DIR] [--no-cache]\n\
-    \                [table1|fig2|fig4|table2|fig6|cosim|faults|\n\
+    \                [table1|fig2|fig4|table2|fig6|cosim|faults|profile|\n\
     \                 ablation-filter|ablation-merge|ablation-cache|\n\
     \                 ablation-dse|all]\n\
      CAYMAN_JOBS=N parallelizes evaluation across N domains; stdout is\n\
@@ -948,7 +1073,10 @@ let usage () =
      --json BASE additionally writes BASE_<experiment>.json for the\n\
      experiments with machine-readable output (table2, fig6, cosim,\n\
      faults) plus BASE_cache.json with memoization-cache statistics;\n\
-     stdout is unchanged.\n\
+     stdout is unchanged. The opt-in profile experiment (not part of\n\
+     `all`) times the staged vs reference interpreter engines over\n\
+     CAYMAN_BENCH_REPS reps (default 5) and writes its trajectory to\n\
+     BASE.json itself.\n\
      --fuel N bounds every interpreter run at N executed instructions\n\
      (also CAYMAN_FUEL); exhaustion is a diagnostic, not a hang.\n\
      The on-disk memoization cache (CAYMAN_CACHE_DIR, default\n\
@@ -1036,6 +1164,7 @@ let () =
                stage_benchmarks = 1 }
            ~benchmarks:(List.filter_map Suite.find [ "atax"; "mvt" ])
            ()
+       | "profile" -> profile ()
        | "ablation-filter" -> ablation_filter ()
        | "ablation-merge" -> ablation_merge ()
        | "ablation-cache" -> ablation_cache ()

@@ -77,6 +77,31 @@ let fuel_arg =
 
 let apply_fuel fuel = if fuel > 0 then Engine.Config.set_fuel fuel
 
+let interp_arg =
+  let doc =
+    "Interpreter engine: $(docv) is $(b,staged) (closure-compiled fast \
+     path, the default) or $(b,reference) (tree-walking ground truth). \
+     Defaults to $(b,CAYMAN_INTERP) when unset. Every observable output \
+     — profiles, selections, co-simulation verdicts — is byte-identical \
+     between the two."
+  in
+  Arg.(
+    value
+    & opt
+        (some
+           (enum
+              [ "staged", Sim.Interp.Staged;
+                "reference", Sim.Interp.Reference ]))
+        None
+    & info [ "interp" ] ~doc ~docv:"ENGINE")
+
+(* Like --jobs/--fuel: an explicit flag becomes the process-wide
+   override so every interpreter entry point (profiling, cosim golden
+   runs, fault campaigns) sees the same engine. *)
+let apply_interp = function
+  | None -> ()
+  | Some e -> Sim.Interp.set_engine e
+
 let cache_dir_arg =
   let doc =
     "Memoization cache directory (default: $(b,CAYMAN_CACHE_DIR), else \
@@ -156,9 +181,10 @@ let gen_of_mode = function
   | "qscores" -> Ok (Cayman_baselines.Qscores.gen, "baseline.qscores")
   | other -> Error (Printf.sprintf "unknown mode %s" other)
 
-let run_cmd bench file budget mode alpha jobs fuel cache_dir no_cache trace =
+let run_cmd bench file budget mode alpha jobs fuel interp cache_dir no_cache trace =
   apply_jobs jobs;
   apply_fuel fuel;
+  apply_interp interp;
   apply_cache cache_dir no_cache;
   with_trace trace @@ fun () ->
   with_diagnostics @@ fun () ->
@@ -209,8 +235,9 @@ let run_cmd bench file budget mode alpha jobs fuel cache_dir no_cache trace =
          m.Core.Merge.saving_pct m.Core.Merge.n_reusable;
        0)
 
-let dump_cmd bench file fuel cache_dir no_cache trace =
+let dump_cmd bench file fuel interp cache_dir no_cache trace =
   apply_fuel fuel;
+  apply_interp interp;
   apply_cache cache_dir no_cache;
   with_trace trace @@ fun () ->
   with_diagnostics @@ fun () ->
@@ -229,9 +256,10 @@ let out_arg =
   let doc = "Output directory for generated Verilog." in
   Arg.(value & opt string "cayman_rtl" & info [ "o"; "out" ] ~doc)
 
-let emit_cmd bench file budget out jobs fuel cache_dir no_cache trace =
+let emit_cmd bench file budget out jobs fuel interp cache_dir no_cache trace =
   apply_jobs jobs;
   apply_fuel fuel;
+  apply_interp interp;
   apply_cache cache_dir no_cache;
   with_trace trace @@ fun () ->
   with_diagnostics @@ fun () ->
@@ -317,10 +345,12 @@ let max_inv_arg =
    the golden interpreter. Per-kernel co-sims fan out through the engine
    pool; reports print in selection order, so stdout is byte-stable
    across job counts. *)
-let cosim_cmd bench file budget mode jobs max_inv fuel cache_dir no_cache
+let cosim_cmd bench file budget mode jobs max_inv fuel interp cache_dir
+    no_cache
     trace =
   apply_jobs jobs;
   apply_fuel fuel;
+  apply_interp interp;
   apply_cache cache_dir no_cache;
   with_trace trace @@ fun () ->
   with_diagnostics @@ fun () ->
@@ -430,10 +460,12 @@ let list_cmd () =
 (* Run the full flow with tracing armed internally and report where the
    time and the work went: a per-span rollup plus every pipeline metric
    grouped by phase. *)
-let stats_cmd bench file budget mode alpha jobs fuel cache_dir no_cache
+let stats_cmd bench file budget mode alpha jobs fuel interp cache_dir
+    no_cache
     trace =
   apply_jobs jobs;
   apply_fuel fuel;
+  apply_interp interp;
   apply_cache cache_dir no_cache;
   with_diagnostics @@ fun () ->
   match load_program ~bench ~file with
@@ -506,9 +538,10 @@ let default_fault_benches =
   [ "atax"; "bicg"; "mvt"; "trisolv"; "doitgen"; "fft"; "spmv"; "nw" ]
 
 let faults_cmd seed n_faults max_inv benches all budget stage_benches jobs
-    fuel cache_dir no_cache json trace =
+    fuel interp cache_dir no_cache json trace =
   apply_jobs jobs;
   apply_fuel fuel;
+  apply_interp interp;
   (* accepted for interface uniformity; the campaign recomputes through
      [Memo.Store.without_cache] regardless *)
   apply_cache cache_dir no_cache;
@@ -564,20 +597,21 @@ let faults_cmd seed n_faults max_inv benches all budget stage_benches jobs
 let run_t =
   Cmd.v (Cmd.info "run" ~doc:"Run the full Cayman flow on a program")
     Term.(const run_cmd $ bench_arg $ file_arg $ budget_arg $ mode_arg
-          $ alpha_arg $ jobs_arg $ fuel_arg $ cache_dir_arg $ no_cache_arg
-          $ trace_arg)
+          $ alpha_arg $ jobs_arg $ fuel_arg $ interp_arg $ cache_dir_arg
+          $ no_cache_arg $ trace_arg)
 
 let dump_t =
   Cmd.v (Cmd.info "dump" ~doc:"Dump IR, wPST and profile of a program")
-    Term.(const dump_cmd $ bench_arg $ file_arg $ fuel_arg $ cache_dir_arg
-          $ no_cache_arg $ trace_arg)
+    Term.(const dump_cmd $ bench_arg $ file_arg $ fuel_arg $ interp_arg
+          $ cache_dir_arg $ no_cache_arg $ trace_arg)
 
 let emit_t =
   Cmd.v
     (Cmd.info "emit"
        ~doc:"Emit Verilog netlists for the selected accelerators")
     Term.(const emit_cmd $ bench_arg $ file_arg $ budget_arg $ out_arg
-          $ jobs_arg $ fuel_arg $ cache_dir_arg $ no_cache_arg $ trace_arg)
+          $ jobs_arg $ fuel_arg $ interp_arg $ cache_dir_arg $ no_cache_arg
+          $ trace_arg)
 
 let cosim_t =
   let mode_arg =
@@ -590,8 +624,8 @@ let cosim_t =
          "Differentially co-simulate selected kernel netlists against the \
           golden interpreter (plus a static lint of each netlist)")
     Term.(const cosim_cmd $ bench_arg $ file_arg $ budget_arg $ mode_arg
-          $ jobs_arg $ max_inv_arg $ fuel_arg $ cache_dir_arg $ no_cache_arg
-          $ trace_arg)
+          $ jobs_arg $ max_inv_arg $ fuel_arg $ interp_arg $ cache_dir_arg
+          $ no_cache_arg $ trace_arg)
 
 let faults_t =
   let seed_arg =
@@ -635,7 +669,8 @@ let faults_t =
           verify the pipeline degrades instead of crashing")
     Term.(const faults_cmd $ seed_arg $ n_faults_arg $ max_inv_arg
           $ benches_arg $ all_arg $ budget_arg $ stage_arg $ jobs_arg
-          $ fuel_arg $ cache_dir_arg $ no_cache_arg $ json_arg $ trace_arg)
+          $ fuel_arg $ interp_arg $ cache_dir_arg $ no_cache_arg $ json_arg
+          $ trace_arg)
 
 let graph_t =
   Cmd.v
@@ -655,8 +690,8 @@ let stats_t =
           metrics (region counts, prune/memo hits, design points, DP \
           frontier sizes)")
     Term.(const stats_cmd $ bench_arg $ file_arg $ budget_arg $ mode_arg
-          $ alpha_arg $ jobs_arg $ fuel_arg $ cache_dir_arg $ no_cache_arg
-          $ trace_arg)
+          $ alpha_arg $ jobs_arg $ fuel_arg $ interp_arg $ cache_dir_arg
+          $ no_cache_arg $ trace_arg)
 
 (* cayman cache {stats,gc,clear} — maintenance for the memoization store.
    These operate on the directory directly (no ambient enable), so they

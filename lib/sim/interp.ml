@@ -1,19 +1,25 @@
-module Ir = Cayman_ir
+(* Engine-dispatching front for the interpreter. The actual execution
+   engines live in Interp_reference (the original tree-walking
+   interpreter, kept as semantic ground truth) and Interp_staged (the
+   closure-compiled fast path). This module re-exports the shared types
+   and picks an engine per run: explicit [?engine] argument, else the
+   process-wide override (set_engine / with_engine), else the
+   CAYMAN_INTERP environment variable, else the staged default. *)
 
-exception Runtime_error of string
-exception Out_of_fuel
+(* Re-export the shared exceptions and types with their identities
+   preserved, so [try ... with Interp.Out_of_fuel] keeps matching
+   whichever engine raised. *)
+exception Runtime_error = Interp_common.Runtime_error
+exception Out_of_fuel = Interp_common.Out_of_fuel
 
-type result = {
+type result = Interp_common.result = {
   return_value : Value.t option;
   memory : Memory.t;
   profile : Profile.t;
   cache_stats : Cache.stats option;
 }
 
-(* Execution observer for differential testing (Rtl.Cosim): called on
-   every block entry and on every function return, with read access to
-   the live register environment and memory. *)
-type observer = {
+type observer = Interp_common.observer = {
   obs_block :
     func:string ->
     label:string ->
@@ -28,200 +34,63 @@ type observer = {
     unit;
 }
 
-type cblock = {
-  cb : Ir.Block.t;
-  static_cycles : int;
-  n_instrs : int;
-  instrs : Ir.Instr.t array;
-}
+let eval_bin = Interp_common.eval_bin
+let eval_cmp = Interp_common.eval_cmp
+let eval_un = Interp_common.eval_un
 
-type cfunc = {
-  f : Ir.Func.t;
-  blocks : (string, cblock) Hashtbl.t;
-  entry : string;
-}
+(* ------------------------------------------------------------------ *)
+(* Engine selection                                                   *)
+(* ------------------------------------------------------------------ *)
 
-let compile_func (f : Ir.Func.t) =
-  let blocks = Hashtbl.create 16 in
-  List.iter
-    (fun (b : Ir.Block.t) ->
-      Hashtbl.replace blocks b.Ir.Block.label
-        { cb = b;
-          static_cycles = Cpu_model.block_cycles b;
-          n_instrs = List.length b.Ir.Block.instrs;
-          instrs = Array.of_list b.Ir.Block.instrs })
-    f.Ir.Func.blocks;
-  { f; blocks; entry = (Ir.Func.entry f).Ir.Block.label }
+type engine =
+  | Reference
+  | Staged
 
-let eval_bin (op : Ir.Op.bin) a b =
-  match op with
-  | Ir.Op.Add -> Value.Vint (Value.to_int a + Value.to_int b)
-  | Ir.Op.Sub -> Value.Vint (Value.to_int a - Value.to_int b)
-  | Ir.Op.Mul -> Value.Vint (Value.to_int a * Value.to_int b)
-  | Ir.Op.Div ->
-    let d = Value.to_int b in
-    if d = 0 then raise (Runtime_error "integer division by zero")
-    else Value.Vint (Value.to_int a / d)
-  | Ir.Op.Rem ->
-    let d = Value.to_int b in
-    if d = 0 then raise (Runtime_error "integer remainder by zero")
-    else Value.Vint (Value.to_int a mod d)
-  | Ir.Op.And -> Value.Vint (Value.to_int a land Value.to_int b)
-  | Ir.Op.Or -> Value.Vint (Value.to_int a lor Value.to_int b)
-  | Ir.Op.Xor -> Value.Vint (Value.to_int a lxor Value.to_int b)
-  | Ir.Op.Shl -> Value.Vint (Value.to_int a lsl Value.to_int b)
-  | Ir.Op.Shr -> Value.Vint (Value.to_int a asr Value.to_int b)
-  | Ir.Op.Fadd -> Value.Vfloat (Value.to_float a +. Value.to_float b)
-  | Ir.Op.Fsub -> Value.Vfloat (Value.to_float a -. Value.to_float b)
-  | Ir.Op.Fmul -> Value.Vfloat (Value.to_float a *. Value.to_float b)
-  | Ir.Op.Fdiv -> Value.Vfloat (Value.to_float a /. Value.to_float b)
+let engine_env_var = "CAYMAN_INTERP"
+let default_engine = Staged
 
-let eval_cmp (op : Ir.Op.cmp) a b =
-  let r =
-    match op with
-    | Ir.Op.Eq -> Value.to_int a = Value.to_int b
-    | Ir.Op.Ne -> Value.to_int a <> Value.to_int b
-    | Ir.Op.Lt -> Value.to_int a < Value.to_int b
-    | Ir.Op.Le -> Value.to_int a <= Value.to_int b
-    | Ir.Op.Gt -> Value.to_int a > Value.to_int b
-    | Ir.Op.Ge -> Value.to_int a >= Value.to_int b
-    | Ir.Op.Feq -> Value.to_float a = Value.to_float b
-    | Ir.Op.Fne -> Value.to_float a <> Value.to_float b
-    | Ir.Op.Flt -> Value.to_float a < Value.to_float b
-    | Ir.Op.Fle -> Value.to_float a <= Value.to_float b
-    | Ir.Op.Fgt -> Value.to_float a > Value.to_float b
-    | Ir.Op.Fge -> Value.to_float a >= Value.to_float b
+let engine_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "reference" | "ref" -> Some Reference
+  | "staged" -> Some Staged
+  | _ -> None
+
+let engine_name = function
+  | Reference -> "reference"
+  | Staged -> "staged"
+
+(* Process-wide override, above the environment and below an explicit
+   [?engine] argument. Atomic for the same reason as Engine.Config's
+   job override: tests flip it around parallel pipeline runs. *)
+let override : engine option Atomic.t = Atomic.make None
+
+let set_engine e = Atomic.set override (Some e)
+let clear_engine () = Atomic.set override None
+
+let env_engine () =
+  match Sys.getenv_opt engine_env_var with
+  | None -> None
+  | Some s -> engine_of_string s
+
+let current_engine () =
+  match Atomic.get override with
+  | Some e -> e
+  | None ->
+    (match env_engine () with
+     | Some e -> e
+     | None -> default_engine)
+
+let with_engine e f =
+  let saved = Atomic.get override in
+  Atomic.set override (Some e);
+  Fun.protect ~finally:(fun () -> Atomic.set override saved) f
+
+let run ?engine ?fuel ?cache_config ?observer p =
+  let e =
+    match engine with
+    | Some e -> e
+    | None -> current_engine ()
   in
-  Value.Vbool r
-
-let eval_un (op : Ir.Op.un) a =
-  match op with
-  | Ir.Op.Neg -> Value.Vint (-Value.to_int a)
-  | Ir.Op.Fneg -> Value.Vfloat (-.Value.to_float a)
-  | Ir.Op.Not -> Value.Vbool (not (Value.to_bool a))
-  | Ir.Op.Int_of_float -> Value.Vint (int_of_float (Value.to_float a))
-  | Ir.Op.Float_of_int -> Value.Vfloat (float_of_int (Value.to_int a))
-
-let run ?(fuel = 2_000_000_000) ?cache_config ?observer (p : Ir.Program.t) =
-  let memory = Memory.create p in
-  let profile = Profile.create () in
-  let cache = Option.map (fun config -> Cache.create ~config p) cache_config in
-  let touch base index =
-    match cache with
-    | Some c -> ignore (Cache.access c ~base ~index : bool)
-    | None -> ()
-  in
-  let funcs = Hashtbl.create 8 in
-  List.iter
-    (fun (f : Ir.Func.t) ->
-      Hashtbl.replace funcs f.Ir.Func.name (compile_func f))
-    p.Ir.Program.funcs;
-  let fuel_left = ref fuel in
-  let rec exec_func (cf : cfunc) (args : Value.t list) : Value.t option =
-    let fname = cf.f.Ir.Func.name in
-    Profile.note_call profile fname;
-    let env : (string, Value.t) Hashtbl.t = Hashtbl.create 64 in
-    (try
-       List.iter2
-         (fun (r : Ir.Instr.reg) v -> Hashtbl.replace env r.Ir.Instr.id v)
-         cf.f.Ir.Func.params args
-     with Invalid_argument _ ->
-       raise (Runtime_error ("arity mismatch calling " ^ fname)));
-    let eval (o : Ir.Instr.operand) =
-      match o with
-      | Ir.Instr.Reg r ->
-        (match Hashtbl.find_opt env r.Ir.Instr.id with
-         | Some v -> v
-         | None ->
-           raise
-             (Runtime_error
-                (Printf.sprintf "uninitialized register %%%s in %s"
-                   r.Ir.Instr.id fname)))
-      | Ir.Instr.Imm_int n -> Value.Vint n
-      | Ir.Instr.Imm_float x -> Value.Vfloat x
-      | Ir.Instr.Imm_bool b -> Value.Vbool b
-    in
-    let set (r : Ir.Instr.reg) v = Hashtbl.replace env r.Ir.Instr.id v in
-    let mem_index (m : Ir.Instr.mem_ref) = Value.to_int (eval m.Ir.Instr.index) in
-    let exec_instr (i : Ir.Instr.t) =
-      match i with
-      | Ir.Instr.Assign (r, o) -> set r (eval o)
-      | Ir.Instr.Unary (r, op, o) -> set r (eval_un op (eval o))
-      | Ir.Instr.Binary (r, op, a, b) -> set r (eval_bin op (eval a) (eval b))
-      | Ir.Instr.Compare (r, op, a, b) -> set r (eval_cmp op (eval a) (eval b))
-      | Ir.Instr.Select (r, c, a, b) ->
-        set r (if Value.to_bool (eval c) then eval a else eval b)
-      | Ir.Instr.Load (r, m) ->
-        let index = mem_index m in
-        touch m.Ir.Instr.base index;
-        set r (Memory.load memory ~base:m.Ir.Instr.base ~index)
-      | Ir.Instr.Store (m, v) ->
-        let index = mem_index m in
-        touch m.Ir.Instr.base index;
-        Memory.store memory ~base:m.Ir.Instr.base ~index (eval v)
-      | Ir.Instr.Call (r, callee, call_args) ->
-        let cf' =
-          match Hashtbl.find_opt funcs callee with
-          | Some cf' -> cf'
-          | None -> raise (Runtime_error ("unknown function " ^ callee))
-        in
-        let vals = List.map eval call_args in
-        let ret = exec_func cf' vals in
-        (match r, ret with
-         | Some r, Some v -> set r v
-         | Some _, None ->
-           raise (Runtime_error ("void result from " ^ callee))
-         | None, (Some _ | None) -> ())
-    in
-    let read rid = Hashtbl.find_opt env rid in
-    let cur = ref (Hashtbl.find cf.blocks cf.entry) in
-    let return_value = ref None in
-    let running = ref true in
-    while !running do
-      let blk = !cur in
-      let label = blk.cb.Ir.Block.label in
-      Profile.note_block profile ~func:fname ~label;
-      (match observer with
-       | Some o -> o.obs_block ~func:fname ~label ~read ~mem:memory
-       | None -> ());
-      Profile.add_cycles profile blk.static_cycles;
-      Profile.add_instrs profile blk.n_instrs;
-      fuel_left := !fuel_left - blk.n_instrs - 1;
-      if !fuel_left < 0 then raise Out_of_fuel;
-      Array.iter exec_instr blk.instrs;
-      (match blk.cb.Ir.Block.term with
-       | Ir.Instr.Return o ->
-         return_value := Option.map eval o;
-         (match observer with
-          | Some ob ->
-            ob.obs_return ~func:fname ~read ~value:!return_value ~mem:memory
-          | None -> ());
-         running := false
-       | Ir.Instr.Jump l ->
-         Profile.note_edge profile ~func:fname ~src:label ~dst:l;
-         cur := Hashtbl.find cf.blocks l
-       | Ir.Instr.Branch (c, t, f) ->
-         let l = if Value.to_bool (eval c) then t else f in
-         Profile.note_edge profile ~func:fname ~src:label ~dst:l;
-         cur := Hashtbl.find cf.blocks l)
-    done;
-    !return_value
-  in
-  let main =
-    match Hashtbl.find_opt funcs p.Ir.Program.main with
-    | Some cf -> cf
-    | None -> raise (Runtime_error ("missing main function " ^ p.Ir.Program.main))
-  in
-  if main.f.Ir.Func.params <> [] then
-    raise (Runtime_error "main must take no parameters");
-  let return_value =
-    Obs.Trace.span ~cat:"sim" "sim.interp" (fun () ->
-        try exec_func main [] with
-        | Value.Type_error m -> raise (Runtime_error ("type error: " ^ m))
-        | Memory.Fault m -> raise (Runtime_error ("memory fault: " ^ m)))
-  in
-  (* Publish the run's profile totals — the Eq. (1) inputs — through the
-     shared metrics registry so they appear in `cayman stats`. *)
-  Profile.publish_metrics profile;
-  { return_value; memory; profile;
-    cache_stats = Option.map Cache.stats cache }
+  match e with
+  | Reference -> Interp_reference.run ?fuel ?cache_config ?observer p
+  | Staged -> Interp_staged.run ?fuel ?cache_config ?observer p

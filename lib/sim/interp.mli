@@ -3,7 +3,13 @@
     Executes [main] of a program, recording block, edge and call counts
     plus host cycles (per {!Cpu_model}) into a {!Profile.t}. This replaces
     the paper's native instrumented execution; being deterministic, it
-    makes the entire evaluation reproducible. *)
+    makes the entire evaluation reproducible.
+
+    Two engines implement the same observable semantics:
+    {!Interp_reference} (tree-walking ground truth) and {!Interp_staged}
+    (closure-compiled fast path, the default). They produce byte-identical
+    profiles, memories, return values, observer callback sequences and
+    exceptions — a contract enforced by test/test_interp_diff.ml. *)
 
 exception Runtime_error of string
 exception Out_of_fuel
@@ -36,13 +42,46 @@ type observer = {
     unit;
 }
 
-(** [run ?fuel p] interprets [p] from [main]. [fuel] bounds the number of
-    dynamic instructions (default 2e9). [cache_config] additionally
-    drives a {!Cache} simulator with the access trace.
+(** {1 Engine selection}
+
+    Resolution order: explicit [?engine] argument to {!run}, then the
+    process-wide override ({!set_engine} / {!with_engine}), then the
+    [CAYMAN_INTERP] environment variable ("reference" or "staged"),
+    then the built-in default (staged). *)
+
+type engine =
+  | Reference  (** original tree-walking interpreter, semantic ground truth *)
+  | Staged  (** closure-compiled fast path (default) *)
+
+(** Name of the selecting environment variable: ["CAYMAN_INTERP"]. *)
+val engine_env_var : string
+
+val default_engine : engine
+val engine_of_string : string -> engine option
+val engine_name : engine -> string
+
+(** Process-wide override (thread-safe), taking precedence over the
+    environment. *)
+
+val set_engine : engine -> unit
+
+val clear_engine : unit -> unit
+
+(** Engine that {!run} would use right now if called without [?engine]. *)
+val current_engine : unit -> engine
+
+(** [with_engine e f] runs [f] with the override set to [e], restoring
+    the previous override afterwards (also on exceptions). *)
+val with_engine : engine -> (unit -> 'a) -> 'a
+
+(** [run ?engine ?fuel p] interprets [p] from [main]. [fuel] bounds the
+    number of dynamic instructions (default 2e9). [cache_config]
+    additionally drives a {!Cache} simulator with the access trace.
     @raise Runtime_error on dynamic errors (division by zero, bad memory
     access, unknown callee, uninitialized register).
     @raise Out_of_fuel when the budget is exhausted. *)
 val run :
+  ?engine:engine ->
   ?fuel:int ->
   ?cache_config:Cache.config ->
   ?observer:observer ->

@@ -1,0 +1,161 @@
+module Ir = Cayman_ir
+open Interp_common
+
+(* The original tree-walking interpreter, kept verbatim as the reference
+   semantics that the staged engine (Interp_staged) is differentially
+   tested against. Registers live in a per-call string-keyed hashtable;
+   every instruction goes through one match dispatch. *)
+
+(* A compiled block holds exactly one representation of its instruction
+   sequence: the array. The static cycle cost is precomputed (it needs
+   the instruction list only at compile time), and the dynamic
+   instruction count is [Array.length instrs]. *)
+type cblock = {
+  label : string;
+  static_cycles : int;
+  instrs : Ir.Instr.t array;
+  term : Ir.Instr.term;
+}
+
+type cfunc = {
+  f : Ir.Func.t;
+  blocks : (string, cblock) Hashtbl.t;
+  entry : string;
+}
+
+let compile_func (f : Ir.Func.t) =
+  let blocks = Hashtbl.create 16 in
+  List.iter
+    (fun (b : Ir.Block.t) ->
+      Hashtbl.replace blocks b.Ir.Block.label
+        { label = b.Ir.Block.label;
+          static_cycles = Cpu_model.block_cycles b;
+          instrs = Array.of_list b.Ir.Block.instrs;
+          term = b.Ir.Block.term })
+    f.Ir.Func.blocks;
+  { f; blocks; entry = (Ir.Func.entry f).Ir.Block.label }
+
+let run ?(fuel = default_fuel) ?cache_config ?observer (p : Ir.Program.t) =
+  let memory = Memory.create p in
+  let profile = Profile.create () in
+  let cache = Option.map (fun config -> Cache.create ~config p) cache_config in
+  let touch base index =
+    match cache with
+    | Some c -> ignore (Cache.access c ~base ~index : bool)
+    | None -> ()
+  in
+  let funcs = Hashtbl.create 8 in
+  List.iter
+    (fun (f : Ir.Func.t) ->
+      Hashtbl.replace funcs f.Ir.Func.name (compile_func f))
+    p.Ir.Program.funcs;
+  let fuel_left = ref fuel in
+  let rec exec_func (cf : cfunc) (args : Value.t list) : Value.t option =
+    let fname = cf.f.Ir.Func.name in
+    Profile.note_call profile fname;
+    let env : (string, Value.t) Hashtbl.t = Hashtbl.create 64 in
+    (try
+       List.iter2
+         (fun (r : Ir.Instr.reg) v -> Hashtbl.replace env r.Ir.Instr.id v)
+         cf.f.Ir.Func.params args
+     with Invalid_argument _ ->
+       raise (Runtime_error ("arity mismatch calling " ^ fname)));
+    let eval (o : Ir.Instr.operand) =
+      match o with
+      | Ir.Instr.Reg r ->
+        (match Hashtbl.find_opt env r.Ir.Instr.id with
+         | Some v -> v
+         | None ->
+           raise
+             (Runtime_error
+                (Printf.sprintf "uninitialized register %%%s in %s"
+                   r.Ir.Instr.id fname)))
+      | Ir.Instr.Imm_int n -> Value.Vint n
+      | Ir.Instr.Imm_float x -> Value.Vfloat x
+      | Ir.Instr.Imm_bool b -> Value.Vbool b
+    in
+    let set (r : Ir.Instr.reg) v = Hashtbl.replace env r.Ir.Instr.id v in
+    let mem_index (m : Ir.Instr.mem_ref) = Value.to_int (eval m.Ir.Instr.index) in
+    let exec_instr (i : Ir.Instr.t) =
+      match i with
+      | Ir.Instr.Assign (r, o) -> set r (eval o)
+      | Ir.Instr.Unary (r, op, o) -> set r (eval_un op (eval o))
+      | Ir.Instr.Binary (r, op, a, b) -> set r (eval_bin op (eval a) (eval b))
+      | Ir.Instr.Compare (r, op, a, b) -> set r (eval_cmp op (eval a) (eval b))
+      | Ir.Instr.Select (r, c, a, b) ->
+        set r (if Value.to_bool (eval c) then eval a else eval b)
+      | Ir.Instr.Load (r, m) ->
+        let index = mem_index m in
+        touch m.Ir.Instr.base index;
+        set r (Memory.load memory ~base:m.Ir.Instr.base ~index)
+      | Ir.Instr.Store (m, v) ->
+        let index = mem_index m in
+        touch m.Ir.Instr.base index;
+        Memory.store memory ~base:m.Ir.Instr.base ~index (eval v)
+      | Ir.Instr.Call (r, callee, call_args) ->
+        let cf' =
+          match Hashtbl.find_opt funcs callee with
+          | Some cf' -> cf'
+          | None -> raise (Runtime_error ("unknown function " ^ callee))
+        in
+        let vals = List.map eval call_args in
+        let ret = exec_func cf' vals in
+        (match r, ret with
+         | Some r, Some v -> set r v
+         | Some _, None ->
+           raise (Runtime_error ("void result from " ^ callee))
+         | None, (Some _ | None) -> ())
+    in
+    let read rid = Hashtbl.find_opt env rid in
+    let cur = ref (Hashtbl.find cf.blocks cf.entry) in
+    let return_value = ref None in
+    let running = ref true in
+    while !running do
+      let blk = !cur in
+      let label = blk.label in
+      let n_instrs = Array.length blk.instrs in
+      Profile.note_block profile ~func:fname ~label;
+      (match observer with
+       | Some o -> o.obs_block ~func:fname ~label ~read ~mem:memory
+       | None -> ());
+      Profile.add_cycles profile blk.static_cycles;
+      Profile.add_instrs profile n_instrs;
+      fuel_left := !fuel_left - n_instrs - 1;
+      if !fuel_left < 0 then raise Out_of_fuel;
+      Array.iter exec_instr blk.instrs;
+      (match blk.term with
+       | Ir.Instr.Return o ->
+         return_value := Option.map eval o;
+         (match observer with
+          | Some ob ->
+            ob.obs_return ~func:fname ~read ~value:!return_value ~mem:memory
+          | None -> ());
+         running := false
+       | Ir.Instr.Jump l ->
+         Profile.note_edge profile ~func:fname ~src:label ~dst:l;
+         cur := Hashtbl.find cf.blocks l
+       | Ir.Instr.Branch (c, t, f) ->
+         let l = if Value.to_bool (eval c) then t else f in
+         Profile.note_edge profile ~func:fname ~src:label ~dst:l;
+         cur := Hashtbl.find cf.blocks l)
+    done;
+    !return_value
+  in
+  let main =
+    match Hashtbl.find_opt funcs p.Ir.Program.main with
+    | Some cf -> cf
+    | None -> raise (Runtime_error ("missing main function " ^ p.Ir.Program.main))
+  in
+  if main.f.Ir.Func.params <> [] then
+    raise (Runtime_error "main must take no parameters");
+  let return_value =
+    Obs.Trace.span ~cat:"sim" "sim.interp" (fun () ->
+        try exec_func main [] with
+        | Value.Type_error m -> raise (Runtime_error ("type error: " ^ m))
+        | Memory.Fault m -> raise (Runtime_error ("memory fault: " ^ m)))
+  in
+  (* Publish the run's profile totals — the Eq. (1) inputs — through the
+     shared metrics registry so they appear in `cayman stats`. *)
+  Profile.publish_metrics profile;
+  { return_value; memory; profile;
+    cache_stats = Option.map Cache.stats cache }

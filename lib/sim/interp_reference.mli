@@ -1,0 +1,12 @@
+(** The reference interpreter engine: per-instruction match dispatch over
+    a string-keyed register environment. Slow, simple, and the semantic
+    ground truth that {!Interp_staged} is differentially tested against.
+    Use {!Interp.run} (which dispatches on the selected engine) rather
+    than calling this directly. *)
+
+val run :
+  ?fuel:int ->
+  ?cache_config:Cache.config ->
+  ?observer:Interp_common.observer ->
+  Cayman_ir.Program.t ->
+  Interp_common.result

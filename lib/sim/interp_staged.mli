@@ -1,0 +1,23 @@
+(** The staged (closure-compiled) interpreter engine: blocks are
+    pre-compiled into flat arrays of instruction closures over typed,
+    integer-indexed register banks — no per-instruction match dispatch
+    and no allocation on the hot path. Semantics are differentially
+    tested against {!Interp_reference} (test/test_interp_diff.ml);
+    programs that fail the static cleanliness analysis fall back to the
+    reference engine wholesale. Use {!Interp.run} (which dispatches on
+    the selected engine) rather than calling this directly. *)
+
+val run :
+  ?fuel:int ->
+  ?cache_config:Cache.config ->
+  ?observer:Interp_common.observer ->
+  Cayman_ir.Program.t ->
+  Interp_common.result
+
+(** [analyze p] is [Some _] when [p] passes the static cleanliness
+    check and will execute on the staged fast path, [None] when [run]
+    would fall back to the reference engine. Exposed for tests. *)
+
+type pmeta
+
+val analyze : Cayman_ir.Program.t -> pmeta option

@@ -54,6 +54,16 @@ let store t ~base ~index v =
   | Floats _, (Value.Vint _ | Value.Vbool _) ->
     raise (Fault ("type mismatch storing to float array " ^ base))
 
+let int_cells t base =
+  match Hashtbl.find_opt t base with
+  | Some (Ints a) -> Some a
+  | Some (Floats _) | None -> None
+
+let float_cells t base =
+  match Hashtbl.find_opt t base with
+  | Some (Floats a) -> Some a
+  | Some (Ints _) | None -> None
+
 let size t base =
   match cell_exn t base with
   | Ints a -> Array.length a

@@ -12,6 +12,14 @@ val load : t -> base:string -> index:int -> Value.t
 val store : t -> base:string -> index:int -> Value.t -> unit
 val size : t -> string -> int
 
+(** Raw backing arrays, shared (not copied) with the memory — used by
+    the staged interpreter to resolve a base name once at compile time
+    instead of per access. [None] when the array is absent or of the
+    other element kind. *)
+
+val int_cells : t -> string -> int array option
+val float_cells : t -> string -> float array option
+
 (** Deep copy of the whole memory (used by the RTL co-simulation to give
     the netlist simulator its own image). *)
 val snapshot : t -> t

@@ -25,6 +25,23 @@ let note_block t ~func ~label = bump t.block_exec (func, label)
 let note_edge t ~func ~src ~dst = bump t.edge_exec (func, src, dst)
 let note_call t func = bump t.call_count func
 
+(* Counter-slot variant of [bump] for the staged interpreter: returns
+   the live counter so the caller can cache it and skip the hash lookup
+   on subsequent bumps. A fresh slot performs the same single
+   [Hashtbl.replace] as [bump]'s first insertion, so the table layout
+   (and hence its Marshal bytes) stays identical between engines. *)
+let slot tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.replace tbl key r;
+    r
+
+let block_slot t ~func ~label = slot t.block_exec (func, label)
+let edge_slot t ~func ~src ~dst = slot t.edge_exec (func, src, dst)
+let call_slot t func = slot t.call_count func
+
 let add_cycles t c = t.total_cycles <- t.total_cycles + c
 let add_instrs t n = t.total_instrs <- t.total_instrs + n
 

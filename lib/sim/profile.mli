@@ -17,6 +17,14 @@ val note_call : t -> string -> unit
 val add_cycles : t -> int -> unit
 val add_instrs : t -> int -> unit
 
+(** Counter slots (used by the staged interpreter): return the live
+    counter for a key, creating it at 0 if absent, so the caller can
+    cache the [ref] and bump it without further hash lookups. *)
+
+val block_slot : t -> func:string -> label:string -> int ref
+val edge_slot : t -> func:string -> src:string -> dst:string -> int ref
+val call_slot : t -> string -> int ref
+
 (** Queries. *)
 
 val block_exec : t -> func:string -> label:string -> int

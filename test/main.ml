@@ -8,6 +8,7 @@ let () =
       "scev", Test_scev.tests;
       "ifconv", Test_ifconv.tests;
       "sim", Test_sim.tests;
+      "interp-diff", Test_interp_diff.tests;
       "hls", Test_hls.tests;
       "select", Test_select.tests;
       "merge", Test_merge.tests;

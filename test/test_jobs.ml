@@ -131,9 +131,116 @@ let () =
       Printf.printf
         "test_jobs: warm cache ok (%d disk hits at CAYMAN_JOBS=%d)\n" hits
         resolved);
+  (* 6. staged-vs-reference engine parity, under the env-resolved job
+     count: the interpreter engine must be invisible to every consumer —
+     profiles (Marshal bytes), selection frontiers and stats, cosim
+     reports (rendered bytes), and the memoization store (whose profile
+     digests are keyed by program + fuel only, so entries written under
+     one engine are hits under the other). *)
+  let module Sim = Cayman_sim in
+  let program = a.Core.Cayman.program in
+  let profile_digest e =
+    Sim.Interp.with_engine e (fun () ->
+        Digest.string
+          (Marshal.to_string
+             (Sim.Interp.run program).Sim.Interp.profile []))
+  in
+  if profile_digest Sim.Interp.Reference <> profile_digest Sim.Interp.Staged
+  then fail "profile Marshal bytes differ between engines";
+  let run_under e =
+    Sim.Interp.with_engine e (fun () ->
+        let a' = Core.Cayman.analyze (Suite.compile (Suite.find_exn "atax")) in
+        a', Core.Cayman.run ~mode:Hls.Kernel.Heuristic a')
+  in
+  let a_ref, r_ref = run_under Sim.Interp.Reference in
+  let _a_stg, r_stg = run_under Sim.Interp.Staged in
+  if
+    not
+      (Core.Solution.equal_frontier r_ref.Core.Cayman.frontier
+         r_stg.Core.Cayman.frontier)
+  then fail "selection frontier differs between engines";
+  if
+    not
+      (Core.Solution.equal_frontier r_ref.Core.Cayman.frontier
+         seq_run.Core.Cayman.frontier)
+  then fail "engine-pinned frontier differs from the ambient-engine run";
+  if r_ref.Core.Cayman.stats <> r_stg.Core.Cayman.stats then
+    fail "selection stats differ between engines";
+  let specs =
+    let sel = Core.Cayman.best_under_ratio r_ref ~budget_ratio:0.25 in
+    List.filter_map
+      (fun (acc : Core.Solution.accel) ->
+        let ctx =
+          Hashtbl.find a_ref.Core.Cayman.ctxs acc.Core.Solution.a_func
+        in
+        match
+          Cayman_analysis.Wpst.region a_ref.Core.Cayman.wpst
+            { Cayman_analysis.Wpst.vfunc = acc.Core.Solution.a_func;
+              vid = acc.Core.Solution.a_region_id }
+        with
+        | None -> None
+        | Some region ->
+          Some
+            { Rtl.Cosim.k_ctx = ctx;
+              k_region = region;
+              k_config = acc.Core.Solution.a_point.Hls.Kernel.config })
+      sel.Core.Solution.accels
+  in
+  if specs = [] then fail "engine parity phase found no kernels to co-simulate";
+  let cosim_text e =
+    Sim.Interp.with_engine e (fun () ->
+        String.concat "\n---\n"
+          (List.map Rtl.Cosim.report_to_string
+             (Rtl.Cosim.run_many a_ref.Core.Cayman.program specs)))
+  in
+  let cosim_ref = cosim_text Sim.Interp.Reference in
+  if cosim_ref <> cosim_text Sim.Interp.Staged then
+    fail "cosim reports differ between engines";
+  (* Cross-engine warm cache: prime a private store under the reference
+     engine, then read it back under the staged engine. *)
+  let store_dir2 =
+    let f = Filename.temp_file "cayman-test-jobs-engines" "" in
+    Sys.remove f;
+    Sys.mkdir f 0o700;
+    f
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Memo.Store.disable ();
+      Memo.Store.reset_memory ();
+      if Sys.file_exists store_dir2 then rm_rf store_dir2)
+    (fun () ->
+      Memo.Store.enable ~dir:store_dir2 ();
+      let _ = Sim.Interp.with_engine Sim.Interp.Reference (fun () ->
+          let a' =
+            Core.Cayman.analyze (Suite.compile (Suite.find_exn "atax"))
+          in
+          Core.Cayman.run ~mode:Hls.Kernel.Heuristic a')
+      in
+      Memo.Store.reset_memory ();
+      Obs.Metrics.reset ();
+      let warm_stg = Sim.Interp.with_engine Sim.Interp.Staged (fun () ->
+          let a' =
+            Core.Cayman.analyze (Suite.compile (Suite.find_exn "atax"))
+          in
+          Core.Cayman.run ~mode:Hls.Kernel.Heuristic a')
+      in
+      let hits = Obs.Metrics.value (Obs.Metrics.counter "memo.disk_hits") in
+      if hits <= 0 then
+        fail "staged run missed the reference-engine-primed cache \
+              (profile digests must be engine-independent)";
+      if
+        not
+          (Core.Solution.equal_frontier warm_stg.Core.Cayman.frontier
+             r_ref.Core.Cayman.frontier)
+      then fail "cross-engine warm frontier differs");
   Printf.printf
-    "test_jobs: ok (CAYMAN_JOBS=%d, %d frontier solutions, %d deterministic \
-     metrics)\n"
+    "test_jobs: engine parity ok (reference = staged on profiles, \
+     frontiers, cosim, warm cache)\n";
+  Printf.printf
+    "test_jobs: ok (CAYMAN_JOBS=%d, CAYMAN_INTERP=%s, %d frontier \
+     solutions, %d deterministic metrics)\n"
     resolved
+    (Sim.Interp.engine_name (Sim.Interp.current_engine ()))
     (List.length env_run.Core.Cayman.frontier)
     (List.length seq_metrics)
