@@ -27,13 +27,28 @@ let write experiment (v : t) =
     Printf.eprintf "wrote %s\n%!" path
 
 (* Writes <base>.json itself, with no experiment suffix. Used by the
-   [profile] trajectory experiment whose committed artifact is a
-   numbered BENCH_<n>.json at the repo root (ROADMAP item 5), so the
-   base given on the command line is the final filename. *)
+   trajectory experiments (profile, serve-load) whose committed
+   artifact is a numbered BENCH_<n>.json at the repo root (ROADMAP
+   item 5), so the base given on the command line is the final
+   filename. Alongside it, BENCH_latest.json (same directory) is
+   refreshed with a copy carrying a "source" field, so regression
+   tooling — `cayman bench-diff` in CI — can always name "the most
+   recent trajectory" without knowing the PR number. *)
 let write_trajectory (v : t) =
   match !base with
   | None -> ()
   | Some base ->
     let path = base ^ ".json" in
     Obs.Json.write_file path v;
-    Printf.eprintf "wrote %s\n%!" path
+    Printf.eprintf "wrote %s\n%!" path;
+    let latest =
+      Filename.concat (Filename.dirname path) "BENCH_latest.json"
+    in
+    let pointed =
+      match v with
+      | Obj fields ->
+        Obj (("source", String (Filename.basename path)) :: fields)
+      | v -> v
+    in
+    Obs.Json.write_file latest pointed;
+    Printf.eprintf "wrote %s\n%!" latest

@@ -1058,6 +1058,256 @@ let profile () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Serve: daemon throughput and latency under concurrent replay        *)
+(* ------------------------------------------------------------------ *)
+
+(* Opt-in (not part of `all`), like profile: the stdout carries
+   measured wall times. An in-process daemon is started on a private
+   socket with a fresh private memoization store, then:
+
+     1. cold pass  — one client replays every benchmark as concurrent
+        `run` requests against the empty caches;
+     2. warm reps  — CAYMAN_BENCH_REPS (default 3) reps of N client
+        domains, each concurrently replaying the full benchmark list;
+        per-request latency is measured client-side from send to reply
+        (queueing included), pooled across reps into p50/p95/p99;
+     3. baseline   — a few one-shot `cayman run --no-cache` subprocess
+        invocations of the sibling CLI, timing the per-request cost the
+        daemon amortizes away, and checking the daemon's replies are
+        byte-identical to the CLI's stdout.
+
+   Any failed request, or any identity mismatch, fails the experiment
+   (exit 1). With --json BASE the result is written to BASE.json itself
+   — the committed BENCH_<n>.json trajectory of ROADMAP item 5. *)
+
+let serve_load ?(name = "serve-load") ?(benchmarks = Suite.all)
+    ?(clients = 4) () =
+  let reps =
+    match
+      Option.bind (Sys.getenv_opt "CAYMAN_BENCH_REPS") int_of_string_opt
+    with
+    | Some n when n > 0 -> n
+    | Some _ | None -> 3
+  in
+  let bench_names = List.map (fun (b : Suite.benchmark) -> b.Suite.name) benchmarks in
+  let n_benches = List.length bench_names in
+  Printf.printf
+    "== %s: daemon replay of %d benchmarks, %d concurrent clients, %d \
+     warm reps ==\n"
+    name n_benches clients reps;
+  (* fresh private store so the cold pass is genuinely cold *)
+  let store_dir = Filename.temp_file "cayman-serve-bench" "" in
+  Sys.remove store_dir;
+  Sys.mkdir store_dir 0o700;
+  let prev_store = Memo.Store.ambient () in
+  Memo.Store.reset_memory ();
+  let sock = Filename.temp_file "cayman-serve-bench" ".sock" in
+  Sys.remove sock;
+  let config =
+    { Serve.Server.default_config with
+      Serve.Server.sc_interp = Some Sim.Interp.Staged;
+      sc_cache = true;
+      sc_cache_dir = Some store_dir }
+  in
+  let daemon = Domain.spawn (fun () -> Serve.Server.serve_socket ~config sock) in
+  let rec wait_up n =
+    if n = 0 then failwith "serve-load: daemon did not come up";
+    match Serve.Client.connect sock with
+    | cl -> cl
+    | exception Unix.Unix_error _ ->
+      Unix.sleepf 0.01;
+      wait_up (n - 1)
+  in
+  let failed = Atomic.make 0 in
+  (* Replay the benchmark list over [cl]: send everything, then collect
+     by id. Returns (bench, reply, latency_s) in benchmark order. *)
+  let replay cl =
+    let sent =
+      List.mapi
+        (fun i b ->
+          let id = i + 1 in
+          Serve.Client.send cl (Serve.Protocol.request ~bench:b ~id "run");
+          id, b, Engine.Clock.wall ())
+        bench_names
+    in
+    List.map
+      (fun (id, b, t0) ->
+        let r = Serve.Client.recv cl ~id in
+        if not r.Serve.Protocol.rp_ok then Atomic.incr failed;
+        b, r, Engine.Clock.wall () -. t0)
+      sent
+  in
+  let cl0 = wait_up 500 in
+  let cold, cold_wall = Engine.Clock.timed (fun () -> replay cl0) in
+  Printf.printf "%s: cold %d requests in %.3f s (%.4f s/request)\n" name
+    n_benches cold_wall
+    (cold_wall /. float_of_int n_benches);
+  (* warm concurrent reps *)
+  let warm_latencies = ref [] in
+  let warm_wall = ref 0.0 in
+  for _ = 1 to reps do
+    let (), wall =
+      Engine.Clock.timed @@ fun () ->
+      let doms =
+        List.init clients (fun _ ->
+            Domain.spawn (fun () ->
+                let cl = Serve.Client.connect sock in
+                let rows = replay cl in
+                Serve.Client.close cl;
+                List.map (fun (_, _, lat) -> lat) rows))
+      in
+      List.iter
+        (fun d -> warm_latencies := Domain.join d @ !warm_latencies)
+        doms
+    in
+    warm_wall := !warm_wall +. wall
+  done;
+  let n_warm = reps * clients * n_benches in
+  let throughput = float_of_int n_warm /. !warm_wall in
+  let sorted = List.sort compare !warm_latencies in
+  let arr = Array.of_list sorted in
+  let pct p =
+    if Array.length arr = 0 then 0.0
+    else
+      arr.(min
+             (Array.length arr - 1)
+             (int_of_float (p *. float_of_int (Array.length arr))))
+  in
+  let p50 = pct 0.50 and p95 = pct 0.95 and p99 = pct 0.99 in
+  Printf.printf
+    "%s: warm %d requests in %.3f s -> %.1f requests/s; latency p50 %.1f \
+     ms p95 %.1f ms p99 %.1f ms\n"
+    name n_warm !warm_wall throughput (1e3 *. p50) (1e3 *. p95)
+    (1e3 *. p99);
+  (* one-shot CLI baseline + byte identity against the daemon replies *)
+  let cli =
+    Filename.concat
+      (Filename.dirname (Filename.dirname Sys.executable_name))
+      (Filename.concat "bin" "cayman_cli.exe")
+  in
+  let baseline_names =
+    List.filteri (fun i _ -> i < 3) bench_names
+  in
+  let identity = ref true in
+  let baseline =
+    if not (Sys.file_exists cli) then begin
+      Printf.printf "%s: CLI baseline skipped (%s not built)\n" name cli;
+      []
+    end
+    else
+      List.map
+        (fun b ->
+          let (out, status), wall =
+            Engine.Clock.timed @@ fun () ->
+            let ic =
+              Unix.open_process_in
+                (Printf.sprintf "%s run --bench %s --no-cache"
+                   (Filename.quote cli) (Filename.quote b))
+            in
+            let buf = Buffer.create 4096 in
+            let chunk = Bytes.create 4096 in
+            let rec slurp () =
+              let n = input ic chunk 0 (Bytes.length chunk) in
+              if n > 0 then begin
+                Buffer.add_subbytes buf chunk 0 n;
+                slurp ()
+              end
+            in
+            (try slurp () with End_of_file -> ());
+            let status = Unix.close_process_in ic in
+            Buffer.contents buf, status
+          in
+          if status <> Unix.WEXITED 0 then Atomic.incr failed;
+          let daemon_reply =
+            match List.find_opt (fun (b', _, _) -> b' = b) cold with
+            | Some (_, r, _) -> r.Serve.Protocol.rp_output
+            | None -> ""
+          in
+          if out <> daemon_reply then begin
+            identity := false;
+            Printf.printf
+              "%s: BYTE IDENTITY VIOLATED for %s (CLI %d bytes, daemon %d \
+               bytes)\n"
+              name b (String.length out)
+              (String.length daemon_reply)
+          end;
+          b, wall)
+        baseline_names
+  in
+  let baseline_mean =
+    match baseline with
+    | [] -> nan
+    | rows ->
+      List.fold_left (fun acc (_, w) -> acc +. w) 0.0 rows
+      /. float_of_int (List.length rows)
+  in
+  let warm_per_request = !warm_wall /. float_of_int n_warm in
+  let speedup_vs_cli = baseline_mean /. warm_per_request in
+  if baseline <> [] then
+    Printf.printf
+      "%s: one-shot CLI baseline %.4f s/request -> warm daemon throughput \
+       is %.1fx the per-request CLI (identity %s)\n"
+      name baseline_mean speedup_vs_cli
+      (if !identity then "ok" else "FAIL");
+  Printf.printf "%s: %d failed request(s)\n" name (Atomic.get failed);
+  flush stdout;
+  (* shut the daemon down and restore the ambient store *)
+  Serve.Client.shutdown cl0;
+  Serve.Client.close cl0;
+  Domain.join daemon;
+  Memo.Store.reset_memory ();
+  (match prev_store with
+   | Some s -> Memo.Store.enable ~dir:(Memo.Store.dir s) ()
+   | None -> Memo.Store.disable ());
+  let rec rm_rf path =
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+  in
+  (try rm_rf store_dir with Sys_error _ -> ());
+  Json_out.write_trajectory
+    (Json_out.Obj
+       [ "experiment", Json_out.String name;
+         "metric", Json_out.String "serve daemon throughput/latency";
+         "benchmarks", Json_out.Int n_benches;
+         "clients", Json_out.Int clients;
+         "reps", Json_out.Int reps;
+         ( "cold",
+           Json_out.Obj
+             [ "wall_s", Json_out.Float cold_wall;
+               "mean_s", Json_out.Float (cold_wall /. float_of_int n_benches)
+             ] );
+         ( "warm",
+           Json_out.Obj
+             [ "wall_s", Json_out.Float !warm_wall;
+               "requests", Json_out.Int n_warm;
+               "throughput_rps", Json_out.Float throughput;
+               "mean_s", Json_out.Float warm_per_request;
+               "p50_us", Json_out.Float (1e6 *. p50);
+               "p95_us", Json_out.Float (1e6 *. p95);
+               "p99_us", Json_out.Float (1e6 *. p99) ] );
+         ( "cli_baseline",
+           Json_out.Obj
+             [ "mean_s", Json_out.Float baseline_mean;
+               ( "per_request",
+                 Json_out.List
+                   (List.map
+                      (fun (b, w) ->
+                        Json_out.Obj
+                          [ "benchmark", Json_out.String b;
+                            "wall_s", Json_out.Float w ])
+                      baseline) ) ] );
+         "speedup_vs_cli", Json_out.Float speedup_vs_cli;
+         "failed_requests", Json_out.Int (Atomic.get failed);
+         "byte_identity", Json_out.Bool !identity ]);
+  if Atomic.get failed > 0 || not !identity then begin
+    prerr_endline (name ^ ": failed requests or identity violation");
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1066,8 +1316,8 @@ let usage () =
     "usage: main.exe [--bechamel] [--json BASE] [--fuel N]\n\
     \                [--cache-dir DIR] [--no-cache]\n\
     \                [table1|fig2|fig4|table2|fig6|cosim|faults|profile|\n\
-    \                 ablation-filter|ablation-merge|ablation-cache|\n\
-    \                 ablation-dse|all]\n\
+    \                 serve-load|serve-load-small|ablation-filter|\n\
+    \                 ablation-merge|ablation-cache|ablation-dse|all]\n\
      CAYMAN_JOBS=N parallelizes evaluation across N domains; stdout is\n\
      byte-identical for every N (wall-time reports go to stderr).\n\
      --json BASE additionally writes BASE_<experiment>.json for the\n\
@@ -1076,7 +1326,10 @@ let usage () =
      stdout is unchanged. The opt-in profile experiment (not part of\n\
      `all`) times the staged vs reference interpreter engines over\n\
      CAYMAN_BENCH_REPS reps (default 5) and writes its trajectory to\n\
-     BASE.json itself.\n\
+     BASE.json itself; the opt-in serve-load experiment replays the\n\
+     suite concurrently against an in-process daemon and reports\n\
+     requests/s plus latency percentiles the same way. Trajectory\n\
+     writes also refresh BENCH_latest.json for `cayman bench-diff`.\n\
      --fuel N bounds every interpreter run at N executed instructions\n\
      (also CAYMAN_FUEL); exhaustion is a diagnostic, not a hang.\n\
      The on-disk memoization cache (CAYMAN_CACHE_DIR, default\n\
@@ -1165,6 +1418,12 @@ let () =
            ~benchmarks:(List.filter_map Suite.find [ "atax"; "mvt" ])
            ()
        | "profile" -> profile ()
+       | "serve-load" -> serve_load ()
+       | "serve-load-small" ->
+         serve_load ~name:"serve-load-small"
+           ~benchmarks:
+             (List.filter_map Suite.find [ "atax"; "bicg"; "mvt"; "fft" ])
+           ~clients:2 ()
        | "ablation-filter" -> ablation_filter ()
        | "ablation-merge" -> ablation_merge ()
        | "ablation-cache" -> ablation_cache ()

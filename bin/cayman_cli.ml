@@ -168,18 +168,10 @@ let with_trace trace f =
      | code -> flush (); code
      | exception e -> flush (); raise e)
 
-(* Generator plus its memoization identity (what the generator closes
-   over; the baselines have no knobs, so a fixed tag suffices). *)
-let gen_of_mode = function
-  | "full" ->
-    Ok (Core.Cayman.gen Hls.Kernel.Heuristic,
-        Core.Cayman.gen_key Hls.Kernel.Heuristic)
-  | "coupled-only" ->
-    Ok (Core.Cayman.gen Hls.Kernel.Coupled_only,
-        Core.Cayman.gen_key Hls.Kernel.Coupled_only)
-  | "novia" -> Ok (Cayman_baselines.Novia.gen, "baseline.novia")
-  | "qscores" -> Ok (Cayman_baselines.Qscores.gen, "baseline.qscores")
-  | other -> Error (Printf.sprintf "unknown mode %s" other)
+(* The run/dump/cosim bodies live in Serve.Handlers, shared verbatim
+   with the daemon: `cayman serve` replies are byte-identical to these
+   subcommands' stdout by construction. *)
+let gen_of_mode = Serve.Handlers.gen_of_mode
 
 let run_cmd bench file budget mode alpha jobs fuel interp cache_dir no_cache trace =
   apply_jobs jobs;
@@ -191,49 +183,9 @@ let run_cmd bench file budget mode alpha jobs fuel interp cache_dir no_cache tra
   match load_program ~bench ~file with
   | Error m -> prerr_endline ("cayman: " ^ m); 1
   | Ok program ->
-    (match gen_of_mode mode with
+    (match Serve.Handlers.run_text ~budget ~mode ~alpha program with
      | Error m -> prerr_endline ("cayman: " ^ m); 1
-     | Ok (gen, memo_key) ->
-       let a = Core.Cayman.analyze program in
-       Printf.printf "profiled: %d host cycles (%.6f s), %d dynamic instrs\n"
-         (Sim.Profile.total_cycles a.Core.Cayman.profile)
-         a.Core.Cayman.t_all
-         (Sim.Profile.total_instrs a.Core.Cayman.profile);
-       let params = { Core.Select.default_params with Core.Select.alpha } in
-       let frontier, stats =
-         Core.Select.select ~params ~memo_key ~gen a.Core.Cayman.ctxs
-           a.Core.Cayman.wpst a.Core.Cayman.profile
-       in
-       Printf.printf
-         "selection: %d vertices visited (%d pruned), %d design points, %d \
-          Pareto solutions\n"
-         stats.Core.Select.visited stats.Core.Select.pruned
-         stats.Core.Select.points_evaluated (List.length frontier);
-       List.iter
-         (fun (f : Core.Select.failure) ->
-           Printf.printf
-             "warning: kernel generation failed for %s/%s (%s); region \
-              stays on the CPU\n"
-             f.Core.Select.fb_func f.Core.Select.fb_region
-             f.Core.Select.fb_reason)
-         stats.Core.Select.failures;
-       let budget_area = budget *. Hls.Tech.cva6_tile_area in
-       let s =
-         match Core.Solution.best_under ~budget:budget_area frontier with
-         | Some s -> s
-         | None -> Core.Solution.empty
-       in
-       Printf.printf "best solution under %.0f%% of a CVA6 tile:\n"
-         (100.0 *. budget);
-       Format.printf "%a@." Core.Solution.pp s;
-       Printf.printf "speedup (Eq. 1): %.3fx\n"
-         (Core.Solution.speedup ~t_all:a.Core.Cayman.t_all s);
-       let m = Core.Cayman.merge a s in
-       Printf.printf
-         "merging: %.0f -> %.0f um^2 (%.1f%% saved), %d reusable accelerators\n"
-         m.Core.Merge.area_before m.Core.Merge.area_after
-         m.Core.Merge.saving_pct m.Core.Merge.n_reusable;
-       0)
+     | Ok text -> print_string text; 0)
 
 let dump_cmd bench file fuel interp cache_dir no_cache trace =
   apply_fuel fuel;
@@ -244,12 +196,7 @@ let dump_cmd bench file fuel interp cache_dir no_cache trace =
   match load_program ~bench ~file with
   | Error m -> prerr_endline ("cayman: " ^ m); 1
   | Ok program ->
-    Format.printf "%a@." Ir.Program.pp program;
-    let a = Core.Cayman.analyze program in
-    Format.printf "%a@." An.Wpst.pp a.Core.Cayman.wpst;
-    Printf.printf "total: %d cycles, %.6f s\n"
-      (Sim.Profile.total_cycles a.Core.Cayman.profile)
-      a.Core.Cayman.t_all;
+    print_string (Serve.Handlers.dump_text program);
     0
 
 let out_arg =
@@ -324,16 +271,6 @@ let emit_cmd bench file budget out jobs fuel interp cache_dir no_cache trace =
     Printf.printf "wrote %d netlists + primitives to %s/\n" !count out;
     0
 
-let kernel_mode_of = function
-  | "full" | "heuristic" -> Ok Hls.Kernel.Heuristic
-  | "coupled-only" -> Ok Hls.Kernel.Coupled_only
-  | "scan-only" | "qscores" -> Ok Hls.Kernel.Scan_only
-  | other ->
-    Error
-      (Printf.sprintf
-         "unknown interface mode %s (use full, coupled-only or scan-only)"
-         other)
-
 let max_inv_arg =
   let doc =
     "Co-simulate at most $(docv) invocations per kernel (0 = all; capping \
@@ -341,10 +278,8 @@ let max_inv_arg =
   in
   Arg.(value & opt int 0 & info [ "max-invocations" ] ~doc ~docv:"N")
 
-(* Differential co-simulation of every selected kernel netlist against
-   the golden interpreter. Per-kernel co-sims fan out through the engine
-   pool; reports print in selection order, so stdout is byte-stable
-   across job counts. *)
+(* Differential co-simulation (body shared with the daemon — see
+   Serve.Handlers.cosim_text). *)
 let cosim_cmd bench file budget mode jobs max_inv fuel interp cache_dir
     no_cache
     trace =
@@ -357,75 +292,12 @@ let cosim_cmd bench file budget mode jobs max_inv fuel interp cache_dir
   match load_program ~bench ~file with
   | Error m -> prerr_endline ("cayman: " ^ m); 1
   | Ok program ->
-    (match kernel_mode_of mode with
+    let max_invocations = if max_inv > 0 then Some max_inv else None in
+    (match
+       Serve.Handlers.cosim_text ?max_invocations ~budget ~mode program
+     with
      | Error m -> prerr_endline ("cayman: " ^ m); 1
-     | Ok mode ->
-       let a = Core.Cayman.analyze program in
-       (* the golden program for co-simulation is the analyzed (if-
-          converted) one the kernel regions belong to *)
-       let program = a.Core.Cayman.program in
-       let r = Core.Cayman.run ~mode a in
-       let s = Core.Cayman.best_under_ratio r ~budget_ratio:budget in
-       let specs =
-         List.filter_map
-           (fun (acc : Core.Solution.accel) ->
-             match
-               Hashtbl.find_opt a.Core.Cayman.ctxs acc.Core.Solution.a_func
-             with
-             | None -> None
-             | Some ctx ->
-               Option.bind
-                 (An.Wpst.region a.Core.Cayman.wpst
-                    { An.Wpst.vfunc = acc.Core.Solution.a_func;
-                      vid = acc.Core.Solution.a_region_id })
-                 (fun region ->
-                   let config = acc.Core.Solution.a_point.Hls.Kernel.config in
-                   match Hls.Netlist.of_kernel ctx region config with
-                   | Some { Hls.Netlist.structure = Some st; _ } ->
-                     Some
-                       ( { Rtl.Cosim.k_ctx = ctx; k_region = region;
-                           k_config = config },
-                         st )
-                   | Some { Hls.Netlist.structure = None; _ } | None -> None))
-           s.Core.Solution.accels
-       in
-       if specs = [] then begin
-         print_endline "no synthesizable kernels selected";
-         0
-       end
-       else begin
-         let n_lint = ref 0 in
-         List.iter
-           (fun ((_ : Rtl.Cosim.spec), st) ->
-             List.iter
-               (fun f ->
-                 incr n_lint;
-                 Printf.printf "lint %s: %s\n" st.Hls.Netlist.nl_name
-                   (Rtl.Lint.to_string f))
-               (Rtl.Lint.check st))
-           specs;
-         Printf.printf "lint: %d finding%s over %d netlist%s\n" !n_lint
-           (if !n_lint = 1 then "" else "s")
-           (List.length specs)
-           (if List.length specs = 1 then "" else "s");
-         let max_invocations = if max_inv > 0 then Some max_inv else None in
-         let reports =
-           Engine.Pool.map
-             (fun (spec, _) -> Rtl.Cosim.run ?max_invocations program spec)
-             specs
-         in
-         List.iter
-           (fun rep -> print_endline (Rtl.Cosim.report_to_string rep))
-           reports;
-         let ok =
-           !n_lint = 0
-           && List.for_all
-                (fun r -> Rtl.Cosim.functional_ok r && r.Rtl.Cosim.r_cycles_ok)
-                reports
-         in
-         Printf.printf "cosim: %s\n" (if ok then "PASS" else "FAIL");
-         if ok then 0 else 1
-       end)
+     | Ok (text, ok) -> print_string text; if ok then 0 else 1)
 
 let graph_cmd bench file out cache_dir no_cache trace =
   apply_cache cache_dir no_cache;
@@ -516,6 +388,10 @@ let stats_cmd bench file budget mode alpha jobs fuel interp cache_dir
              Printf.printf "%-36s %16d  (gauge)\n" name v
            | Obs.Metrics.S_histogram h ->
              Printf.printf "%-36s %16d  (n=%d min=%d max=%d)\n" name
+               h.Obs.Metrics.hs_sum h.Obs.Metrics.hs_count
+               h.Obs.Metrics.hs_min h.Obs.Metrics.hs_max
+           | Obs.Metrics.S_wall_histogram h ->
+             Printf.printf "%-36s %16d  (wall us; n=%d min=%d max=%d)\n" name
                h.Obs.Metrics.hs_sum h.Obs.Metrics.hs_count
                h.Obs.Metrics.hs_min h.Obs.Metrics.hs_max)
          (Obs.Metrics.snapshot ());
@@ -775,12 +651,116 @@ let cache_t =
         Term.(const cache_clear_cmd $ cache_dir_arg);
     ]
 
+(* cayman serve — the persistent compilation daemon. One process, one
+   shared engine pool and warm memo layer; many concurrent clients.
+   Unlike the one-shot subcommands, the interpreter engine is pinned at
+   startup (staged unless --interp says otherwise) so every reply over
+   the daemon's lifetime comes from the same engine. *)
+
+let serve_cmd socket stdio jobs fuel interp cache_dir no_cache trace =
+  with_trace trace @@ fun () ->
+  with_diagnostics @@ fun () ->
+  let config =
+    { Serve.Server.default_config with
+      Serve.Server.sc_jobs = jobs;
+      sc_fuel = fuel;
+      sc_interp = Some (Option.value interp ~default:Sim.Interp.Staged);
+      sc_cache_dir = cache_dir;
+      sc_cache = not no_cache }
+  in
+  if stdio then begin
+    Serve.Server.serve_fds ~config ~input:Unix.stdin ~output:Unix.stdout ();
+    0
+  end
+  else begin
+    Printf.eprintf "cayman: serving on %s (pid %d)\n%!" socket
+      (Unix.getpid ());
+    Serve.Server.serve_socket ~config socket;
+    Printf.eprintf "cayman: serve: shut down cleanly\n%!";
+    0
+  end
+
+let serve_t =
+  let socket_arg =
+    let doc =
+      "Unix-domain socket path to listen on. A stale leftover socket \
+       file is removed; a path another daemon is live on is refused."
+    in
+    Arg.(value & opt string "cayman.sock" & info [ "socket" ] ~doc ~docv:"PATH")
+  in
+  let stdio_arg =
+    let doc =
+      "Serve a single client over stdin/stdout instead of a socket \
+       (framing is identical)."
+    in
+    Arg.(value & flag & info [ "stdio" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the persistent compilation daemon: many concurrent \
+          compile/profile/select/cosim requests multiplexed over one \
+          shared worker pool and warm memoization layer, each request \
+          fuel-budgeted so a bad one degrades to a structured error \
+          reply")
+    Term.(const serve_cmd $ socket_arg $ stdio_arg $ jobs_arg $ fuel_arg
+          $ interp_arg $ cache_dir_arg $ no_cache_arg $ trace_arg)
+
+(* cayman bench-diff OLD.json NEW.json — regression gate over the mean
+   wall times of two bench trajectory files (exit 2 on regression). *)
+
+let bench_diff_cmd old_path new_path max_pct =
+  let read path =
+    try
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      (match Obs.Json.parse s with
+       | Ok j -> Ok j
+       | Error m -> Error (Printf.sprintf "%s: %s" path m))
+    with Sys_error m -> Error m
+  in
+  match read old_path, read new_path with
+  | Error m, _ | _, Error m -> prerr_endline ("cayman: " ^ m); 1
+  | Ok old_doc, Ok new_doc ->
+    let r = Obs.Benchdiff.diff ~max_regress_pct:max_pct old_doc new_doc in
+    print_string (Obs.Benchdiff.to_string ~max_regress_pct:max_pct r);
+    if Obs.Benchdiff.ok r then 0 else 2
+
+let bench_diff_t =
+  let old_arg =
+    Arg.(required
+         & pos 0 (some file) None
+         & info [] ~docv:"OLD.json" ~doc:"Baseline trajectory file.")
+  in
+  let new_arg =
+    Arg.(required
+         & pos 1 (some file) None
+         & info [] ~docv:"NEW.json" ~doc:"Candidate trajectory file.")
+  in
+  let max_pct_arg =
+    let doc =
+      "Allowed mean wall-time growth per phase, in percent; anything \
+       beyond is a regression."
+    in
+    Arg.(value & opt float 25.0 & info [ "max-regress-pct" ] ~doc ~docv:"PCT")
+  in
+  Cmd.v
+    (Cmd.info "bench-diff"
+       ~doc:
+         "Compare the mean wall times of two BENCH_*.json trajectory \
+          files phase by phase and exit nonzero when any shared phase \
+          regressed beyond the threshold (schedule-dependent gauges and \
+          percentiles are ignored)")
+    Term.(const bench_diff_cmd $ old_arg $ new_arg $ max_pct_arg)
+
 let main =
   Cmd.group
     (Cmd.info "cayman" ~version:"1.0.0"
        ~doc:"Custom accelerator generation with control flow and data access \
              optimization")
     [ run_t; dump_t; emit_t; cosim_t; faults_t; graph_t; list_t; stats_t;
-      cache_t ]
+      cache_t; serve_t; bench_diff_t ]
 
 let () = exit (Cmd.eval' main)

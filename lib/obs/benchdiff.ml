@@ -1,0 +1,135 @@
+(* Phase-wise comparison of two BENCH_*.json trajectory files.
+
+   A trajectory file (bench/main.exe profile or serve-load with --json)
+   carries measured mean wall times in fields named [mean_s] or
+   [*_mean_s], nested under objects and labelled list elements. This
+   module extracts those fields as dotted "phases"
+   ("atax.reference", "serve.warm") and compares the phases present in
+   both files; everything else in the documents — counts, percentile
+   gauges, schedule-dependent detail — is ignored by construction,
+   because only mean wall times are stable enough to gate on. *)
+
+type cmp = {
+  c_phase : string;
+  c_old : float;
+  c_new : float;
+  c_pct : float;  (* 100 * (new - old) / old *)
+}
+
+type result = {
+  r_compared : cmp list;  (* phases in both files, sorted by name *)
+  r_regressions : cmp list;  (* subset with c_pct > threshold *)
+  r_only_old : string list;
+  r_only_new : string list;
+}
+
+(* Stable label of a list element: the value of its first identifying
+   string field, else its index. *)
+let element_label i v =
+  let id_fields = [ "benchmark"; "name"; "experiment"; "mode" ] in
+  let rec pick = function
+    | [] -> string_of_int i
+    | f :: rest ->
+      (match Option.bind (Json.member f v) Json.to_string_opt with
+       | Some s -> s
+       | None -> pick rest)
+  in
+  pick id_fields
+
+let join path seg = if path = "" then seg else path ^ "." ^ seg
+
+(* The key suffix that marks a measured mean wall time. *)
+let mean_suffix = "mean_s"
+
+let phase_of_key path key =
+  if String.equal key mean_suffix then Some path
+  else if
+    String.length key > String.length mean_suffix + 1
+    && String.ends_with ~suffix:("_" ^ mean_suffix) key
+  then
+    Some
+      (join path
+         (String.sub key 0 (String.length key - String.length mean_suffix - 1)))
+  else None
+
+let phases (doc : Json.t) : (string * float) list =
+  let out = ref [] in
+  let rec walk path = function
+    | Json.Obj fields ->
+      List.iter
+        (fun (k, v) ->
+          match v, phase_of_key path k with
+          | (Json.Float _ | Json.Int _), Some phase ->
+            (match Json.to_float v with
+             | Some f -> out := (phase, f) :: !out
+             | None -> ())
+          | _, _ -> walk (join path k) v)
+        fields
+    | Json.List items ->
+      List.iteri (fun i v -> walk (join path (element_label i v)) v) items
+    | Json.Null | Json.Bool _ | Json.Int _ | Json.Float _ | Json.String _ ->
+      ()
+  in
+  walk "" doc;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) !out
+
+let pct_change ~old_v ~new_v =
+  if old_v <= 1e-12 then if new_v <= 1e-12 then 0.0 else infinity
+  else 100.0 *. ((new_v -. old_v) /. old_v)
+
+let diff ~max_regress_pct old_doc new_doc =
+  let olds = phases old_doc and news = phases new_doc in
+  let compared =
+    List.filter_map
+      (fun (name, old_v) ->
+        match List.assoc_opt name news with
+        | None -> None
+        | Some new_v ->
+          Some
+            { c_phase = name;
+              c_old = old_v;
+              c_new = new_v;
+              c_pct = pct_change ~old_v ~new_v })
+      olds
+  in
+  { r_compared = compared;
+    r_regressions =
+      List.filter (fun c -> c.c_pct > max_regress_pct) compared;
+    r_only_old =
+      List.filter_map
+        (fun (n, _) -> if List.mem_assoc n news then None else Some n)
+        olds;
+    r_only_new =
+      List.filter_map
+        (fun (n, _) -> if List.mem_assoc n olds then None else Some n)
+        news }
+
+let ok r = r.r_regressions = []
+
+let to_string ~max_regress_pct r =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf "%-40s %12s %12s %9s\n" "phase" "old mean(s)"
+       "new mean(s)" "delta");
+  List.iter
+    (fun c ->
+      Buffer.add_string b
+        (Printf.sprintf "%-40s %12.4f %12.4f %+8.1f%%%s\n" c.c_phase c.c_old
+           c.c_new c.c_pct
+           (if c.c_pct > max_regress_pct then "  REGRESSION" else "")))
+    r.r_compared;
+  List.iter
+    (fun n ->
+      Buffer.add_string b (Printf.sprintf "%-40s (only in old file)\n" n))
+    r.r_only_old;
+  List.iter
+    (fun n ->
+      Buffer.add_string b (Printf.sprintf "%-40s (only in new file)\n" n))
+    r.r_only_new;
+  Buffer.add_string b
+    (Printf.sprintf
+       "bench-diff: %d phase(s) compared, %d regression(s) beyond +%.0f%%\n"
+       (List.length r.r_compared)
+       (List.length r.r_regressions)
+       max_regress_pct);
+  Buffer.contents b

@@ -1,0 +1,35 @@
+(** Phase-wise comparison of two BENCH_*.json perf-trajectory files
+    (ROADMAP item 5: regression gating over named phases).
+
+    A trajectory file carries measured mean wall times in fields named
+    [mean_s] or [*_mean_s]; this module extracts them as dotted phases
+    (["atax.reference"], ["serve.warm"]) labelled by the enclosing
+    objects' identifying fields, and compares the phases present in
+    both files. Counts, percentiles and other schedule-dependent gauges
+    are ignored by construction — only mean wall times are gated. *)
+
+type cmp = {
+  c_phase : string;
+  c_old : float;  (** old mean, seconds *)
+  c_new : float;  (** new mean, seconds *)
+  c_pct : float;  (** [100 * (new - old) / old]; [infinity] when old=0 *)
+}
+
+type result = {
+  r_compared : cmp list;  (** phases in both files, sorted by name *)
+  r_regressions : cmp list;  (** subset with [c_pct > max_regress_pct] *)
+  r_only_old : string list;
+  r_only_new : string list;
+}
+
+(** All [(phase, mean_seconds)] measurements of a trajectory document,
+    sorted by phase name. *)
+val phases : Json.t -> (string * float) list
+
+val diff : max_regress_pct:float -> Json.t -> Json.t -> result
+
+(** No regressions beyond the threshold. *)
+val ok : result -> bool
+
+(** Deterministic table rendering plus a one-line summary. *)
+val to_string : max_regress_pct:float -> result -> string

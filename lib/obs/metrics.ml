@@ -34,6 +34,10 @@ type metric =
   | M_counter of counter
   | M_gauge of gauge
   | M_histogram of histogram
+  (* A histogram of wall-clock measurements (request latencies). Same
+     shape as M_histogram but, like gauges, schedule-dependent by
+     nature and therefore excluded from [deterministic_snapshot]. *)
+  | M_wall_histogram of histogram
 
 let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
 let registry_mutex = Mutex.create ()
@@ -59,23 +63,37 @@ let intern name make describe =
 let counter name =
   intern name
     (fun () -> M_counter (Atomic.make 0))
-    (function M_counter c -> Some c | M_gauge _ | M_histogram _ -> None)
+    (function
+      | M_counter c -> Some c
+      | M_gauge _ | M_histogram _ | M_wall_histogram _ -> None)
 
 let gauge name =
   intern name
     (fun () -> M_gauge (Atomic.make 0))
-    (function M_gauge g -> Some g | M_counter _ | M_histogram _ -> None)
+    (function
+      | M_gauge g -> Some g
+      | M_counter _ | M_histogram _ | M_wall_histogram _ -> None)
+
+let fresh_histogram () =
+  { h_buckets = Array.init n_buckets (fun _ -> Atomic.make 0);
+    h_count = Atomic.make 0;
+    h_sum = Atomic.make 0;
+    h_min = Atomic.make max_int;
+    h_max = Atomic.make min_int }
 
 let histogram name =
   intern name
-    (fun () ->
-      M_histogram
-        { h_buckets = Array.init n_buckets (fun _ -> Atomic.make 0);
-          h_count = Atomic.make 0;
-          h_sum = Atomic.make 0;
-          h_min = Atomic.make max_int;
-          h_max = Atomic.make min_int })
-    (function M_histogram h -> Some h | M_counter _ | M_gauge _ -> None)
+    (fun () -> M_histogram (fresh_histogram ()))
+    (function
+      | M_histogram h -> Some h
+      | M_counter _ | M_gauge _ | M_wall_histogram _ -> None)
+
+let wall_histogram name =
+  intern name
+    (fun () -> M_wall_histogram (fresh_histogram ()))
+    (function
+      | M_wall_histogram h -> Some h
+      | M_counter _ | M_gauge _ | M_histogram _ -> None)
 
 let add c n = ignore (Atomic.fetch_and_add c n : int)
 let incr c = add c 1
@@ -118,17 +136,20 @@ type snap =
   | S_counter of int
   | S_gauge of int
   | S_histogram of hist_snap
+  | S_wall_histogram of hist_snap
+
+let hist_snap_of h =
+  let count = Atomic.get h.h_count in
+  { hs_count = count;
+    hs_sum = Atomic.get h.h_sum;
+    hs_min = (if count = 0 then 0 else Atomic.get h.h_min);
+    hs_max = (if count = 0 then 0 else Atomic.get h.h_max) }
 
 let snap_of = function
   | M_counter c -> S_counter (Atomic.get c)
   | M_gauge g -> S_gauge (Atomic.get g)
-  | M_histogram h ->
-    let count = Atomic.get h.h_count in
-    { hs_count = count;
-      hs_sum = Atomic.get h.h_sum;
-      hs_min = (if count = 0 then 0 else Atomic.get h.h_min);
-      hs_max = (if count = 0 then 0 else Atomic.get h.h_max) }
-    |> fun hs -> S_histogram hs
+  | M_histogram h -> S_histogram (hist_snap_of h)
+  | M_wall_histogram h -> S_wall_histogram (hist_snap_of h)
 
 let snapshot () =
   Mutex.lock registry_mutex;
@@ -139,13 +160,14 @@ let snapshot () =
     (List.map (fun (k, m) -> k, snap_of m) entries)
 
 (* Counters and histograms only: the part of the snapshot the engine
-   guarantees bit-identical across job counts. *)
+   guarantees bit-identical across job counts. Wall histograms record
+   wall-clock values and are exempt, like gauges. *)
 let deterministic_snapshot () =
   List.filter
     (fun (_, s) ->
       match s with
       | S_counter _ | S_histogram _ -> true
-      | S_gauge _ -> false)
+      | S_gauge _ | S_wall_histogram _ -> false)
     (snapshot ())
 
 let reset () =
@@ -154,7 +176,7 @@ let reset () =
     (fun _ m ->
       match m with
       | M_counter c | M_gauge c -> Atomic.set c 0
-      | M_histogram h ->
+      | M_histogram h | M_wall_histogram h ->
         Array.iter (fun b -> Atomic.set b 0) h.h_buckets;
         Atomic.set h.h_count 0;
         Atomic.set h.h_sum 0;
@@ -177,11 +199,8 @@ let to_json () : Json.t =
          :: ("kind", Json.String kind)
          :: rest)
     in
-    match s with
-    | S_counter v -> common "counter" [ "value", Json.Int v ]
-    | S_gauge v -> common "gauge" [ "value", Json.Int v ]
-    | S_histogram h ->
-      common "histogram"
+    let hist kind h =
+      common kind
         [ "count", Json.Int h.hs_count;
           "sum", Json.Int h.hs_sum;
           "min", Json.Int h.hs_min;
@@ -191,5 +210,11 @@ let to_json () : Json.t =
             else
               Json.Float (float_of_int h.hs_sum /. float_of_int h.hs_count)
           ) ]
+    in
+    match s with
+    | S_counter v -> common "counter" [ "value", Json.Int v ]
+    | S_gauge v -> common "gauge" [ "value", Json.Int v ]
+    | S_histogram h -> hist "histogram" h
+    | S_wall_histogram h -> hist "wall_histogram" h
   in
   Json.Obj [ "metrics", Json.List (List.map entry (snapshot ())) ]

@@ -27,6 +27,12 @@ val counter : string -> counter
 val gauge : string -> gauge
 val histogram : string -> histogram
 
+(** A histogram of wall-clock measurements (e.g. per-request service
+    latencies in microseconds). Observed with {!observe} like a regular
+    histogram, but — like gauges — schedule-dependent by nature and
+    therefore excluded from {!deterministic_snapshot}. *)
+val wall_histogram : string -> histogram
+
 val add : counter -> int -> unit
 val incr : counter -> unit
 val value : counter -> int
@@ -48,6 +54,7 @@ type snap =
   | S_counter of int
   | S_gauge of int
   | S_histogram of hist_snap
+  | S_wall_histogram of hist_snap
 
 (** Every registered metric, sorted by name. *)
 val snapshot : unit -> (string * snap) list

@@ -1,0 +1,116 @@
+(* Client side of the serve wire protocol.
+
+   A client owns one connection and a pending-reply table: the daemon
+   answers control verbs inline and batches compute verbs, so replies
+   on a single connection are NOT guaranteed to arrive in send order —
+   correlation is by request id. [recv ~id] buffers whatever else
+   arrives until the wanted id shows up; [recv_any] hands back the next
+   reply in arrival order. *)
+
+type t = {
+  cl_in : Unix.file_descr;
+  cl_out : Unix.file_descr;
+  cl_dec : Protocol.decoder;
+  cl_pending : (int, Protocol.reply) Hashtbl.t;
+  mutable cl_next_id : int;
+  cl_owns_fds : bool;
+}
+
+let of_fds ?(max_frame = Protocol.default_max_frame) ~input ~output () =
+  { cl_in = input;
+    cl_out = output;
+    cl_dec = Protocol.decoder ~max_frame ();
+    cl_pending = Hashtbl.create 16;
+    cl_next_id = 1;
+    cl_owns_fds = false }
+
+let connect ?(max_frame = Protocol.default_max_frame) path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (match Unix.connect fd (Unix.ADDR_UNIX path) with
+   | () -> ()
+   | exception e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { (of_fds ~max_frame ~input:fd ~output:fd ()) with cl_owns_fds = true }
+
+let close t =
+  if t.cl_owns_fds then
+    try Unix.close t.cl_in with Unix.Unix_error _ -> ()
+
+let fresh_id t =
+  let id = t.cl_next_id in
+  t.cl_next_id <- id + 1;
+  id
+
+let send t (r : Protocol.request) =
+  let s = Protocol.encode_request r in
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then go (off + Unix.write t.cl_out b off (n - off))
+  in
+  go 0
+
+let read_buf_len = 65536
+
+(* One blocking read into the decoder. @raise End_of_file on EOF. *)
+let fill t =
+  let buf = Bytes.create read_buf_len in
+  match Unix.read t.cl_in buf 0 read_buf_len with
+  | 0 -> raise End_of_file
+  | n -> Protocol.feed t.cl_dec buf 0 n
+
+let rec next_wire_reply t =
+  match Protocol.next_frame t.cl_dec with
+  | Protocol.Frame payload ->
+    (match Protocol.parse_reply payload with
+     | Ok r -> r
+     | Error m -> failwith ("serve client: " ^ m))
+  | Protocol.Oversized n ->
+    failwith
+      (Printf.sprintf "serve client: oversized reply frame (%d bytes)" n)
+  | Protocol.Need_more ->
+    fill t;
+    next_wire_reply t
+
+(* A parked reply when one is waiting (lowest id wins, for
+   determinism), else the next frame off the wire. *)
+let recv_any t =
+  let first =
+    Hashtbl.fold
+      (fun id _ acc ->
+        match acc with Some id' when id' <= id -> acc | _ -> Some id)
+      t.cl_pending None
+  in
+  match first with
+  | Some id ->
+    let r = Hashtbl.find t.cl_pending id in
+    Hashtbl.remove t.cl_pending id;
+    r
+  | None -> next_wire_reply t
+
+let rec recv t ~id =
+  match Hashtbl.find_opt t.cl_pending id with
+  | Some r ->
+    Hashtbl.remove t.cl_pending id;
+    r
+  | None ->
+    let r = next_wire_reply t in
+    if r.Protocol.rp_id = id then r
+    else begin
+      Hashtbl.replace t.cl_pending r.Protocol.rp_id r;
+      recv t ~id
+    end
+
+let request t (r : Protocol.request) =
+  send t r;
+  recv t ~id:r.Protocol.rq_id
+
+let rpc t ?bench ?source ?budget ?mode ?alpha ?fuel ?max_invocations verb =
+  let r =
+    Protocol.request ?bench ?source ?budget ?mode ?alpha ?fuel
+      ?max_invocations ~id:(fresh_id t) verb
+  in
+  request t r
+
+let shutdown t = ignore (rpc t "shutdown")

@@ -1,0 +1,56 @@
+(** Client side of the serve wire protocol.
+
+    Replies on one connection may arrive out of send order (control
+    verbs are answered inline, compute verbs in batches), so the client
+    keeps a pending-reply table and correlates by request id. *)
+
+type t
+
+(** Connect to a daemon's Unix-domain socket.
+    @raise Unix.Unix_error when nothing is listening. *)
+val connect : ?max_frame:int -> string -> t
+
+(** Wrap an already-connected fd pair (socketpair tests, stdio mode).
+    The fds stay owned by the caller. *)
+val of_fds :
+  ?max_frame:int ->
+  input:Unix.file_descr ->
+  output:Unix.file_descr ->
+  unit ->
+  t
+
+(** Closes the fd only when this client opened it ({!connect}). *)
+val close : t -> unit
+
+(** Next unused request id on this connection (1, 2, ...). *)
+val fresh_id : t -> int
+
+val send : t -> Protocol.request -> unit
+
+(** Wait for the reply with [id], parking other replies.
+    @raise End_of_file when the daemon hangs up first. *)
+val recv : t -> id:int -> Protocol.reply
+
+(** A parked reply when one is waiting (lowest id), else the next
+    reply off the wire. *)
+val recv_any : t -> Protocol.reply
+
+(** [send] then [recv] that request's id. *)
+val request : t -> Protocol.request -> Protocol.reply
+
+(** One-call convenience: build a request with a fresh id (defaults as
+    {!Protocol.request}), send it, await its reply. *)
+val rpc :
+  t ->
+  ?bench:string ->
+  ?source:string ->
+  ?budget:float ->
+  ?mode:string ->
+  ?alpha:float ->
+  ?fuel:int ->
+  ?max_invocations:int ->
+  string ->
+  Protocol.reply
+
+(** Ask the daemon to exit (awaits the acknowledgement). *)
+val shutdown : t -> unit

@@ -1,0 +1,213 @@
+(* Wire protocol of the Cayman compilation service (DESIGN.md section 12).
+
+   Framing: every message — request or reply, socket or stdio mode — is
+   a 4-byte big-endian payload length followed by that many bytes of
+   JSON (the shared Obs.Json dialect). The length prefix makes message
+   boundaries independent of the payload, so a reply containing
+   newlines or binary-ish escape sequences never confuses the stream;
+   a declared length beyond [max_frame] is rejected before any payload
+   is read, so a garbage header cannot make the server buffer
+   gigabytes. Garbage *payloads* (invalid JSON, missing fields) are
+   diagnosed per frame and answered with an error reply — framing
+   stays intact and the connection lives on. *)
+
+(* Caps a declared frame length. Replies carry whole IR dumps and cosim
+   reports; 16 MiB is two orders of magnitude above the largest
+   observed reply while still rejecting hostile headers cheaply. *)
+let default_max_frame = 16 * 1024 * 1024
+
+let header_len = 4
+
+(* --- framing --- *)
+
+let frame_of_payload payload =
+  let n = String.length payload in
+  let b = Bytes.create (header_len + n) in
+  Bytes.set_uint8 b 0 ((n lsr 24) land 0xff);
+  Bytes.set_uint8 b 1 ((n lsr 16) land 0xff);
+  Bytes.set_uint8 b 2 ((n lsr 8) land 0xff);
+  Bytes.set_uint8 b 3 (n land 0xff);
+  Bytes.blit_string payload 0 b header_len n;
+  Bytes.unsafe_to_string b
+
+(* Incremental decoder over an accumulating byte buffer. *)
+type decoder = {
+  mutable d_buf : Bytes.t;
+  mutable d_len : int;  (* valid bytes at the front of d_buf *)
+  d_max_frame : int;
+}
+
+let decoder ?(max_frame = default_max_frame) () =
+  { d_buf = Bytes.create 4096; d_len = 0; d_max_frame = max_frame }
+
+let buffered d = d.d_len
+
+let feed d src off len =
+  if len > 0 then begin
+    let need = d.d_len + len in
+    if need > Bytes.length d.d_buf then begin
+      let cap = max need (2 * Bytes.length d.d_buf) in
+      let b = Bytes.create cap in
+      Bytes.blit d.d_buf 0 b 0 d.d_len;
+      d.d_buf <- b
+    end;
+    Bytes.blit src off d.d_buf d.d_len len;
+    d.d_len <- d.d_len + len
+  end
+
+let feed_string d s = feed d (Bytes.unsafe_of_string s) 0 (String.length s)
+
+type next =
+  | Frame of string  (* one complete payload *)
+  | Need_more  (* no complete frame buffered yet *)
+  | Oversized of int  (* declared length beyond the cap; stream is dead *)
+
+let declared_len d =
+  (Bytes.get_uint8 d.d_buf 0 lsl 24)
+  lor (Bytes.get_uint8 d.d_buf 1 lsl 16)
+  lor (Bytes.get_uint8 d.d_buf 2 lsl 8)
+  lor Bytes.get_uint8 d.d_buf 3
+
+let next_frame d =
+  if d.d_len < header_len then Need_more
+  else begin
+    let n = declared_len d in
+    if n > d.d_max_frame then Oversized n
+    else if d.d_len < header_len + n then Need_more
+    else begin
+      let payload = Bytes.sub_string d.d_buf header_len n in
+      let rest = d.d_len - header_len - n in
+      Bytes.blit d.d_buf (header_len + n) d.d_buf 0 rest;
+      d.d_len <- rest;
+      Frame payload
+    end
+  end
+
+(* --- requests --- *)
+
+type request = {
+  rq_id : int;
+  rq_verb : string;
+  rq_bench : string option;  (* suite benchmark name *)
+  rq_source : string option;  (* inline MiniC source *)
+  rq_budget : float;
+  rq_mode : string;
+  rq_alpha : float;
+  rq_fuel : int option;  (* per-request interpreter budget *)
+  rq_max_invocations : int option;  (* cosim cap *)
+}
+
+let request ?bench ?source ?(budget = 0.25) ?(mode = "full") ?(alpha = 1.08)
+    ?fuel ?max_invocations ~id verb =
+  { rq_id = id;
+    rq_verb = verb;
+    rq_bench = bench;
+    rq_source = source;
+    rq_budget = budget;
+    rq_mode = mode;
+    rq_alpha = alpha;
+    rq_fuel = fuel;
+    rq_max_invocations = max_invocations }
+
+let request_to_json (r : request) : Obs.Json.t =
+  let opt name f v rest =
+    match v with None -> rest | Some v -> (name, f v) :: rest
+  in
+  Obs.Json.Obj
+    (("id", Obs.Json.Int r.rq_id)
+     :: ("verb", Obs.Json.String r.rq_verb)
+     :: opt "bench" (fun s -> Obs.Json.String s) r.rq_bench
+          (opt "source" (fun s -> Obs.Json.String s) r.rq_source
+             (("budget", Obs.Json.Float r.rq_budget)
+              :: ("mode", Obs.Json.String r.rq_mode)
+              :: ("alpha", Obs.Json.Float r.rq_alpha)
+              :: opt "fuel" (fun n -> Obs.Json.Int n) r.rq_fuel
+                   (opt "max_invocations"
+                      (fun n -> Obs.Json.Int n)
+                      r.rq_max_invocations []))))
+
+(* Parse failures distinguish "we know which request to blame" from "we
+   don't even have an id": the error reply echoes the id when there is
+   one, and 0 otherwise. *)
+let request_of_json (j : Obs.Json.t) : (request, int * string) result =
+  let member = Obs.Json.member in
+  let id =
+    match Option.bind (member "id" j) Obs.Json.to_int with
+    | Some n -> n
+    | None -> 0
+  in
+  match Option.bind (member "verb" j) Obs.Json.to_string_opt with
+  | None -> Error (id, "request has no verb")
+  | Some verb ->
+    let str name = Option.bind (member name j) Obs.Json.to_string_opt in
+    let num name default =
+      match Option.bind (member name j) Obs.Json.to_float with
+      | Some f -> f
+      | None -> default
+    in
+    let int_opt name = Option.bind (member name j) Obs.Json.to_int in
+    Ok
+      { rq_id = id;
+        rq_verb = verb;
+        rq_bench = str "bench";
+        rq_source = str "source";
+        rq_budget = num "budget" 0.25;
+        rq_mode =
+          (match str "mode" with Some m -> m | None -> "full");
+        rq_alpha = num "alpha" 1.08;
+        rq_fuel = int_opt "fuel";
+        rq_max_invocations = int_opt "max_invocations" }
+
+let parse_request payload : (request, int * string) result =
+  match Obs.Json.parse payload with
+  | Error m -> Error (0, "request is not valid JSON: " ^ m)
+  | Ok j -> request_of_json j
+
+(* --- replies --- *)
+
+type reply = {
+  rp_id : int;
+  rp_ok : bool;
+  rp_class : string;  (* stable error class; "" on success *)
+  rp_output : string;  (* handler text on success, message on error *)
+}
+
+let ok_reply ~id output =
+  { rp_id = id; rp_ok = true; rp_class = ""; rp_output = output }
+
+let error_reply ~id ~cls message =
+  { rp_id = id; rp_ok = false; rp_class = cls; rp_output = message }
+
+let reply_to_json (r : reply) : Obs.Json.t =
+  Obs.Json.Obj
+    [ "id", Obs.Json.Int r.rp_id;
+      "status", Obs.Json.String (if r.rp_ok then "ok" else "error");
+      "class", Obs.Json.String r.rp_class;
+      "output", Obs.Json.String r.rp_output ]
+
+let reply_of_json (j : Obs.Json.t) : (reply, string) result =
+  let member = Obs.Json.member in
+  match
+    ( Option.bind (member "id" j) Obs.Json.to_int,
+      Option.bind (member "status" j) Obs.Json.to_string_opt,
+      Option.bind (member "class" j) Obs.Json.to_string_opt,
+      Option.bind (member "output" j) Obs.Json.to_string_opt )
+  with
+  | Some id, Some status, Some cls, Some output ->
+    Ok { rp_id = id; rp_ok = status = "ok"; rp_class = cls; rp_output = output }
+  | _ -> Error "reply is missing id/status/class/output"
+
+let parse_reply payload : (reply, string) result =
+  match Obs.Json.parse payload with
+  | Error m -> Error ("reply is not valid JSON: " ^ m)
+  | Ok j -> reply_of_json j
+
+(* Compact single-line JSON for the wire. Obs.Json.to_string is already
+   deterministic; the newline it appends is harmless inside a frame but
+   trimmed here so frames carry exactly the document. *)
+let encode (j : Obs.Json.t) =
+  let s = Obs.Json.to_string j in
+  frame_of_payload (String.trim s)
+
+let encode_request r = encode (request_to_json r)
+let encode_reply r = encode (reply_to_json r)

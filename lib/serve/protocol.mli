@@ -1,0 +1,92 @@
+(** Wire protocol of the Cayman compilation service.
+
+    Every message — request or reply, Unix-socket or stdio mode — is a
+    4-byte big-endian payload length followed by that many bytes of
+    JSON (the shared {!Obs.Json} dialect). Oversized declared lengths
+    are rejected before any payload is read; malformed payloads are
+    diagnosed per frame so the stream survives garbage requests. *)
+
+(** Default declared-length cap: 16 MiB. *)
+val default_max_frame : int
+
+val header_len : int
+
+(** [frame_of_payload p] is the header + payload byte string. *)
+val frame_of_payload : string -> string
+
+(** {1 Incremental frame decoding} *)
+
+type decoder
+
+val decoder : ?max_frame:int -> unit -> decoder
+
+(** Bytes buffered but not yet decoded. *)
+val buffered : decoder -> int
+
+val feed : decoder -> Bytes.t -> int -> int -> unit
+val feed_string : decoder -> string -> unit
+
+type next =
+  | Frame of string  (** one complete payload *)
+  | Need_more  (** no complete frame buffered yet *)
+  | Oversized of int
+      (** declared length beyond the cap; the stream cannot be
+          re-synchronized and should be closed after an error reply *)
+
+val next_frame : decoder -> next
+
+(** {1 Requests} *)
+
+type request = {
+  rq_id : int;
+  rq_verb : string;
+  rq_bench : string option;
+  rq_source : string option;
+  rq_budget : float;
+  rq_mode : string;
+  rq_alpha : float;
+  rq_fuel : int option;  (** per-request interpreter budget *)
+  rq_max_invocations : int option;
+}
+
+(** Build a request with the CLI's defaults (budget 0.25, mode "full",
+    alpha 1.08). *)
+val request :
+  ?bench:string ->
+  ?source:string ->
+  ?budget:float ->
+  ?mode:string ->
+  ?alpha:float ->
+  ?fuel:int ->
+  ?max_invocations:int ->
+  id:int ->
+  string ->
+  request
+
+val request_to_json : request -> Obs.Json.t
+
+(** [Error (id, message)]: [id] is the request's id when one could be
+    extracted, 0 otherwise — error replies echo it. *)
+val request_of_json : Obs.Json.t -> (request, int * string) result
+
+val parse_request : string -> (request, int * string) result
+
+(** {1 Replies} *)
+
+type reply = {
+  rp_id : int;
+  rp_ok : bool;
+  rp_class : string;  (** stable error class; [""] on success *)
+  rp_output : string;  (** handler text on success, message on error *)
+}
+
+val ok_reply : id:int -> string -> reply
+val error_reply : id:int -> cls:string -> string -> reply
+val reply_to_json : reply -> Obs.Json.t
+val reply_of_json : Obs.Json.t -> (reply, string) result
+val parse_reply : string -> (reply, string) result
+
+(** {1 Encoding to wire frames} *)
+
+val encode_request : request -> string
+val encode_reply : reply -> string

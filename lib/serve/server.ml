@@ -1,0 +1,400 @@
+(* The Cayman compilation daemon (DESIGN.md section 12).
+
+   One process serves many clients over a Unix-domain socket (or a
+   single client over arbitrary fds — the stdio mode used by tests and
+   by `cayman serve --stdio`). The event loop runs in the calling
+   domain: select over the listen socket and every live connection,
+   read what is ready, pop complete frames, answer control verbs
+   inline, and run the wave of compute requests as ONE batch through a
+   single long-lived Engine.Pool shared by every request the daemon
+   ever serves. Batching is what makes concurrency cheap and
+   deterministic here: request-level parallelism replaces intra-request
+   parallelism (pool tasks detect nesting and run their internal
+   fan-outs sequentially), so the domain count stays flat no matter how
+   many clients pile on, and replies depend only on request content —
+   never on scheduling.
+
+   The pool, the compute-once memo tables (mutex-guarded) and the
+   on-disk store stay warm across requests: the first request for a
+   benchmark pays the full pipeline, every later one — from any client
+   — is a lookup.
+
+   Failure containment: each batch slot is isolated
+   (Pool.run_map_result), and the executor converts the documented
+   pipeline exceptions into structured error replies with the stable
+   Fault.Classify class, so a request that exhausts its per-request
+   fuel budget or trips a frontend diagnostic degrades to an error
+   reply while its batch-mates complete normally. Frame-level garbage
+   is likewise answered per frame; only an oversized declared length
+   (an unsyncable stream) or EOF closes a connection. *)
+
+module Sim = Cayman_sim
+
+type config = {
+  sc_max_frame : int;
+  sc_jobs : int;  (* 0 = resolve via Engine.Config *)
+  sc_fuel : int;  (* 0 = resolve via Engine.Config *)
+  sc_interp : Sim.Interp.engine option;  (* pinned at startup *)
+  sc_cache_dir : string option;
+  sc_cache : bool;
+}
+
+let default_config =
+  { sc_max_frame = Protocol.default_max_frame;
+    sc_jobs = 0;
+    sc_fuel = 0;
+    sc_interp = None;
+    sc_cache_dir = None;
+    sc_cache = false }
+
+(* --- instrumentation ------------------------------------------------- *)
+
+(* Counters are part of the deterministic snapshot (request counts are a
+   function of the request stream); queue/inflight gauges and the
+   latency histogram are wall-clock/schedule-dependent and exempt. *)
+let m_requests = Obs.Metrics.counter "serve.requests"
+let m_errors = Obs.Metrics.counter "serve.errors"
+let g_queue = Obs.Metrics.gauge "serve.queue_depth"
+let g_inflight = Obs.Metrics.gauge "serve.inflight"
+let h_latency = Obs.Metrics.wall_histogram "serve.latency_us"
+
+(* --- request execution ----------------------------------------------- *)
+
+let message_of_exn = function
+  | Sim.Interp.Out_of_fuel ->
+    "interpreter ran out of fuel (raise the request's fuel budget)"
+  | Sim.Interp.Runtime_error m -> "runtime error: " ^ m
+  | Cayman_frontend.Diag.Error d -> Cayman_frontend.Diag.to_string d
+  | e -> Printexc.to_string e
+
+let dispatch (r : Protocol.request) : (string, string) result =
+  let with_program f =
+    match Handlers.load ?bench:r.Protocol.rq_bench ?source:r.Protocol.rq_source () with
+    | Error m -> Error m
+    | Ok p -> f p
+  in
+  match r.Protocol.rq_verb with
+  | "compile" -> with_program (fun p -> Ok (Handlers.compile_text p))
+  | "profile" ->
+    with_program (fun p ->
+        Ok (Handlers.profile_text ?fuel:r.Protocol.rq_fuel p))
+  | "dump" ->
+    with_program (fun p -> Ok (Handlers.dump_text ?fuel:r.Protocol.rq_fuel p))
+  | "run" | "select" ->
+    with_program
+      (Handlers.run_text ?fuel:r.Protocol.rq_fuel ~budget:r.Protocol.rq_budget
+         ~mode:r.Protocol.rq_mode ~alpha:r.Protocol.rq_alpha)
+  | "cosim" ->
+    with_program (fun p ->
+        Result.map fst
+          (Handlers.cosim_text ?fuel:r.Protocol.rq_fuel
+             ?max_invocations:r.Protocol.rq_max_invocations
+             ~budget:r.Protocol.rq_budget ~mode:r.Protocol.rq_mode p))
+  | v -> Error (Printf.sprintf "unknown verb %s" v)
+
+(* A reply is a pure function of the request minus its id (the
+   determinism contract: results do not depend on jobs, engine, cache
+   state or scheduling), so completed dispatches are published in the
+   compute-once memo layer shared with the rest of the pipeline. The
+   first request for a given work item pays the pipeline; every later
+   identical request — from any client, or concurrently from a
+   batch-mate, which blocks on the in-flight cell rather than
+   recomputing — is a lookup. Raises are never cached, so fuel-starved
+   requests keep their per-request failure semantics. *)
+let reply_key (r : Protocol.request) =
+  Obs.Json.to_string (Protocol.request_to_json { r with Protocol.rq_id = 0 })
+
+(* Total: every outcome of a compute request is a reply. *)
+let execute (r : Protocol.request) : Protocol.reply =
+  Obs.Trace.span ~cat:"serve" ("serve." ^ r.Protocol.rq_verb) @@ fun () ->
+  match
+    Memo.Store.memoize ~ns:"serve.reply" ~key:(reply_key r) (fun () ->
+        dispatch r)
+  with
+  | Ok output -> Protocol.ok_reply ~id:r.Protocol.rq_id output
+  | Error m ->
+    Obs.Metrics.incr m_errors;
+    Protocol.error_reply ~id:r.Protocol.rq_id ~cls:"bad-request" m
+  | exception e ->
+    Obs.Metrics.incr m_errors;
+    Protocol.error_reply ~id:r.Protocol.rq_id
+      ~cls:(Cayman_fault.Classify.exn_class e)
+      (message_of_exn e)
+
+(* Control verbs answered inline by the event loop — cheap, no pipeline
+   work, never queued behind a batch. *)
+let is_control = function
+  | "health" | "stats" | "cache-stats" | "cache-reset" | "shutdown" -> true
+  | _ -> false
+
+let control_reply ~served (r : Protocol.request) : Protocol.reply * bool =
+  let id = r.Protocol.rq_id in
+  match r.Protocol.rq_verb with
+  | "health" -> Protocol.ok_reply ~id "ok\n", false
+  | "shutdown" -> Protocol.ok_reply ~id "shutting down\n", true
+  | "stats" ->
+    let b = Buffer.create 128 in
+    Printf.bprintf b "requests: %d\n" served;
+    Printf.bprintf b "errors: %d\n" (Obs.Metrics.value m_errors);
+    Printf.bprintf b "memo: %s\n"
+      (if Memo.Store.active () then "on" else "off");
+    Protocol.ok_reply ~id (Buffer.contents b), false
+  | "cache-stats" ->
+    (match Memo.Store.ambient () with
+     | None -> Protocol.ok_reply ~id "cache disabled\n", false
+     | Some store ->
+       let s = Memo.Store.stats_of store in
+       let text =
+         Printf.sprintf "cache %s: %d entries, %d bytes\n"
+           (Memo.Store.dir store) s.Memo.Store.st_entries
+           s.Memo.Store.st_bytes
+       in
+       Protocol.ok_reply ~id text, false)
+  | "cache-reset" ->
+    Memo.Store.reset_memory ();
+    Protocol.ok_reply ~id "in-memory caches reset\n", false
+  | v ->
+    Obs.Metrics.incr m_errors;
+    ( Protocol.error_reply ~id ~cls:"bad-request"
+        (Printf.sprintf "unknown verb %s" v),
+      false )
+
+(* --- connections ----------------------------------------------------- *)
+
+type conn = {
+  c_fd : Unix.file_descr;
+  c_dec : Protocol.decoder;
+  mutable c_alive : bool;
+  c_keep_open : bool;  (* fds owned by the caller (stdio mode) *)
+  c_out : Unix.file_descr;  (* = c_fd except in stdio mode *)
+}
+
+let close_conn c =
+  c.c_alive <- false;
+  if c.c_keep_open then
+    (* caller-owned fds (stdio mode): signal EOF to the peer but leave
+       the descriptor itself to the caller *)
+    try Unix.shutdown c.c_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()
+  else try Unix.close c.c_fd with Unix.Unix_error _ -> ()
+
+(* Blocking write of a whole reply frame; a peer that vanished
+   mid-write just kills its own connection (SIGPIPE is ignored). *)
+let write_reply c (reply : Protocol.reply) =
+  if c.c_alive then begin
+    let s = Protocol.encode_reply reply in
+    let b = Bytes.unsafe_of_string s in
+    let n = Bytes.length b in
+    let rec go off =
+      if off < n then begin
+        let w = Unix.write c.c_out b off (n - off) in
+        if w = 0 then close_conn c else go (off + w)
+      end
+    in
+    try go 0 with Unix.Unix_error ((EPIPE | ECONNRESET | EBADF), _, _) ->
+      close_conn c
+  end
+
+let read_chunk_buf = Bytes.create 65536
+
+(* Pull whatever is ready; EOF (or a hard error) closes the connection.
+   A partial frame left in the decoder at EOF is the truncated-frame
+   case: dropped quietly, the loop survives. *)
+let read_into c =
+  match Unix.read c.c_fd read_chunk_buf 0 (Bytes.length read_chunk_buf) with
+  | 0 -> close_conn c
+  | n -> Protocol.feed c.c_dec read_chunk_buf 0 n
+  | exception Unix.Unix_error ((ECONNRESET | EPIPE | EBADF), _, _) ->
+    close_conn c
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+
+let oversized_reply ~max_frame n =
+  Protocol.error_reply ~id:0 ~cls:"oversized-frame"
+    (Printf.sprintf
+       "declared frame length %d exceeds the %d-byte cap; closing" n
+       max_frame)
+
+(* All complete frames currently buffered on [c], in arrival order. An
+   oversized header is answered and the stream closed: with a bogus
+   length there is no way back to a frame boundary. *)
+let rec pop_frames ~max_frame c acc =
+  if not c.c_alive then List.rev acc
+  else
+    match Protocol.next_frame c.c_dec with
+    | Protocol.Frame payload -> pop_frames ~max_frame c (payload :: acc)
+    | Protocol.Need_more -> List.rev acc
+    | Protocol.Oversized n ->
+      Obs.Metrics.incr m_errors;
+      write_reply c (oversized_reply ~max_frame n);
+      close_conn c;
+      List.rev acc
+
+(* --- event loop ------------------------------------------------------ *)
+
+type pending = {
+  p_conn : conn;
+  p_req : Protocol.request;
+  p_enqueued : float;
+}
+
+let now () = Unix.gettimeofday ()
+
+let serve_conns ~(config : config) ?listen conns0 =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  if config.sc_jobs > 0 then Engine.Config.set_jobs config.sc_jobs;
+  if config.sc_fuel > 0 then Engine.Config.set_fuel config.sc_fuel;
+  (match config.sc_interp with
+   | Some e -> Sim.Interp.set_engine e
+   | None -> ());
+  if config.sc_cache then Memo.Store.enable ?dir:config.sc_cache_dir ();
+  let pool = Engine.Pool.create ?jobs:None () in
+  let conns = ref conns0 in
+  let served = ref 0 in
+  let stop = ref false in
+  Fun.protect
+    ~finally:(fun () ->
+      Engine.Pool.shutdown pool;
+      List.iter close_conn !conns)
+  @@ fun () ->
+  while not !stop do
+    let live = List.filter (fun c -> c.c_alive) !conns in
+    conns := live;
+    let watched =
+      (match listen with Some fd -> [ fd ] | None -> [])
+      @ List.map (fun c -> c.c_fd) live
+    in
+    if watched = [] then stop := true
+    else begin
+      let readable, _, _ =
+        try Unix.select watched [] [] (-1.0)
+        with Unix.Unix_error (EINTR, _, _) -> [], [], []
+      in
+      (match listen with
+       | Some lfd when List.mem lfd readable ->
+         (match Unix.accept lfd with
+          | fd, _ ->
+            conns :=
+              !conns
+              @ [ { c_fd = fd;
+                    c_dec = Protocol.decoder ~max_frame:config.sc_max_frame ();
+                    c_alive = true;
+                    c_keep_open = false;
+                    c_out = fd } ]
+          | exception Unix.Unix_error _ -> ())
+       | _ -> ());
+      List.iter
+        (fun c -> if List.mem c.c_fd readable then read_into c)
+        live;
+      (* Gather this wave: parse every complete frame, answer control
+         verbs and parse failures inline, queue compute requests. *)
+      let queue = ref [] in
+      List.iter
+        (fun c ->
+          List.iter
+            (fun payload ->
+              match Protocol.parse_request payload with
+              | Error (id, msg) ->
+                incr served;
+                Obs.Metrics.incr m_requests;
+                Obs.Metrics.incr m_errors;
+                write_reply c
+                  (Protocol.error_reply ~id ~cls:"bad-request" msg)
+              | Ok r when is_control r.Protocol.rq_verb ->
+                incr served;
+                Obs.Metrics.incr m_requests;
+                let reply, shutdown = control_reply ~served:!served r in
+                write_reply c reply;
+                if shutdown then stop := true
+              | Ok r ->
+                queue :=
+                  { p_conn = c; p_req = r; p_enqueued = now () } :: !queue)
+            (pop_frames ~max_frame:config.sc_max_frame c []))
+        !conns;
+      let queue = List.rev !queue in
+      if queue <> [] then begin
+        let n = List.length queue in
+        Obs.Metrics.gauge_set g_queue n;
+        Obs.Metrics.gauge_set g_inflight n;
+        let results =
+          Engine.Pool.run_map_result pool (fun p -> execute p.p_req) queue
+        in
+        List.iter2
+          (fun p result ->
+            incr served;
+            Obs.Metrics.incr m_requests;
+            let reply =
+              match result with
+              | Ok reply -> reply
+              | Error (e, _bt) ->
+                (* execute is total, so this is pool-level trouble;
+                   still degrade to a structured reply *)
+                Obs.Metrics.incr m_errors;
+                Protocol.error_reply ~id:p.p_req.Protocol.rq_id
+                  ~cls:(Cayman_fault.Classify.exn_class e)
+                  (message_of_exn e)
+            in
+            write_reply p.p_conn reply;
+            Obs.Metrics.observe h_latency
+              (int_of_float (1e6 *. (now () -. p.p_enqueued))))
+          queue results;
+        Obs.Metrics.gauge_set g_inflight 0;
+        Obs.Metrics.gauge_set g_queue 0
+      end
+    end
+  done
+
+(* --- entry points ---------------------------------------------------- *)
+
+(* Take ownership of [path]. A live daemon on the other end is a user
+   error (located diagnostic); a dead leftover socket is removed; a
+   non-socket is never touched. *)
+let claim_socket path =
+  if Sys.file_exists path then begin
+    let st = Unix.lstat path in
+    if st.Unix.st_kind <> Unix.S_SOCK then
+      Cayman_frontend.Diag.error ~phase:"serve"
+        "%s exists and is not a socket; refusing to replace it" path;
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let live =
+      try
+        Unix.connect probe (Unix.ADDR_UNIX path);
+        true
+      with Unix.Unix_error _ -> false
+    in
+    (try Unix.close probe with Unix.Unix_error _ -> ());
+    if live then
+      Cayman_frontend.Diag.error ~phase:"serve"
+        "socket %s is already being served; stop that daemon or pick \
+         another --socket"
+        path;
+    (try Unix.unlink path with Unix.Unix_error _ -> ())
+  end
+
+let serve_socket ?(config = default_config) path =
+  claim_socket path;
+  let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind lfd (Unix.ADDR_UNIX path);
+     Unix.listen lfd 64
+   with e ->
+     (try Unix.close lfd with Unix.Unix_error _ -> ());
+     (match e with
+      | Unix.Unix_error (err, _, _) ->
+        Cayman_frontend.Diag.error ~phase:"serve" "cannot bind %s: %s" path
+          (Unix.error_message err)
+      | e -> raise e));
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close lfd with Unix.Unix_error _ -> ());
+      (try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ()))
+  @@ fun () -> serve_conns ~config ~listen:lfd []
+
+let serve_fds ?(config = default_config) ~input ~output () =
+  let c =
+    { c_fd = input;
+      c_dec = Protocol.decoder ~max_frame:config.sc_max_frame ();
+      c_alive = true;
+      c_keep_open = true;
+      c_out = output }
+  in
+  serve_conns ~config [ c ]

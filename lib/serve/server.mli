@@ -1,0 +1,48 @@
+(** The Cayman compilation daemon: a persistent process multiplexing
+    many concurrent compile/profile/select/cosim requests over one
+    shared {!Engine.Pool} and one warm memoization layer.
+
+    Request waves are executed as batches through the pool — tasks are
+    isolated per slot, so a request that runs out of its per-request
+    fuel budget or trips a frontend diagnostic degrades to a structured
+    error reply (class from [Fault.Classify]) while its batch-mates
+    complete. Frame-level garbage is answered per frame; only an
+    oversized declared length or EOF closes a connection.
+
+    Verbs: [compile], [profile], [dump], [run]/[select], [cosim]
+    (batched compute) plus the inline control verbs [health], [stats],
+    [cache-stats], [cache-reset] and [shutdown].
+
+    Instrumentation: [serve.requests]/[serve.errors] counters,
+    [serve.queue_depth]/[serve.inflight] gauges, a [serve.latency_us]
+    wall histogram, and a [serve.<verb>] trace span per request. *)
+
+type config = {
+  sc_max_frame : int;  (** per-connection declared-length cap *)
+  sc_jobs : int;  (** [> 0] pins the pool width, else {!Engine.Config} *)
+  sc_fuel : int;  (** [> 0] pins the default fuel, else {!Engine.Config} *)
+  sc_interp : Cayman_sim.Interp.engine option;
+      (** pinned process-wide at startup when present *)
+  sc_cache_dir : string option;
+  sc_cache : bool;  (** arm the on-disk store at startup *)
+}
+
+(** No overrides: engine/fuel/jobs resolve ambiently, cache off. *)
+val default_config : config
+
+(** [serve_socket path] claims [path] (removing a stale leftover
+    socket; refusing — with a located diagnostic — a path another
+    daemon is live on, or one that is not a socket), then serves until
+    a [shutdown] request. The socket file is removed on the way out.
+    @raise Cayman_frontend.Diag.Error when the path cannot be claimed. *)
+val serve_socket : ?config:config -> string -> unit
+
+(** Serve a single already-connected peer over [input]/[output] (the
+    stdio mode). Returns on [shutdown] or EOF; the fds stay open —
+    they belong to the caller. *)
+val serve_fds :
+  ?config:config ->
+  input:Unix.file_descr ->
+  output:Unix.file_descr ->
+  unit ->
+  unit

@@ -179,12 +179,31 @@ let test_metrics_kinds () =
      Alcotest.(check int) "hist sum" 107 hs.Obs.Metrics.hs_sum;
      Alcotest.(check int) "hist min" 1 hs.Obs.Metrics.hs_min;
      Alcotest.(check int) "hist max" 100 hs.Obs.Metrics.hs_max
-   | Obs.Metrics.S_counter _ | Obs.Metrics.S_gauge _ ->
+   | Obs.Metrics.S_counter _ | Obs.Metrics.S_gauge _
+   | Obs.Metrics.S_wall_histogram _ ->
      Alcotest.fail "histogram snapshotted with the wrong kind");
-  (* gauges are excluded from the deterministic subset *)
+  (* wall histograms share the histogram shape but keep a distinct kind *)
+  let w = Obs.Metrics.wall_histogram "testobs.wall" in
+  List.iter (Obs.Metrics.observe w) [ 10; 20 ];
+  check "wall histogram kind mismatch raises" true
+    (try
+       ignore (Obs.Metrics.histogram "testobs.wall");
+       false
+     with Invalid_argument _ -> true);
+  (match List.assoc "testobs.wall" (Obs.Metrics.snapshot ()) with
+   | Obs.Metrics.S_wall_histogram hs ->
+     Alcotest.(check int) "wall count" 2 hs.Obs.Metrics.hs_count;
+     Alcotest.(check int) "wall sum" 30 hs.Obs.Metrics.hs_sum
+   | Obs.Metrics.S_counter _ | Obs.Metrics.S_gauge _
+   | Obs.Metrics.S_histogram _ ->
+     Alcotest.fail "wall histogram snapshotted with the wrong kind");
+  (* gauges and wall histograms are excluded from the deterministic
+     subset *)
   let det = Obs.Metrics.deterministic_snapshot () in
   check "gauge excluded from deterministic subset" true
     (not (List.mem_assoc "testobs.gauge" det));
+  check "wall histogram excluded from deterministic subset" true
+    (not (List.mem_assoc "testobs.wall" det));
   check "counter included in deterministic subset" true
     (List.mem_assoc "testobs.counter" det);
   (* snapshots are sorted by name *)
@@ -217,6 +236,60 @@ let test_metrics_phase_and_json () =
          entries);
     Obs.Metrics.reset ()
 
+(* ------------------------------------------------------------------ *)
+(* Benchdiff                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let parse_doc s =
+  match Obs.Json.parse s with
+  | Ok j -> j
+  | Error m -> Alcotest.fail ("test doc does not parse: " ^ m)
+
+let test_benchdiff_phases () =
+  let doc =
+    parse_doc
+      {|{"experiment": "e2e",
+         "results": [
+           {"benchmark": "atax", "mean_s": 0.5, "p95_us": 900, "n": 3},
+           {"benchmark": "bicg", "reference_mean_s": 0.25}],
+         "warm_mean_s": 0.125}|}
+  in
+  let ps = Obs.Benchdiff.phases doc in
+  check "three mean phases, sorted, gauges ignored" true
+    (List.map fst ps = [ "results.atax"; "results.bicg.reference"; "warm" ]);
+  check "values extracted" true (List.assoc "warm" ps = 0.125)
+
+let test_benchdiff_gating () =
+  let old_doc =
+    parse_doc {|{"a_mean_s": 1.0, "b_mean_s": 1.0, "gone_mean_s": 1.0}|}
+  in
+  let new_doc =
+    parse_doc {|{"a_mean_s": 1.1, "b_mean_s": 2.0, "new_mean_s": 1.0}|}
+  in
+  let r = Obs.Benchdiff.diff ~max_regress_pct:25.0 old_doc new_doc in
+  check "two phases compared" true (List.length r.Obs.Benchdiff.r_compared = 2);
+  (match r.Obs.Benchdiff.r_regressions with
+   | [ c ] ->
+     check "b regressed" true (c.Obs.Benchdiff.c_phase = "b");
+     check "pct computed" true (abs_float (c.Obs.Benchdiff.c_pct -. 100.0) < 1e-9)
+   | _ -> Alcotest.fail "expected exactly one regression");
+  check "not ok" false (Obs.Benchdiff.ok r);
+  check "phase drift reported" true
+    (r.Obs.Benchdiff.r_only_old = [ "gone" ]
+     && r.Obs.Benchdiff.r_only_new = [ "new" ]);
+  (* an improvement or within-threshold noise passes *)
+  let r2 = Obs.Benchdiff.diff ~max_regress_pct:25.0 new_doc new_doc in
+  check "identical trajectories pass" true (Obs.Benchdiff.ok r2);
+  (* rendering is deterministic and mentions the verdict *)
+  let s = Obs.Benchdiff.to_string ~max_regress_pct:25.0 r in
+  check "summary names the regression count" true
+    (String.length s > 0
+     && (let rec contains i =
+           i + 13 <= String.length s
+           && (String.sub s i 13 = "1 regression(" || contains (i + 1))
+         in
+         contains 0))
+
 let tests =
   [ Alcotest.test_case "span invariants" `Quick test_span_invariants;
     Alcotest.test_case "disabled tracing records nothing" `Quick
@@ -226,4 +299,8 @@ let tests =
     Alcotest.test_case "json rejects garbage" `Quick test_json_rejects_garbage;
     Alcotest.test_case "metric kinds and snapshots" `Quick test_metrics_kinds;
     Alcotest.test_case "metric phases and json export" `Quick
-      test_metrics_phase_and_json ]
+      test_metrics_phase_and_json;
+    Alcotest.test_case "benchdiff phase extraction" `Quick
+      test_benchdiff_phases;
+    Alcotest.test_case "benchdiff regression gating" `Quick
+      test_benchdiff_gating ]

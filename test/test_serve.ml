@@ -1,0 +1,344 @@
+(* Tests for lib/serve: wire-protocol framing and codecs, degradation
+   of malformed frames (garbage, oversized, truncated) to error replies
+   that never kill the event loop, per-request fuel isolation within a
+   batch, reply/CLI byte identity, concurrent-client correlation by
+   request id, and socket hygiene (stale socket recovery, double-serve
+   diagnostics). *)
+
+let check = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Framing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_frame_roundtrip () =
+  let payloads = [ ""; "x"; "{\"id\":1}"; String.make 70_000 'q' ] in
+  let wire = String.concat "" (List.map Serve.Protocol.frame_of_payload payloads) in
+  (* feed in awkward chunk sizes so every header/payload boundary is
+     crossed mid-chunk at least once *)
+  let d = Serve.Protocol.decoder () in
+  let got = ref [] in
+  let n = String.length wire in
+  let rec feed off =
+    if off < n then begin
+      let len = min 3 (n - off) in
+      Serve.Protocol.feed_string d (String.sub wire off len);
+      let rec pop () =
+        match Serve.Protocol.next_frame d with
+        | Serve.Protocol.Frame p -> got := p :: !got; pop ()
+        | Serve.Protocol.Need_more -> ()
+        | Serve.Protocol.Oversized _ -> Alcotest.fail "unexpected oversized"
+      in
+      pop ();
+      feed (off + len)
+    end
+  in
+  feed 0;
+  Alcotest.(check (list string)) "all frames recovered" payloads
+    (List.rev !got);
+  check_int "decoder drained" 0 (Serve.Protocol.buffered d)
+
+let test_frame_oversized () =
+  let d = Serve.Protocol.decoder ~max_frame:8 () in
+  Serve.Protocol.feed_string d (Serve.Protocol.frame_of_payload "123456789");
+  (match Serve.Protocol.next_frame d with
+   | Serve.Protocol.Oversized n -> check_int "declared length" 9 n
+   | _ -> Alcotest.fail "expected Oversized")
+
+let test_codec_roundtrip () =
+  let r =
+    Serve.Protocol.request ~bench:"atax" ~budget:0.5 ~mode:"coupled-only"
+      ~alpha:1.1 ~fuel:12345 ~max_invocations:3 ~id:7 "run"
+  in
+  (match
+     Serve.Protocol.parse_request
+       (Obs.Json.to_string (Serve.Protocol.request_to_json r))
+   with
+   | Ok r' -> check_bool "request roundtrip" true (r = r')
+   | Error _ -> Alcotest.fail "request did not parse");
+  let rep = Serve.Protocol.error_reply ~id:9 ~cls:"out-of-fuel" "msg" in
+  (match
+     Serve.Protocol.parse_reply
+       (Obs.Json.to_string (Serve.Protocol.reply_to_json rep))
+   with
+   | Ok rep' -> check_bool "reply roundtrip" true (rep = rep')
+   | Error m -> Alcotest.fail m);
+  (* missing verb still recovers the id for the error reply *)
+  (match Serve.Protocol.parse_request "{\"id\": 42}" with
+   | Error (42, _) -> ()
+   | _ -> Alcotest.fail "expected Error with id 42");
+  (match Serve.Protocol.parse_request "]junk[" with
+   | Error (0, _) -> ()
+   | _ -> Alcotest.fail "expected Error with id 0")
+
+(* ------------------------------------------------------------------ *)
+(* In-process daemon helpers                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Serve a socketpair from a separate domain; hand the caller a client
+   on the other end plus the raw fd (for byte-level poking). EOF from
+   the client (closing its end) or a shutdown request both end the
+   server. *)
+let with_fd_server_fd ?(config = Serve.Server.default_config) f =
+  let client_fd, server_fd =
+    Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0
+  in
+  let dom =
+    Domain.spawn (fun () ->
+        Serve.Server.serve_fds ~config ~input:server_fd ~output:server_fd ())
+  in
+  let cl = Serve.Client.of_fds ~input:client_fd ~output:client_fd () in
+  let finish () =
+    (try Unix.close client_fd with Unix.Unix_error _ -> ());
+    Domain.join dom;
+    (try Unix.close server_fd with Unix.Unix_error _ -> ())
+  in
+  (match f cl client_fd with
+   | () -> finish ()
+   | exception e -> finish (); raise e)
+
+let with_fd_server ?config f = with_fd_server_fd ?config (fun cl _ -> f cl)
+
+let write_raw fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off = if off < n then go (off + Unix.write fd b off (n - off)) in
+  go 0
+
+let temp_sock () =
+  let f = Filename.temp_file "cayman-serve-test" ".sock" in
+  Sys.remove f;
+  f
+
+let with_socket_server ?(config = Serve.Server.default_config) path f =
+  let dom = Domain.spawn (fun () -> Serve.Server.serve_socket ~config path) in
+  (* wait for the daemon to start listening *)
+  let rec wait n =
+    if n = 0 then Alcotest.fail "daemon did not come up";
+    match Serve.Client.connect path with
+    | cl -> cl
+    | exception Unix.Unix_error _ ->
+      Unix.sleepf 0.01;
+      wait (n - 1)
+  in
+  let cl = wait 500 in
+  (match f cl with
+   | () ->
+     Serve.Client.shutdown cl;
+     Serve.Client.close cl;
+     Domain.join dom
+   | exception e ->
+     (try Serve.Client.shutdown cl with _ -> ());
+     Serve.Client.close cl;
+     Domain.join dom;
+     raise e)
+
+(* ------------------------------------------------------------------ *)
+(* Request handling                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_health_and_bad_verb () =
+  with_fd_server @@ fun cl ->
+  let r = Serve.Client.rpc cl "health" in
+  check_bool "health ok" true r.Serve.Protocol.rp_ok;
+  check "health output" "ok\n" r.Serve.Protocol.rp_output;
+  let r = Serve.Client.rpc cl "frobnicate" in
+  check_bool "unknown verb fails" false r.Serve.Protocol.rp_ok;
+  check "unknown verb class" "bad-request" r.Serve.Protocol.rp_class
+
+let test_garbage_survival () =
+  with_fd_server_fd @@ fun cl fd ->
+  (* a well-framed payload that is not JSON: answered with an id-0
+     error reply, the connection stays usable *)
+  write_raw fd (Serve.Protocol.frame_of_payload "]this is not json[");
+  let r = Serve.Client.recv cl ~id:0 in
+  check_bool "garbage rejected" false r.Serve.Protocol.rp_ok;
+  check "garbage class" "bad-request" r.Serve.Protocol.rp_class;
+  (* valid JSON with an id but no verb: the error reply echoes the id *)
+  write_raw fd (Serve.Protocol.frame_of_payload "{\"id\": 77}");
+  let r = Serve.Client.recv cl ~id:77 in
+  check_bool "verbless rejected" false r.Serve.Protocol.rp_ok;
+  (* loop survived both: a real request still works *)
+  let r = Serve.Client.rpc cl ~bench:"atax" "profile" in
+  check_bool "post-garbage request ok" true r.Serve.Protocol.rp_ok
+
+let test_oversized_frame_closes () =
+  let config =
+    { Serve.Server.default_config with Serve.Server.sc_max_frame = 64 }
+  in
+  with_fd_server ~config @@ fun cl ->
+  Serve.Client.send cl
+    (Serve.Protocol.request ~bench:(String.make 100 'x') ~id:5 "profile");
+  let r = Serve.Client.recv_any cl in
+  check_bool "oversized rejected" false r.Serve.Protocol.rp_ok;
+  check "oversized class" "oversized-frame" r.Serve.Protocol.rp_class;
+  (* the stream is unsyncable: the daemon hangs up *)
+  (match Serve.Client.recv_any cl with
+   | _ -> Alcotest.fail "expected EOF after oversized frame"
+   | exception End_of_file -> ())
+
+let test_truncated_frame_quiet_close () =
+  let client_fd, server_fd =
+    Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0
+  in
+  let dom =
+    Domain.spawn (fun () ->
+        Serve.Server.serve_fds ~input:server_fd ~output:server_fd ())
+  in
+  (* half a frame, then EOF: the daemon must just close and return *)
+  let header = Serve.Protocol.frame_of_payload (String.make 100 'z') in
+  let partial = String.sub header 0 10 in
+  let b = Bytes.of_string partial in
+  ignore (Unix.write client_fd b 0 (Bytes.length b));
+  Unix.close client_fd;
+  Domain.join dom;
+  (try Unix.close server_fd with Unix.Unix_error _ -> ());
+  ()
+
+let expected_profile bench =
+  match Serve.Handlers.load ~bench () with
+  | Ok p -> Serve.Handlers.profile_text p
+  | Error m -> Alcotest.fail m
+
+let test_byte_identity_and_warm_cache () =
+  with_fd_server @@ fun cl ->
+  let direct =
+    match Serve.Handlers.load ~bench:"atax" () with
+    | Ok p ->
+      (match Serve.Handlers.run_text ~budget:0.25 ~mode:"full" ~alpha:1.08 p with
+       | Ok text -> text
+       | Error m -> Alcotest.fail m)
+    | Error m -> Alcotest.fail m
+  in
+  let r1 = Serve.Client.rpc cl ~bench:"atax" "run" in
+  check_bool "run ok" true r1.Serve.Protocol.rp_ok;
+  check "reply = one-shot output (cold)" direct r1.Serve.Protocol.rp_output;
+  let r2 = Serve.Client.rpc cl ~bench:"atax" "run" in
+  check "reply = one-shot output (warm)" direct r2.Serve.Protocol.rp_output
+
+let test_fuel_isolation () =
+  with_fd_server @@ fun cl ->
+  (* one starved request and one healthy one, sent back to back so they
+     can land in the same batch: the starved one must degrade to a
+     structured error reply without touching its batch-mate *)
+  Serve.Client.send cl (Serve.Protocol.request ~bench:"atax" ~fuel:10 ~id:1 "profile");
+  Serve.Client.send cl (Serve.Protocol.request ~bench:"atax" ~id:2 "profile");
+  let starved = Serve.Client.recv cl ~id:1 in
+  let healthy = Serve.Client.recv cl ~id:2 in
+  check_bool "starved errored" false starved.Serve.Protocol.rp_ok;
+  check "starved class" "out-of-fuel" starved.Serve.Protocol.rp_class;
+  check_bool "healthy ok" true healthy.Serve.Protocol.rp_ok;
+  check "healthy output intact" (expected_profile "atax")
+    healthy.Serve.Protocol.rp_output
+
+let test_concurrent_clients () =
+  let path = temp_sock () in
+  with_socket_server path @@ fun cl1 ->
+  let cl2 = Serve.Client.connect path in
+  Fun.protect ~finally:(fun () -> Serve.Client.close cl2) @@ fun () ->
+  let benches1 = [ "atax"; "bicg"; "mvt" ] in
+  let benches2 = [ "mvt"; "atax"; "trisolv" ] in
+  (* interleave sends across the two connections before reading any
+     reply, with ids chosen so correlation actually matters *)
+  List.iteri
+    (fun i b ->
+      Serve.Client.send cl1 (Serve.Protocol.request ~bench:b ~id:(10 + i) "profile");
+      Serve.Client.send cl2
+        (Serve.Protocol.request ~bench:(List.nth benches2 i) ~id:(20 + i)
+           "profile"))
+    benches1;
+  (* read in reverse id order on purpose *)
+  List.iteri
+    (fun i b ->
+      let r = Serve.Client.recv cl1 ~id:(12 - i) in
+      check_bool "cl1 ok" true r.Serve.Protocol.rp_ok;
+      check
+        (Printf.sprintf "cl1 reply %d" (12 - i))
+        (expected_profile (List.nth benches1 (2 - i)))
+        r.Serve.Protocol.rp_output;
+      ignore b)
+    benches1;
+  List.iteri
+    (fun i b ->
+      let r = Serve.Client.recv cl2 ~id:(20 + i) in
+      check (Printf.sprintf "cl2 reply %d" (20 + i)) (expected_profile b)
+        r.Serve.Protocol.rp_output)
+    benches2
+
+let test_stats_and_cache_verbs () =
+  with_fd_server @@ fun cl ->
+  let r = Serve.Client.rpc cl ~bench:"atax" "profile" in
+  check_bool "profile ok" true r.Serve.Protocol.rp_ok;
+  let s = Serve.Client.rpc cl "stats" in
+  check_bool "stats ok" true s.Serve.Protocol.rp_ok;
+  check_bool "stats mentions requests" true
+    (String.length s.Serve.Protocol.rp_output > 0
+     && String.sub s.Serve.Protocol.rp_output 0 9 = "requests:");
+  let c = Serve.Client.rpc cl "cache-stats" in
+  check_bool "cache-stats ok" true c.Serve.Protocol.rp_ok;
+  let rst = Serve.Client.rpc cl "cache-reset" in
+  check "cache-reset output" "in-memory caches reset\n"
+    rst.Serve.Protocol.rp_output;
+  (* still serves correctly after a reset *)
+  let r2 = Serve.Client.rpc cl ~bench:"atax" "profile" in
+  check "post-reset reply identical" r.Serve.Protocol.rp_output
+    r2.Serve.Protocol.rp_output
+
+(* ------------------------------------------------------------------ *)
+(* Socket hygiene                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_stale_socket_recovery () =
+  let path = temp_sock () in
+  (* fabricate a stale socket: bind and close without unlinking *)
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.close fd;
+  check_bool "stale socket file exists" true (Sys.file_exists path);
+  with_socket_server path (fun cl ->
+      let r = Serve.Client.rpc cl "health" in
+      check "health over recovered socket" "ok\n" r.Serve.Protocol.rp_output);
+  check_bool "socket removed on shutdown" false (Sys.file_exists path)
+
+let test_double_serve_diagnostic () =
+  let path = temp_sock () in
+  with_socket_server path @@ fun _cl ->
+  (match Serve.Server.serve_socket path with
+   | () -> Alcotest.fail "second daemon on the same socket must refuse"
+   | exception Cayman_frontend.Diag.Error d ->
+     check "diagnosed phase" "serve" d.Cayman_frontend.Diag.d_phase)
+
+let test_non_socket_refused () =
+  let path = Filename.temp_file "cayman-serve-test" ".notasock" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  (match Serve.Server.serve_socket path with
+   | () -> Alcotest.fail "must refuse to replace a non-socket"
+   | exception Cayman_frontend.Diag.Error d ->
+     check "diagnosed phase" "serve" d.Cayman_frontend.Diag.d_phase);
+  check_bool "file untouched" true (Sys.file_exists path)
+
+let tests =
+  [ Alcotest.test_case "frame roundtrip" `Quick test_frame_roundtrip;
+    Alcotest.test_case "frame oversized" `Quick test_frame_oversized;
+    Alcotest.test_case "codec roundtrip" `Quick test_codec_roundtrip;
+    Alcotest.test_case "health + bad verb" `Quick test_health_and_bad_verb;
+    Alcotest.test_case "garbage survival" `Quick test_garbage_survival;
+    Alcotest.test_case "oversized frame closes" `Quick
+      test_oversized_frame_closes;
+    Alcotest.test_case "truncated frame quiet close" `Quick
+      test_truncated_frame_quiet_close;
+    Alcotest.test_case "byte identity + warm cache" `Quick
+      test_byte_identity_and_warm_cache;
+    Alcotest.test_case "per-request fuel isolation" `Quick
+      test_fuel_isolation;
+    Alcotest.test_case "concurrent clients" `Quick test_concurrent_clients;
+    Alcotest.test_case "stats + cache verbs" `Quick
+      test_stats_and_cache_verbs;
+    Alcotest.test_case "stale socket recovery" `Quick
+      test_stale_socket_recovery;
+    Alcotest.test_case "double serve diagnostic" `Quick
+      test_double_serve_diagnostic;
+    Alcotest.test_case "non-socket refused" `Quick test_non_socket_refused ]
