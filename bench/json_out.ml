@@ -26,6 +26,19 @@ let write experiment (v : t) =
     Obs.Json.write_file path v;
     Printf.eprintf "wrote %s\n%!" path
 
+(* Writes <base>_<suffix> verbatim (no JSON encoding) — for non-JSON
+   artifacts riding along with a trajectory, like the final scraped
+   telemetry exposition of serve-load. *)
+let write_text suffix (text : string) =
+  match !base with
+  | None -> ()
+  | Some base ->
+    let path = Printf.sprintf "%s_%s" base suffix in
+    let oc = open_out path in
+    output_string oc text;
+    close_out oc;
+    Printf.eprintf "wrote %s\n%!" path
+
 (* Writes <base>.json itself, with no experiment suffix. Used by the
    trajectory experiments (profile, serve-load) whose committed
    artifact is a numbered BENCH_<n>.json at the repo root (ROADMAP

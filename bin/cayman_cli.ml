@@ -370,6 +370,13 @@ let stats_cmd bench file budget mode alpha jobs fuel interp cache_dir
          (fun (name, calls, total_s) ->
            Printf.printf "%-28s %10d %12.3f\n" name calls (1e3 *. total_s))
          (Obs.Trace.rollup ());
+       let span_drops = Obs.Trace.dropped () in
+       Printf.printf "spans dropped: %d\n" span_drops;
+       if span_drops > 0 then
+         Printf.printf
+           "warning: trace ring buffers overflowed; the rollup is missing \
+            the %d oldest spans\n"
+           span_drops;
        (* metrics: schedule-independent counters/histograms plus gauges,
           grouped by the phase prefix of the metric name *)
        print_newline ();
@@ -709,7 +716,7 @@ let serve_t =
 (* cayman bench-diff OLD.json NEW.json — regression gate over the mean
    wall times of two bench trajectory files (exit 2 on regression). *)
 
-let bench_diff_cmd old_path new_path max_pct =
+let bench_diff_cmd old_path new_path max_pct json =
   let read path =
     try
       let ic = open_in_bin path in
@@ -726,6 +733,12 @@ let bench_diff_cmd old_path new_path max_pct =
   | Ok old_doc, Ok new_doc ->
     let r = Obs.Benchdiff.diff ~max_regress_pct:max_pct old_doc new_doc in
     print_string (Obs.Benchdiff.to_string ~max_regress_pct:max_pct r);
+    (match json with
+     | None -> ()
+     | Some path ->
+       Obs.Json.write_file path
+         (Obs.Benchdiff.to_json ~max_regress_pct:max_pct r);
+       Printf.eprintf "wrote %s\n%!" path);
     if Obs.Benchdiff.ok r then 0 else 2
 
 let bench_diff_t =
@@ -746,6 +759,13 @@ let bench_diff_t =
     in
     Arg.(value & opt float 25.0 & info [ "max-regress-pct" ] ~doc ~docv:"PCT")
   in
+  let json_arg =
+    let doc =
+      "Also write the machine-readable report (per-phase old/new/delta, \
+       regression verdicts) to $(docv)."
+    in
+    Arg.(value & opt (some string) None & info [ "json" ] ~doc ~docv:"FILE")
+  in
   Cmd.v
     (Cmd.info "bench-diff"
        ~doc:
@@ -753,7 +773,246 @@ let bench_diff_t =
           files phase by phase and exit nonzero when any shared phase \
           regressed beyond the threshold (schedule-dependent gauges and \
           percentiles are ignored)")
-    Term.(const bench_diff_cmd $ old_arg $ new_arg $ max_pct_arg)
+    Term.(const bench_diff_cmd $ old_arg $ new_arg $ max_pct_arg $ json_arg)
+
+(* cayman top / cayman logs — observe a running daemon through the
+   telemetry and log-tail control verbs. Both are pure clients: they
+   never touch the pipeline, so pointing them at a busy daemon costs
+   one inline control reply per poll. *)
+
+let daemon_socket_arg =
+  let doc = "Unix-domain socket of the daemon to observe." in
+  Arg.(value & opt string "cayman.sock" & info [ "socket" ] ~doc ~docv:"PATH")
+
+let with_daemon socket f =
+  match Serve.Client.connect socket with
+  | exception Unix.Unix_error (e, _, _) ->
+    Printf.eprintf "cayman: cannot connect to %s: %s (is the daemon up?)\n"
+      socket (Unix.error_message e);
+    1
+  | client ->
+    Fun.protect ~finally:(fun () -> Serve.Client.close client) @@ fun () ->
+    (try f client
+     with End_of_file ->
+       prerr_endline "cayman: daemon hung up";
+       1)
+
+(* Exposition lookups against the family names the daemon renders
+   (Obs.Expose.of_snapshot over the serve metrics). *)
+let fam_float fams name suffix =
+  Option.bind (Obs.Expose.find fams name) (fun f ->
+      Option.map Obs.Expose.to_float (Obs.Expose.sample_value f suffix))
+
+let fam_quantile fams name q =
+  Option.bind (Obs.Expose.find fams name) (fun f ->
+      Option.map Obs.Expose.to_float
+        (Obs.Expose.sample_value f ~labels:[ "quantile", q ] ""))
+
+let render_top ~socket fams =
+  let b = Buffer.create 1024 in
+  let v name suffix = Option.value ~default:0.0 (fam_float fams name suffix) in
+  let q name quant =
+    Option.value ~default:0.0 (fam_quantile fams name quant)
+  in
+  let requests = v "cayman_serve_requests_total" "" in
+  let errors = v "cayman_serve_errors_total" "" in
+  let hits = v "cayman_serve_cache_hits_total" "" in
+  let misses = v "cayman_serve_cache_misses_total" "" in
+  let hit_pct =
+    if hits +. misses > 0.0 then 100.0 *. hits /. (hits +. misses) else 0.0
+  in
+  Printf.bprintf b "cayman top — %s\n" socket;
+  Printf.bprintf b
+    "totals   %.0f requests   %.0f errors   cache %.1f%% hit (%.0f/%.0f)\n"
+    requests errors hit_pct hits (hits +. misses);
+  Printf.bprintf b "now      queue %.0f   inflight %.0f\n"
+    (v "cayman_serve_queue_depth" "")
+    (v "cayman_serve_inflight" "");
+  let wname = "cayman_window_serve_latency_us" in
+  Printf.bprintf b
+    "window   %.1fs span   %.1f req/s   %.0f errors   latency p50 %.0fus \
+     p95 %.0fus p99 %.0fus\n"
+    (v "cayman_window_serve_requests" "_span_seconds")
+    (v "cayman_window_serve_requests" "_rate")
+    (v "cayman_window_serve_errors" "_count")
+    (q wname "0.5") (q wname "0.95") (q wname "0.99");
+  Buffer.add_char b '\n';
+  Printf.bprintf b "%-16s %10s %10s %10s %10s\n" "verb" "req/s" "count"
+    "p50 us" "p99 us";
+  let prefix = "cayman_window_serve_verb_" in
+  let req_suffix = "_requests" in
+  List.iter
+    (fun (f : Obs.Expose.family) ->
+      let n = f.Obs.Expose.f_name in
+      if
+        String.length n > String.length prefix + String.length req_suffix
+        && String.sub n 0 (String.length prefix) = prefix
+        && String.ends_with ~suffix:req_suffix n
+      then begin
+        let verb =
+          String.sub n (String.length prefix)
+            (String.length n - String.length prefix - String.length req_suffix)
+        in
+        let lat = prefix ^ verb ^ "_latency_us" in
+        let count = v n "_count" in
+        if count > 0.0 then
+          Printf.bprintf b "%-16s %10.1f %10.0f %10.0f %10.0f\n" verb
+            (v n "_rate") count (q lat "0.5") (q lat "0.99")
+      end)
+    fams;
+  Buffer.contents b
+
+let top_cmd socket interval iterations raw =
+  with_daemon socket @@ fun client ->
+  let tty = Unix.isatty Unix.stdout in
+  let looping = iterations <> 1 in
+  let rec loop i =
+    let reply = Serve.Client.telemetry client in
+    if not reply.Serve.Protocol.rp_ok then begin
+      Printf.eprintf "cayman: telemetry error: %s\n"
+        reply.Serve.Protocol.rp_output;
+      1
+    end
+    else
+      match Obs.Expose.parse reply.Serve.Protocol.rp_output with
+      | Error m ->
+        Printf.eprintf "cayman: telemetry reply did not parse: %s\n" m;
+        1
+      | Ok fams ->
+        if tty && looping && i > 0 then print_string "\027[2J\027[H";
+        if raw then print_string reply.Serve.Protocol.rp_output
+        else print_string (render_top ~socket fams);
+        flush stdout;
+        if iterations > 0 && i + 1 >= iterations then 0
+        else begin
+          Unix.sleepf interval;
+          loop (i + 1)
+        end
+  in
+  loop 0
+
+let format_log_event j =
+  let member = Obs.Json.member in
+  let t =
+    Option.value ~default:0.0 (Option.bind (member "t" j) Obs.Json.to_float)
+  in
+  let str name =
+    Option.value ~default:"?"
+      (Option.bind (member name j) Obs.Json.to_string_opt)
+  in
+  let fields =
+    match member "fields" j with Some (Obs.Json.Obj kvs) -> kvs | _ -> []
+  in
+  let field_str (k, v) =
+    let vs =
+      match v with
+      | Obs.Json.String s -> s
+      | Obs.Json.Int n -> string_of_int n
+      | Obs.Json.Float f -> Printf.sprintf "%g" f
+      | Obs.Json.Bool b -> string_of_bool b
+      | Obs.Json.Null | Obs.Json.List _ | Obs.Json.Obj _ -> "?"
+    in
+    Printf.sprintf "%s=%s" k vs
+  in
+  Printf.sprintf "%10.3f %-5s %s  %s" t
+    (String.uppercase_ascii (str "level"))
+    (str "msg")
+    (String.concat " " (List.map field_str fields))
+
+let logs_cmd socket tail follow interval =
+  with_daemon socket @@ fun client ->
+  (* Events are deduplicated by their monotone id, so --follow polling
+     reprints nothing; a burst larger than the polled tail between two
+     polls is lost (the daemon's ring forgets it too). *)
+  let last_id = ref 0 in
+  let print_batch reply =
+    if not reply.Serve.Protocol.rp_ok then begin
+      Printf.eprintf "cayman: log-tail error: %s\n"
+        reply.Serve.Protocol.rp_output;
+      false
+    end
+    else
+      match Obs.Json.parse reply.Serve.Protocol.rp_output with
+      | Error m ->
+        Printf.eprintf "cayman: log-tail reply did not parse: %s\n" m;
+        false
+      | Ok j ->
+        let events =
+          match Obs.Json.member "events" j with
+          | Some (Obs.Json.List l) -> l
+          | _ -> []
+        in
+        List.iter
+          (fun e ->
+            let id =
+              Option.value ~default:0
+                (Option.bind (Obs.Json.member "id" e) Obs.Json.to_int)
+            in
+            if id > !last_id then begin
+              last_id := id;
+              print_endline (format_log_event e)
+            end)
+          events;
+        flush stdout;
+        true
+  in
+  let rec loop first =
+    let reply = Serve.Client.log_tail client ~n:tail () in
+    if not (print_batch reply) then 1
+    else if follow then begin
+      Unix.sleepf interval;
+      loop false
+    end
+    else (ignore first; 0)
+  in
+  loop true
+
+let top_t =
+  let interval_arg =
+    let doc = "Seconds between telemetry polls." in
+    Arg.(value & opt float 2.0 & info [ "interval" ] ~doc ~docv:"SECONDS")
+  in
+  let iterations_arg =
+    let doc = "Stop after $(docv) frames (0 = run until interrupted)." in
+    Arg.(value & opt int 0 & info [ "iterations" ] ~doc ~docv:"N")
+  in
+  let raw_arg =
+    let doc =
+      "Print the raw Prometheus-style exposition text instead of the \
+       dashboard (still validated through the parser)."
+    in
+    Arg.(value & flag & info [ "raw" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live dashboard over a running daemon: per-verb request rates, \
+          rolling latency percentiles, queue depth and cache hit rate, \
+          polled from the telemetry control verb")
+    Term.(const top_cmd $ daemon_socket_arg $ interval_arg $ iterations_arg
+          $ raw_arg)
+
+let logs_t =
+  let tail_n_arg =
+    let doc = "Number of audit records to fetch per poll." in
+    Arg.(value & opt int 20 & info [ "tail" ] ~doc ~docv:"N")
+  in
+  let follow_arg =
+    let doc = "Keep polling and print only records not seen yet." in
+    Arg.(value & flag & info [ "follow" ] ~doc)
+  in
+  let interval_arg =
+    let doc = "Seconds between polls with --follow." in
+    Arg.(value & opt float 1.0 & info [ "interval" ] ~doc ~docv:"SECONDS")
+  in
+  Cmd.v
+    (Cmd.info "logs"
+       ~doc:
+         "Print a running daemon's structured audit log (one record per \
+          answered request: verb, outcome, fuel, wall time, cache \
+          hit/miss), optionally following it")
+    Term.(const logs_cmd $ daemon_socket_arg $ tail_n_arg $ follow_arg
+          $ interval_arg)
 
 let main =
   Cmd.group
@@ -761,6 +1020,6 @@ let main =
        ~doc:"Custom accelerator generation with control flow and data access \
              optimization")
     [ run_t; dump_t; emit_t; cosim_t; faults_t; graph_t; list_t; stats_t;
-      cache_t; serve_t; bench_diff_t ]
+      cache_t; serve_t; top_t; logs_t; bench_diff_t ]
 
 let () = exit (Cmd.eval' main)

@@ -133,3 +133,23 @@ let to_string ~max_regress_pct r =
        (List.length r.r_regressions)
        max_regress_pct);
   Buffer.contents b
+
+(* Machine-readable twin of [to_string], for --json FILE: CI uploads
+   the document instead of parsing the table. *)
+let to_json ~max_regress_pct r : Json.t =
+  let cmp c =
+    Json.Obj
+      [ "phase", Json.String c.c_phase;
+        "old_mean_seconds", Json.Float c.c_old;
+        "new_mean_seconds", Json.Float c.c_new;
+        "delta_pct", Json.Float c.c_pct;
+        "regression", Json.Bool (c.c_pct > max_regress_pct) ]
+  in
+  Json.Obj
+    [ "max_regress_pct", Json.Float max_regress_pct;
+      "ok", Json.Bool (ok r);
+      "compared", Json.List (List.map cmp r.r_compared);
+      "regressions", Json.List (List.map cmp r.r_regressions);
+      "only_old", Json.List (List.map (fun s -> Json.String s) r.r_only_old);
+      "only_new", Json.List (List.map (fun s -> Json.String s) r.r_only_new)
+    ]

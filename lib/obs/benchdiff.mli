@@ -33,3 +33,7 @@ val ok : result -> bool
 
 (** Deterministic table rendering plus a one-line summary. *)
 val to_string : max_regress_pct:float -> result -> string
+
+(** Machine-readable report: per-phase old/new/delta, the regression
+    subset, and the phases unique to either file. *)
+val to_json : max_regress_pct:float -> result -> Json.t

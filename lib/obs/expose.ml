@@ -1,0 +1,297 @@
+(* Prometheus-style text exposition of a metrics snapshot plus window
+   aggregates, with a parser for round-trip testing.
+
+   The renderer is canonical: families appear in a deterministic order
+   (snapshot metrics sorted by name, then window aggregates sorted by
+   name), every family gets exactly one "# TYPE" line, labels render in
+   insertion order, and values print through one canonical formatter.
+   Canonical output round-trips byte-exactly: render (parse (render x))
+   = render x, which is what the exposition tests and `cayman top`'s
+   scrape path rely on.
+
+   Mapping, all under the "cayman_" prefix with non-[a-zA-Z0-9_] name
+   characters replaced by '_':
+     counter            cayman_<name>_total           TYPE counter
+     gauge              cayman_<name>                 TYPE gauge
+     (wall_)histogram   cayman_<name>{_count,_sum,_min,_max}   TYPE summary
+     window aggregate   cayman_window_<name>          TYPE summary
+       wall kind:  {quantile="0.5"|"0.95"|"0.99"} samples plus
+                   _count, _sum, _min, _max, _rate, _span_seconds
+       counter kind: _count, _rate, _span_seconds *)
+
+type value =
+  | V_int of int
+  | V_float of float
+
+type sample = {
+  s_suffix : string;  (* appended to the family name *)
+  s_labels : (string * string) list;
+  s_value : value;
+}
+
+type family = {
+  f_name : string;
+  f_type : string;  (* "counter" | "gauge" | "summary" *)
+  f_samples : sample list;
+}
+
+type t = family list
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+      | _ -> '_')
+    name
+
+(* Canonical float text: finite, "%.1f" for small integral values,
+   otherwise the shortest of %.15g/%.16g/%.17g that parses back to the
+   same float. Deterministic per value, so render-parse-render is a
+   fixpoint. *)
+let float_str x =
+  let x = match Float.classify_float x with
+    | FP_nan | FP_infinite -> 0.0
+    | _ -> x
+  in
+  if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.1f" x
+  else begin
+    let s15 = Printf.sprintf "%.15g" x in
+    if float_of_string s15 = x then s15
+    else
+      let s16 = Printf.sprintf "%.16g" x in
+      if float_of_string s16 = x then s16 else Printf.sprintf "%.17g" x
+  end
+
+let value_str = function
+  | V_int n -> string_of_int n
+  | V_float x -> float_str x
+
+let escape_label v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+(* --- building an exposition from live data --- *)
+
+let q_sample q v = { s_suffix = ""; s_labels = [ "quantile", q ]; s_value = V_int v }
+let plain suffix v = { s_suffix = suffix; s_labels = []; s_value = v }
+
+let hist_family name (h : Metrics.hist_snap) =
+  { f_name = name;
+    f_type = "summary";
+    f_samples =
+      [ plain "_count" (V_int h.Metrics.hs_count);
+        plain "_sum" (V_int h.Metrics.hs_sum);
+        plain "_min" (V_int h.Metrics.hs_min);
+        plain "_max" (V_int h.Metrics.hs_max) ] }
+
+let of_metric (name, snap) =
+  let base = "cayman_" ^ sanitize name in
+  match snap with
+  | Metrics.S_counter v ->
+    { f_name = base ^ "_total"; f_type = "counter"; f_samples = [ plain "" (V_int v) ] }
+  | Metrics.S_gauge v ->
+    { f_name = base; f_type = "gauge"; f_samples = [ plain "" (V_int v) ] }
+  | Metrics.S_histogram h | Metrics.S_wall_histogram h -> hist_family base h
+
+let of_window_agg (a : Window.agg) =
+  let base = "cayman_window_" ^ sanitize a.Window.a_name in
+  let common =
+    [ plain "_count" (V_int a.Window.a_count);
+      plain "_rate" (V_float a.Window.a_rate);
+      plain "_span_seconds" (V_float a.Window.a_span_s) ]
+  in
+  let samples =
+    match a.Window.a_kind with
+    | Window.Counter -> common
+    | Window.Wall ->
+      [ q_sample "0.5" a.Window.a_p50;
+        q_sample "0.95" a.Window.a_p95;
+        q_sample "0.99" a.Window.a_p99;
+        plain "_sum" (V_int a.Window.a_sum);
+        plain "_min" (V_int a.Window.a_min);
+        plain "_max" (V_int a.Window.a_max) ]
+      @ common
+  in
+  { f_name = base; f_type = "summary"; f_samples = samples }
+
+let of_snapshot ?(windows = []) snapshot =
+  List.map of_metric snapshot
+  @ List.map of_window_agg
+      (List.sort
+         (fun a b -> String.compare a.Window.a_name b.Window.a_name)
+         windows)
+
+(* --- rendering --- *)
+
+let render (t : t) =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun f ->
+      Buffer.add_string buf
+        (Printf.sprintf "# TYPE %s %s\n" f.f_name f.f_type);
+      List.iter
+        (fun s ->
+          Buffer.add_string buf f.f_name;
+          Buffer.add_string buf s.s_suffix;
+          (match s.s_labels with
+          | [] -> ()
+          | labels ->
+            Buffer.add_char buf '{';
+            List.iteri
+              (fun i (k, v) ->
+                if i > 0 then Buffer.add_char buf ',';
+                Buffer.add_string buf k;
+                Buffer.add_string buf "=\"";
+                Buffer.add_string buf (escape_label v);
+                Buffer.add_char buf '"')
+              labels;
+            Buffer.add_char buf '}');
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf (value_str s.s_value);
+          Buffer.add_char buf '\n')
+        f.f_samples)
+    t;
+  Buffer.contents buf
+
+(* --- parsing --- *)
+
+exception Bad of string
+
+let is_name_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true
+  | _ -> false
+
+(* Longest [is_name_char] run starting at [i]. *)
+let scan_name line i =
+  let n = String.length line in
+  let j = ref i in
+  while !j < n && is_name_char line.[!j] do Stdlib.incr j done;
+  String.sub line i (!j - i), !j
+
+let scan_labels line i =
+  let n = String.length line in
+  let labels = ref [] in
+  let j = ref (i + 1) in
+  (* past '{' *)
+  let finished = ref false in
+  while not !finished do
+    if !j >= n then raise (Bad "unterminated label set");
+    if line.[!j] = '}' then begin
+      Stdlib.incr j;
+      finished := true
+    end
+    else begin
+      let k, j' = scan_name line !j in
+      if k = "" then raise (Bad "empty label name");
+      j := j';
+      if !j + 1 >= n || line.[!j] <> '=' || line.[!j + 1] <> '"' then
+        raise (Bad "expected =\" after label name");
+      j := !j + 2;
+      let buf = Buffer.create 16 in
+      let closed = ref false in
+      while not !closed do
+        if !j >= n then raise (Bad "unterminated label value");
+        (match line.[!j] with
+        | '"' -> closed := true
+        | '\\' ->
+          if !j + 1 >= n then raise (Bad "dangling escape");
+          Stdlib.incr j;
+          Buffer.add_char buf
+            (match line.[!j] with
+            | 'n' -> '\n'
+            | c -> c)
+        | c -> Buffer.add_char buf c);
+        Stdlib.incr j
+      done;
+      labels := (k, Buffer.contents buf) :: !labels;
+      if !j < n && line.[!j] = ',' then Stdlib.incr j
+    end
+  done;
+  List.rev !labels, !j
+
+let parse_value s =
+  match int_of_string_opt s with
+  | Some n -> V_int n
+  | None -> (
+    match float_of_string_opt s with
+    | Some x -> V_float x
+    | None -> raise (Bad (Printf.sprintf "bad sample value %S" s)))
+
+let parse text =
+  let finish fam acc =
+    match fam with
+    | None -> acc
+    | Some (name, typ, samples) ->
+      { f_name = name; f_type = typ; f_samples = List.rev samples } :: acc
+  in
+  try
+    let fam = ref None and acc = ref [] in
+    List.iteri
+      (fun lineno line ->
+        let fail msg =
+          raise (Bad (Printf.sprintf "line %d: %s" (lineno + 1) msg))
+        in
+        if line = "" then ()
+        else if String.length line >= 7 && String.sub line 0 7 = "# TYPE " then begin
+          match String.split_on_char ' ' (String.sub line 7 (String.length line - 7)) with
+          | [ name; typ ] when name <> "" && typ <> "" ->
+            acc := finish !fam !acc;
+            fam := Some (name, typ, [])
+          | _ -> fail "malformed # TYPE line"
+        end
+        else if line.[0] = '#' then ()
+        else begin
+          match !fam with
+          | None -> fail "sample before any # TYPE line"
+          | Some (fname, typ, samples) ->
+            let name, i = scan_name line 0 in
+            if name = "" then fail "expected sample name";
+            if not (String.length name >= String.length fname
+                    && String.sub name 0 (String.length fname) = fname) then
+              fail
+                (Printf.sprintf "sample %s outside family %s" name fname);
+            let suffix =
+              String.sub name (String.length fname)
+                (String.length name - String.length fname)
+            in
+            let labels, i =
+              if i < String.length line && line.[i] = '{' then
+                scan_labels line i
+              else [], i
+            in
+            if i >= String.length line || line.[i] <> ' ' then
+              fail "expected space before sample value";
+            let v = String.sub line (i + 1) (String.length line - i - 1) in
+            if v = "" || String.contains v ' ' then fail "malformed sample value";
+            let sample =
+              { s_suffix = suffix; s_labels = labels; s_value = parse_value v }
+            in
+            fam := Some (fname, typ, sample :: samples)
+        end)
+      (String.split_on_char '\n' text);
+    Ok (List.rev (finish !fam !acc))
+  with Bad msg -> Error msg
+
+(* --- lookup helpers for consumers (cayman top, tests) --- *)
+
+let find t name = List.find_opt (fun f -> f.f_name = name) t
+
+let sample_value f ?(labels = []) suffix =
+  List.find_map
+    (fun s ->
+      if s.s_suffix = suffix && s.s_labels = labels then Some s.s_value
+      else None)
+    f.f_samples
+
+let to_float = function
+  | V_int n -> float_of_int n
+  | V_float x -> x

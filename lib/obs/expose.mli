@@ -1,0 +1,52 @@
+(** Prometheus-style text exposition with a round-trip parser.
+
+    {!of_snapshot} maps a {!Metrics.snapshot} plus optional
+    {!Window.aggregate} results to metric families under the
+    ["cayman_"] prefix; {!render} emits canonical exposition text and
+    {!parse} reads it back, with the guarantee that canonical output
+    round-trips byte-exactly: [render (parse (render t)) = render t]. *)
+
+type value =
+  | V_int of int
+  | V_float of float
+
+type sample = {
+  s_suffix : string;  (** appended to the family name *)
+  s_labels : (string * string) list;
+  s_value : value;
+}
+
+type family = {
+  f_name : string;
+  f_type : string;  (** ["counter"], ["gauge"] or ["summary"] *)
+  f_samples : sample list;
+}
+
+type t = family list
+
+(** Replace every character outside [[a-zA-Z0-9_]] with ['_']. *)
+val sanitize : string -> string
+
+(** Map metrics (and window aggregates, sorted by name after the
+    metrics) to families: counters get ["_total"], histograms become
+    summaries with [_count]/[_sum]/[_min]/[_max], wall-kind window
+    aggregates additionally carry [quantile] samples and
+    [_rate]/[_span_seconds]. *)
+val of_snapshot :
+  ?windows:Window.agg list -> (string * Metrics.snap) list -> t
+
+(** Canonical text exposition: one [# TYPE] line per family followed by
+    its samples. *)
+val render : t -> string
+
+(** Parse exposition text produced by {!render} (lenient about blank
+    and non-TYPE comment lines). *)
+val parse : string -> (t, string) result
+
+val find : t -> string -> family option
+
+(** Value of the sample with this suffix and label set, if present. *)
+val sample_value :
+  family -> ?labels:(string * string) list -> string -> value option
+
+val to_float : value -> float

@@ -1,0 +1,218 @@
+(* Structured, leveled event log with per-domain ring buffers.
+
+   The design mirrors [Trace]: each domain appends completed events to
+   its own fixed-capacity ring reached through [Domain.DLS] (no locks
+   on the recording path beyond one registry insertion per domain), and
+   event ids come from a global monotone counter, so reads merge every
+   ring into one canonical id-sorted sequence no matter which domain
+   logged what. Rings overwrite the oldest event once full — the log is
+   a bounded in-memory tail, never an unbounded queue — and what was
+   lost is counted in [dropped].
+
+   Field keys are interned once (typically at module init:
+   [let k_verb = Obs.Log.key "verb"]) so a hot-path event append is a
+   list of small tuples, not repeated string hashing; names are
+   recovered at render time.
+
+   Events carry wall-clock timestamps and whatever each domain happened
+   to execute, so the log is schedule-dependent by nature — like gauges
+   and wall histograms, it is an observability surface, never an input
+   to the determinism contract (DESIGN.md section 13). *)
+
+type level =
+  | Debug
+  | Info
+  | Warn
+  | Error
+
+let level_rank = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+let level_name = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" | "warning" -> Some Warn
+  | "error" -> Some Error
+  | _ -> None
+
+(* --- interned field keys --- *)
+
+type key = int
+
+let key_table : (string, int) Hashtbl.t = Hashtbl.create 32
+let key_names : string array ref = ref (Array.make 32 "")
+let n_keys = ref 0
+let key_mutex = Mutex.create ()
+
+let key name =
+  Mutex.lock key_mutex;
+  let id =
+    match Hashtbl.find_opt key_table name with
+    | Some id -> id
+    | None ->
+      let id = !n_keys in
+      if id >= Array.length !key_names then begin
+        let bigger = Array.make (2 * Array.length !key_names) "" in
+        Array.blit !key_names 0 bigger 0 (Array.length !key_names);
+        key_names := bigger
+      end;
+      !key_names.(id) <- name;
+      Hashtbl.add key_table name id;
+      incr n_keys;
+      id
+  in
+  Mutex.unlock key_mutex;
+  id
+
+let key_name id =
+  if id < 0 || id >= !n_keys then
+    invalid_arg (Printf.sprintf "Obs.Log.key_name: unknown key %d" id)
+  else !key_names.(id)
+
+(* --- events --- *)
+
+type value =
+  | I of int
+  | F of float
+  | S of string
+  | B of bool
+
+type event = {
+  ev_id : int;  (* unique, monotone in append order across domains *)
+  ev_t : float;  (* seconds since the log epoch *)
+  ev_level : level;
+  ev_msg : string;
+  ev_fields : (key * value) list;
+  ev_dom : int;  (* appending domain id *)
+}
+
+(* Per-domain ring; the bounded in-memory tail. *)
+let capacity = 1 lsl 12
+
+type buffer = {
+  buf_dom : int;
+  ring : event option array;
+  mutable n_written : int;  (* total ever appended; slot = n mod capacity *)
+}
+
+let epoch = Atomic.make (Unix.gettimeofday ())
+let next_id = Atomic.make 1
+
+(* Events strictly below this rank are skipped on one atomic load. *)
+let min_rank = Atomic.make (level_rank Info)
+
+let registry : buffer list ref = ref []
+let registry_mutex = Mutex.create ()
+
+let buf_key : buffer Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let b =
+        { buf_dom = (Domain.self () :> int);
+          ring = Array.make capacity None;
+          n_written = 0 }
+      in
+      Mutex.lock registry_mutex;
+      registry := b :: !registry;
+      Mutex.unlock registry_mutex;
+      b)
+
+let set_level l = Atomic.set min_rank (level_rank l)
+let enabled l = level_rank l >= Atomic.get min_rank
+
+let log l msg fields =
+  if enabled l then begin
+    let b = Domain.DLS.get buf_key in
+    let ev =
+      { ev_id = Atomic.fetch_and_add next_id 1;
+        ev_t = Unix.gettimeofday () -. Atomic.get epoch;
+        ev_level = l;
+        ev_msg = msg;
+        ev_fields = fields;
+        ev_dom = b.buf_dom }
+    in
+    b.ring.(b.n_written mod capacity) <- Some ev;
+    b.n_written <- b.n_written + 1
+  end
+
+let debug msg fields = log Debug msg fields
+let info msg fields = log Info msg fields
+let warn msg fields = log Warn msg fields
+let error msg fields = log Error msg fields
+
+(* Merged snapshot in canonical id order. Like [Trace.spans], the
+   caller owns quiescence; events appended concurrently with the read
+   may or may not be included. *)
+let events () =
+  Mutex.lock registry_mutex;
+  let bufs = !registry in
+  Mutex.unlock registry_mutex;
+  let all =
+    List.concat_map
+      (fun b ->
+        let n = min b.n_written capacity in
+        let acc = ref [] in
+        for i = 0 to n - 1 do
+          match b.ring.(i) with
+          | Some e -> acc := e :: !acc
+          | None -> ()
+        done;
+        !acc)
+      bufs
+  in
+  List.sort (fun a b -> compare a.ev_id b.ev_id) all
+
+let tail n =
+  if n <= 0 then []
+  else
+    let all = events () in
+    let drop = List.length all - n in
+    if drop <= 0 then all else List.filteri (fun i _ -> i >= drop) all
+
+let dropped () =
+  Mutex.lock registry_mutex;
+  let bufs = !registry in
+  Mutex.unlock registry_mutex;
+  List.fold_left (fun acc b -> acc + max 0 (b.n_written - capacity)) 0 bufs
+
+let reset () =
+  Mutex.lock registry_mutex;
+  let bufs = !registry in
+  Mutex.unlock registry_mutex;
+  List.iter
+    (fun b ->
+      Array.fill b.ring 0 capacity None;
+      b.n_written <- 0)
+    bufs;
+  Atomic.set next_id 1;
+  Atomic.set epoch (Unix.gettimeofday ())
+
+(* --- JSON export --- *)
+
+let value_to_json = function
+  | I n -> Json.Int n
+  | F x -> Json.Float x
+  | S s -> Json.String s
+  | B b -> Json.Bool b
+
+let event_to_json (e : event) : Json.t =
+  Json.Obj
+    [ "id", Json.Int e.ev_id;
+      "t", Json.Float e.ev_t;
+      "level", Json.String (level_name e.ev_level);
+      "msg", Json.String e.ev_msg;
+      ( "fields",
+        Json.Obj
+          (List.map (fun (k, v) -> key_name k, value_to_json v) e.ev_fields)
+      );
+      "dom", Json.Int e.ev_dom ]
+
+let to_json ?tail:(n = max_int) () : Json.t =
+  Json.Obj
+    [ "events", Json.List (List.map event_to_json (tail n));
+      "dropped", Json.Int (dropped ()) ]

@@ -125,6 +125,22 @@ let observe h v =
   cas_min h.h_min v;
   cas_max h.h_max v
 
+(* Cumulative bucket counts, for delta-based consumers (Window keeps
+   rolling aggregates by differencing successive snapshots). *)
+let histogram_buckets h = Array.map Atomic.get h.h_buckets
+
+let hist_sum h = Atomic.get h.h_sum
+
+(* Value range of bucket [i]: [0,0] for the zero bucket, else
+   [2^(i-1), 2^i - 1], saturating at max_int near the top (native ints
+   are 63-bit, so buckets past 62 are unreachable anyway). *)
+let bucket_bounds i =
+  if i <= 0 then 0, 0
+  else
+    let lo = if i - 1 >= 62 then max_int else 1 lsl (i - 1) in
+    let hi = if i >= 62 then max_int else (1 lsl i) - 1 in
+    lo, hi
+
 type hist_snap = {
   hs_count : int;
   hs_sum : int;

@@ -43,6 +43,22 @@ val gauge_set : gauge -> int -> unit
 (** Record one value: log2 bucket count, running sum, min and max. *)
 val observe : histogram -> int -> unit
 
+(** Number of log2 buckets per histogram. *)
+val n_buckets : int
+
+(** Snapshot of the cumulative per-bucket counts (length {!n_buckets}).
+    Bucket [i >= 1] counts values in [2^(i-1) .. 2^i - 1]; bucket [0]
+    counts values [<= 0]. {!Window} differences successive snapshots
+    into rolling-window aggregates. *)
+val histogram_buckets : histogram -> int array
+
+(** Cumulative sum of every value observed so far. *)
+val hist_sum : histogram -> int
+
+(** [(lower, upper)] value bounds of a bucket index, saturating at
+    [max_int] near the top. *)
+val bucket_bounds : int -> int * int
+
 type hist_snap = {
   hs_count : int;
   hs_sum : int;

@@ -1,0 +1,259 @@
+(* Rolling-window aggregation over counters and wall histograms.
+
+   A window tracks a fixed set of metrics by name. Each explicit
+   [tick ~dt_s] snapshots their cumulative values, differences against
+   the previous tick, and stores the per-tick deltas in a slot ring of
+   [slots] entries; [aggregate] sums the most recent slots back into
+   rates and bucket-approximated percentiles. Driving time explicitly
+   keeps tests deterministic — the daemon ticks from its select loop,
+   tests tick by hand with synthetic dt.
+
+   Windows summarize wall-clock facts (rates, latency quantiles) and
+   are schedule-exempt like gauges: they never appear in
+   [Metrics.deterministic_snapshot] and carry no determinism promise.
+
+   Percentiles are approximated from log2-bucket deltas: quantile q is
+   reported as the upper bound of the bucket containing the ceil(q*n)-th
+   smallest observation, so p50/p95/p99 are exact to within a factor of
+   two — plenty for a dashboard, and cheap to maintain lock-free. *)
+
+type kind =
+  | Counter
+  | Wall
+
+type source = {
+  src_name : string;
+  src_kind : kind;
+  src_counter : Metrics.counter option;
+  src_hist : Metrics.histogram option;
+  (* previous cumulative readings, differenced at each tick *)
+  mutable last_value : int;
+  mutable last_sum : int;
+  mutable last_buckets : int array;
+}
+
+type delta = {
+  d_count : int;
+  d_sum : int;
+  d_buckets : int array;  (* [||] for counters *)
+}
+
+type slot = {
+  sl_dt : float;
+  sl_deltas : delta array;  (* one per source, in [sources] order *)
+}
+
+type t = {
+  w_slots : int;
+  mutable sources : source array;
+  (* staged in reverse until the first tick seals the set *)
+  mutable staged : source list;
+  mutable sealed : bool;
+  mutable ring : slot option array;
+  mutable n_ticks : int;
+}
+
+let create ?(slots = 60) () =
+  if slots <= 0 then invalid_arg "Obs.Window.create: slots must be positive";
+  { w_slots = slots;
+    sources = [||];
+    staged = [];
+    sealed = false;
+    ring = Array.make slots None;
+    n_ticks = 0 }
+
+let track w src =
+  if w.sealed then
+    invalid_arg
+      (Printf.sprintf
+         "Obs.Window: cannot track %s after the first tick sealed the window"
+         src.src_name);
+  if List.exists (fun s -> s.src_name = src.src_name) w.staged then
+    invalid_arg
+      (Printf.sprintf "Obs.Window: %s already tracked" src.src_name);
+  w.staged <- src :: w.staged
+
+let track_counter w name =
+  let c = Metrics.counter name in
+  track w
+    { src_name = name;
+      src_kind = Counter;
+      src_counter = Some c;
+      src_hist = None;
+      last_value = 0;
+      last_sum = 0;
+      last_buckets = [||] }
+
+let track_wall w name =
+  let h = Metrics.wall_histogram name in
+  track w
+    { src_name = name;
+      src_kind = Wall;
+      src_counter = None;
+      src_hist = Some h;
+      last_value = 0;
+      last_sum = 0;
+      last_buckets = Array.make Metrics.n_buckets 0 }
+
+let seal w =
+  if not w.sealed then begin
+    let srcs = Array.of_list (List.rev w.staged) in
+    Array.sort (fun a b -> String.compare a.src_name b.src_name) srcs;
+    w.sources <- srcs;
+    w.staged <- [];
+    w.sealed <- true;
+    (* Baseline read so the first tick's deltas cover only the window's
+       lifetime, not the whole process history. *)
+    Array.iter
+      (fun s ->
+        match s.src_kind, s.src_counter, s.src_hist with
+        | Counter, Some c, _ -> s.last_value <- Metrics.value c
+        | Wall, _, Some h ->
+          s.last_buckets <- Metrics.histogram_buckets h;
+          let count = Array.fold_left ( + ) 0 s.last_buckets in
+          s.last_value <- count;
+          s.last_sum <- Metrics.hist_sum h
+        | _ -> assert false)
+      w.sources
+  end
+
+let tick w ~dt_s =
+  seal w;
+  let deltas =
+    Array.map
+      (fun s ->
+        match s.src_kind, s.src_counter, s.src_hist with
+        | Counter, Some c, _ ->
+          let v = Metrics.value c in
+          let d = { d_count = v - s.last_value; d_sum = 0; d_buckets = [||] } in
+          s.last_value <- v;
+          d
+        | Wall, _, Some h ->
+          let buckets = Metrics.histogram_buckets h in
+          let count = Array.fold_left ( + ) 0 buckets in
+          let sum = Metrics.hist_sum h in
+          let d_buckets =
+            Array.init Metrics.n_buckets (fun i ->
+                buckets.(i) - s.last_buckets.(i))
+          in
+          let d =
+            { d_count = count - s.last_value;
+              d_sum = sum - s.last_sum;
+              d_buckets }
+          in
+          s.last_value <- count;
+          s.last_sum <- sum;
+          s.last_buckets <- buckets;
+          d
+        | _ -> assert false)
+      w.sources
+  in
+  w.ring.(w.n_ticks mod w.w_slots) <- Some { sl_dt = dt_s; sl_deltas = deltas };
+  w.n_ticks <- w.n_ticks + 1
+
+type agg = {
+  a_name : string;
+  a_kind : kind;
+  a_slots : int;
+  a_span_s : float;
+  a_count : int;
+  a_rate : float;  (* events per second over the span; 0 on empty span *)
+  a_sum : int;
+  a_p50 : int;
+  a_p95 : int;
+  a_p99 : int;
+  a_min : int;
+  a_max : int;
+}
+
+(* Upper bound of the bucket holding the ceil(q*total)-th observation. *)
+let percentile buckets total q =
+  if total = 0 then 0
+  else begin
+    let rank =
+      max 1 (int_of_float (ceil (q *. float_of_int total)))
+    in
+    let seen = ref 0 in
+    let result = ref 0 in
+    (try
+       Array.iteri
+         (fun i n ->
+           seen := !seen + n;
+           if !seen >= rank then begin
+             result := snd (Metrics.bucket_bounds i);
+             raise Exit
+           end)
+         buckets
+     with Exit -> ());
+    !result
+  end
+
+let aggregate ?last w =
+  seal w;
+  let avail = min w.n_ticks w.w_slots in
+  let n =
+    match last with
+    | None -> avail
+    | Some k -> max 0 (min k avail)
+  in
+  let span = ref 0.0 in
+  let counts = Array.map (fun _ -> 0) w.sources in
+  let sums = Array.map (fun _ -> 0) w.sources in
+  let buckets =
+    Array.map (fun _ -> Array.make Metrics.n_buckets 0) w.sources
+  in
+  for back = 0 to n - 1 do
+    match w.ring.((w.n_ticks - 1 - back) mod w.w_slots) with
+    | None -> ()
+    | Some sl ->
+      span := !span +. sl.sl_dt;
+      Array.iteri
+        (fun i d ->
+          counts.(i) <- counts.(i) + d.d_count;
+          sums.(i) <- sums.(i) + d.d_sum;
+          Array.iteri
+            (fun j c -> buckets.(i).(j) <- buckets.(i).(j) + c)
+            d.d_buckets)
+        sl.sl_deltas
+  done;
+  Array.to_list
+    (Array.mapi
+       (fun i s ->
+         let count = counts.(i) in
+         let rate =
+           if !span > 0.0 then float_of_int count /. !span else 0.0
+         in
+         let p50, p95, p99, amin, amax =
+           match s.src_kind with
+           | Counter -> 0, 0, 0, 0, 0
+           | Wall ->
+             let b = buckets.(i) in
+             let lowest = ref (-1) and highest = ref (-1) in
+             Array.iteri
+               (fun j c ->
+                 if c > 0 then begin
+                   if !lowest < 0 then lowest := j;
+                   highest := j
+                 end)
+               b;
+             let amin = if !lowest < 0 then 0 else fst (Metrics.bucket_bounds !lowest) in
+             let amax = if !highest < 0 then 0 else snd (Metrics.bucket_bounds !highest) in
+             ( percentile b count 0.50,
+               percentile b count 0.95,
+               percentile b count 0.99,
+               amin,
+               amax )
+         in
+         { a_name = s.src_name;
+           a_kind = s.src_kind;
+           a_slots = n;
+           a_span_s = !span;
+           a_count = count;
+           a_rate = rate;
+           a_sum = sums.(i);
+           a_p50 = p50;
+           a_p95 = p95;
+           a_p99 = p99;
+           a_min = amin;
+           a_max = amax })
+       w.sources)

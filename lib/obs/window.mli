@@ -1,0 +1,54 @@
+(** Rolling-window aggregation over counters and wall histograms.
+
+    A window tracks a fixed set of metrics by name. Each explicit
+    {!tick} differences their cumulative values against the previous
+    tick and stores the deltas in a slot ring; {!aggregate} sums the
+    most recent slots into per-window rates and bucket-approximated
+    p50/p95/p99/min/max. Time is driven explicitly — the daemon ticks
+    from its select loop, tests tick by hand — so window tests stay
+    deterministic.
+
+    Windows summarize wall-clock facts and are schedule-exempt like
+    gauges: they are an observability surface, outside the determinism
+    contract. *)
+
+type t
+
+type kind =
+  | Counter
+  | Wall
+
+(** [create ~slots ()] keeps the last [slots] ticks (default 60).
+    @raise Invalid_argument if [slots <= 0]. *)
+val create : ?slots:int -> unit -> t
+
+(** Track a counter / wall histogram by metric name (interned through
+    {!Metrics}, creating it if needed). Must be called before the first
+    tick — the tick seals the tracked set.
+    @raise Invalid_argument after the first tick, or on duplicates. *)
+val track_counter : t -> string -> unit
+
+val track_wall : t -> string -> unit
+
+(** Close the current slot: record each tracked metric's delta since
+    the previous tick, attributed to a slot spanning [dt_s] seconds. *)
+val tick : t -> dt_s:float -> unit
+
+type agg = {
+  a_name : string;
+  a_kind : kind;
+  a_slots : int;  (** slots actually aggregated *)
+  a_span_s : float;  (** wall time those slots cover *)
+  a_count : int;  (** events in the window *)
+  a_rate : float;  (** events per second over the span; 0 on empty span *)
+  a_sum : int;  (** summed observed values (0 for counters) *)
+  a_p50 : int;  (** bucket-upper-bound quantiles; 0 for counters/empty *)
+  a_p95 : int;
+  a_p99 : int;
+  a_min : int;  (** bucket lower bound of the smallest observation *)
+  a_max : int;  (** bucket upper bound of the largest observation *)
+}
+
+(** Aggregate the most recent [last] slots (default: all retained),
+    one entry per tracked metric, sorted by name. *)
+val aggregate : ?last:int -> t -> agg list

@@ -106,11 +106,25 @@ let request t (r : Protocol.request) =
   send t r;
   recv t ~id:r.Protocol.rq_id
 
-let rpc t ?bench ?source ?budget ?mode ?alpha ?fuel ?max_invocations verb =
+let rpc t ?bench ?source ?budget ?mode ?alpha ?fuel ?max_invocations ?n verb =
   let r =
     Protocol.request ?bench ?source ?budget ?mode ?alpha ?fuel
-      ?max_invocations ~id:(fresh_id t) verb
+      ?max_invocations ?n ~id:(fresh_id t) verb
   in
   request t r
 
 let shutdown t = ignore (rpc t "shutdown")
+
+let telemetry t = rpc t "telemetry"
+let log_tail t ?n () = rpc t ?n "log-tail"
+
+(* The streaming path: one request, many replies under the same id.
+   The first frame comes back immediately; the daemon pushes another
+   every window tick, and [watch_next] pulls them in arrival order. *)
+let watch t =
+  let r = Protocol.request ~id:(fresh_id t) "watch" in
+  send t r;
+  let first = recv t ~id:r.Protocol.rq_id in
+  r.Protocol.rq_id, first
+
+let watch_next t ~id = recv t ~id

@@ -19,6 +19,24 @@ module Sim = Cayman_sim
 module Hls = Cayman_hls
 module Suite = Cayman_suites.Suite
 
+(* Side channel reporting the dynamic instruction count ("fuel spent")
+   of the last profile run on this domain. The daemon's audit log wants
+   fuel per request, but handler return values are the exact reply
+   texts (the CLI byte-identity contract) and the memoized reply value
+   must stay a plain string — so handlers note the count out-of-band
+   and the executor collects it after dispatch. Domain-local because
+   batch slots run on separate pool domains. A request answered from
+   the memo layer notes nothing and honestly reports 0: no fuel was
+   spent answering it. *)
+let instrs_key : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+let note_instrs n = Domain.DLS.get instrs_key := n
+
+let take_instrs () =
+  let r = Domain.DLS.get instrs_key in
+  let v = !r in
+  r := 0;
+  v
+
 (* Program loading for bench-name / inline-source requests. (The CLI's
    --file path stays in the CLI: it is file IO, not pipeline work.) *)
 let load ?bench ?source () =
@@ -66,6 +84,7 @@ let run_text ?fuel ~budget ~mode ~alpha program =
     let b = Buffer.create 1024 in
     let fmt = formatter_of b in
     let a = Core.Cayman.analyze ?fuel program in
+    note_instrs (Sim.Profile.total_instrs a.Core.Cayman.profile);
     Printf.bprintf b "profiled: %d host cycles (%.6f s), %d dynamic instrs\n"
       (Sim.Profile.total_cycles a.Core.Cayman.profile)
       a.Core.Cayman.t_all
@@ -117,6 +136,7 @@ let compile_text program =
 let profile_text ?fuel program =
   let b = Buffer.create 256 in
   let a = Core.Cayman.analyze ?fuel program in
+  note_instrs (Sim.Profile.total_instrs a.Core.Cayman.profile);
   Printf.bprintf b "profiled: %d host cycles (%.6f s), %d dynamic instrs\n"
     (Sim.Profile.total_cycles a.Core.Cayman.profile)
     a.Core.Cayman.t_all
@@ -129,6 +149,7 @@ let dump_text ?fuel program =
   Format.fprintf fmt "%a@." Ir.Program.pp program;
   Format.pp_print_flush fmt ();
   let a = Core.Cayman.analyze ?fuel program in
+  note_instrs (Sim.Profile.total_instrs a.Core.Cayman.profile);
   Format.fprintf fmt "%a@." An.Wpst.pp a.Core.Cayman.wpst;
   Format.pp_print_flush fmt ();
   Printf.bprintf b "total: %d cycles, %.6f s\n"
@@ -148,6 +169,7 @@ let cosim_text ?fuel ?max_invocations ~budget ~mode program =
   | Ok mode ->
     let b = Buffer.create 1024 in
     let a = Core.Cayman.analyze ?fuel program in
+    note_instrs (Sim.Profile.total_instrs a.Core.Cayman.profile);
     (* the golden program for co-simulation is the analyzed (if-
        converted) one the kernel regions belong to *)
     let program = a.Core.Cayman.program in

@@ -11,6 +11,14 @@
     [Cayman_frontend.Diag.Error]); non-exceptional user errors come
     back as [Error message]. *)
 
+(** Dynamic instruction count of the last profile run on this domain,
+    noted by the handlers as a side channel and consumed (and cleared)
+    by the daemon's audit log. 0 when nothing ran since the last take —
+    e.g. a request answered from the memo layer. *)
+val note_instrs : int -> unit
+
+val take_instrs : unit -> int
+
 (** Compile a request's program: a suite benchmark by name, or inline
     MiniC source. Exactly one must be given. *)
 val load :

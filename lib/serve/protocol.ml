@@ -95,10 +95,11 @@ type request = {
   rq_alpha : float;
   rq_fuel : int option;  (* per-request interpreter budget *)
   rq_max_invocations : int option;  (* cosim cap *)
+  rq_n : int option;  (* generic count argument (log-tail N) *)
 }
 
 let request ?bench ?source ?(budget = 0.25) ?(mode = "full") ?(alpha = 1.08)
-    ?fuel ?max_invocations ~id verb =
+    ?fuel ?max_invocations ?n ~id verb =
   { rq_id = id;
     rq_verb = verb;
     rq_bench = bench;
@@ -107,7 +108,8 @@ let request ?bench ?source ?(budget = 0.25) ?(mode = "full") ?(alpha = 1.08)
     rq_mode = mode;
     rq_alpha = alpha;
     rq_fuel = fuel;
-    rq_max_invocations = max_invocations }
+    rq_max_invocations = max_invocations;
+    rq_n = n }
 
 let request_to_json (r : request) : Obs.Json.t =
   let opt name f v rest =
@@ -124,7 +126,8 @@ let request_to_json (r : request) : Obs.Json.t =
               :: opt "fuel" (fun n -> Obs.Json.Int n) r.rq_fuel
                    (opt "max_invocations"
                       (fun n -> Obs.Json.Int n)
-                      r.rq_max_invocations []))))
+                      r.rq_max_invocations
+                      (opt "n" (fun n -> Obs.Json.Int n) r.rq_n [])))))
 
 (* Parse failures distinguish "we know which request to blame" from "we
    don't even have an id": the error reply echoes the id when there is
@@ -156,7 +159,8 @@ let request_of_json (j : Obs.Json.t) : (request, int * string) result =
           (match str "mode" with Some m -> m | None -> "full");
         rq_alpha = num "alpha" 1.08;
         rq_fuel = int_opt "fuel";
-        rq_max_invocations = int_opt "max_invocations" }
+        rq_max_invocations = int_opt "max_invocations";
+        rq_n = int_opt "n" }
 
 let parse_request payload : (request, int * string) result =
   match Obs.Json.parse payload with

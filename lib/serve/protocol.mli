@@ -47,6 +47,7 @@ type request = {
   rq_alpha : float;
   rq_fuel : int option;  (** per-request interpreter budget *)
   rq_max_invocations : int option;
+  rq_n : int option;  (** generic count argument ([log-tail N]) *)
 }
 
 (** Build a request with the CLI's defaults (budget 0.25, mode "full",
@@ -59,6 +60,7 @@ val request :
   ?alpha:float ->
   ?fuel:int ->
   ?max_invocations:int ->
+  ?n:int ->
   id:int ->
   string ->
   request

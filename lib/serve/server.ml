@@ -37,6 +37,8 @@ type config = {
   sc_interp : Sim.Interp.engine option;  (* pinned at startup *)
   sc_cache_dir : string option;
   sc_cache : bool;
+  sc_tick_s : float;  (* telemetry window tick; <= 0 disables ticking *)
+  sc_window_slots : int;  (* rolling-window depth, in ticks *)
 }
 
 let default_config =
@@ -45,18 +47,88 @@ let default_config =
     sc_fuel = 0;
     sc_interp = None;
     sc_cache_dir = None;
-    sc_cache = false }
+    sc_cache = false;
+    sc_tick_s = 1.0;
+    sc_window_slots = 60 }
+
+(* --- verbs ----------------------------------------------------------- *)
+
+(* Batched through the pool vs answered inline by the event loop. The
+   unknown-verb error echoes the concatenation, and test_serve asserts
+   the echoed list stays in sync with the dispatch tables. *)
+let compute_verbs = [ "compile"; "profile"; "dump"; "run"; "select"; "cosim" ]
+
+let control_verbs =
+  [ "health"; "stats"; "cache-stats"; "cache-reset"; "telemetry"; "log-tail";
+    "watch"; "shutdown" ]
+
+let known_verbs = compute_verbs @ control_verbs
+let is_control v = List.mem v control_verbs
+
+let unknown_verb_message v =
+  Printf.sprintf "unknown verb %s (known verbs: %s)" v
+    (String.concat ", " known_verbs)
 
 (* --- instrumentation ------------------------------------------------- *)
 
 (* Counters are part of the deterministic snapshot (request counts are a
-   function of the request stream); queue/inflight gauges and the
-   latency histogram are wall-clock/schedule-dependent and exempt. *)
+   function of the request stream; so are cache hit/miss totals, because
+   the compute-once memo layer runs each distinct key's thunk exactly
+   once no matter the pool width); queue/inflight gauges and the latency
+   histograms are wall-clock/schedule-dependent and exempt. *)
 let m_requests = Obs.Metrics.counter "serve.requests"
 let m_errors = Obs.Metrics.counter "serve.errors"
+let m_cache_hits = Obs.Metrics.counter "serve.cache_hits"
+let m_cache_misses = Obs.Metrics.counter "serve.cache_misses"
 let g_queue = Obs.Metrics.gauge "serve.queue_depth"
 let g_inflight = Obs.Metrics.gauge "serve.inflight"
 let h_latency = Obs.Metrics.wall_histogram "serve.latency_us"
+
+(* Per-verb request counts and latencies, pre-interned; verbs outside
+   the dispatch tables share the "other" bucket so hostile verb strings
+   cannot grow the registry without bound. *)
+let verb_buckets = "other" :: known_verbs
+let verb_bucket v = if List.mem v known_verbs then v else "other"
+
+let verb_counters =
+  List.map
+    (fun v ->
+      v, Obs.Metrics.counter (Printf.sprintf "serve.verb.%s.requests" v))
+    verb_buckets
+
+let verb_latencies =
+  List.map
+    (fun v ->
+      v, Obs.Metrics.wall_histogram (Printf.sprintf "serve.verb.%s.latency_us" v))
+    verb_buckets
+
+let verb_counter v = List.assoc (verb_bucket v) verb_counters
+let verb_latency v = List.assoc (verb_bucket v) verb_latencies
+
+(* --- audit log ------------------------------------------------------- *)
+
+let k_id = Obs.Log.key "id"
+let k_verb = Obs.Log.key "verb"
+let k_outcome = Obs.Log.key "outcome"
+let k_fuel = Obs.Log.key "fuel"
+let k_wall_us = Obs.Log.key "wall_us"
+let k_cache = Obs.Log.key "cache"
+
+(* One structured record per answered request; the queryable tail
+   behind the `log-tail` verb and `cayman logs`. [cache] is "hit",
+   "miss", or "-" for verbs that never touch the reply cache. *)
+let audit ~id ~verb ~(reply : Protocol.reply) ~fuel ~wall_us ~cache =
+  let outcome =
+    if reply.Protocol.rp_ok then "ok" else reply.Protocol.rp_class
+  in
+  let level = if reply.Protocol.rp_ok then Obs.Log.Info else Obs.Log.Error in
+  Obs.Log.log level "request"
+    [ k_id, Obs.Log.I id;
+      k_verb, Obs.Log.S verb;
+      k_outcome, Obs.Log.S outcome;
+      k_fuel, Obs.Log.I fuel;
+      k_wall_us, Obs.Log.I wall_us;
+      k_cache, Obs.Log.S cache ]
 
 (* --- request execution ----------------------------------------------- *)
 
@@ -90,7 +162,7 @@ let dispatch (r : Protocol.request) : (string, string) result =
           (Handlers.cosim_text ?fuel:r.Protocol.rq_fuel
              ?max_invocations:r.Protocol.rq_max_invocations
              ~budget:r.Protocol.rq_budget ~mode:r.Protocol.rq_mode p))
-  | v -> Error (Printf.sprintf "unknown verb %s" v)
+  | v -> Error (unknown_verb_message v)
 
 (* A reply is a pure function of the request minus its id (the
    determinism contract: results do not depend on jobs, engine, cache
@@ -104,44 +176,72 @@ let dispatch (r : Protocol.request) : (string, string) result =
 let reply_key (r : Protocol.request) =
   Obs.Json.to_string (Protocol.request_to_json { r with Protocol.rq_id = 0 })
 
-(* Total: every outcome of a compute request is a reply. *)
-let execute (r : Protocol.request) : Protocol.reply =
+(* Total: every outcome of a compute request is a reply, paired with
+   the audit facts only the executor can see: whether the reply cache
+   answered (the memoize thunk never ran), and the fuel the handlers
+   noted on this domain while it did run. *)
+let execute (r : Protocol.request) : Protocol.reply * bool * int =
   Obs.Trace.span ~cat:"serve" ("serve." ^ r.Protocol.rq_verb) @@ fun () ->
-  match
-    Memo.Store.memoize ~ns:"serve.reply" ~key:(reply_key r) (fun () ->
-        dispatch r)
-  with
-  | Ok output -> Protocol.ok_reply ~id:r.Protocol.rq_id output
-  | Error m ->
-    Obs.Metrics.incr m_errors;
-    Protocol.error_reply ~id:r.Protocol.rq_id ~cls:"bad-request" m
-  | exception e ->
-    Obs.Metrics.incr m_errors;
-    Protocol.error_reply ~id:r.Protocol.rq_id
-      ~cls:(Cayman_fault.Classify.exn_class e)
-      (message_of_exn e)
+  ignore (Handlers.take_instrs () : int);
+  let computed = ref false in
+  let reply =
+    match
+      Memo.Store.memoize ~ns:"serve.reply" ~key:(reply_key r) (fun () ->
+          computed := true;
+          dispatch r)
+    with
+    | Ok output -> Protocol.ok_reply ~id:r.Protocol.rq_id output
+    | Error m ->
+      Obs.Metrics.incr m_errors;
+      Protocol.error_reply ~id:r.Protocol.rq_id ~cls:"bad-request" m
+    | exception e ->
+      Obs.Metrics.incr m_errors;
+      Protocol.error_reply ~id:r.Protocol.rq_id
+        ~cls:(Cayman_fault.Classify.exn_class e)
+        (message_of_exn e)
+  in
+  let hit = not !computed in
+  Obs.Metrics.incr (if hit then m_cache_hits else m_cache_misses);
+  reply, hit, Handlers.take_instrs ()
+
+(* The full live-telemetry scrape: every registered metric plus the
+   rolling-window aggregates, in the canonical exposition text. *)
+let telemetry_text window =
+  Obs.Expose.render
+    (Obs.Expose.of_snapshot
+       ~windows:(Obs.Window.aggregate window)
+       (Obs.Metrics.snapshot ()))
 
 (* Control verbs answered inline by the event loop — cheap, no pipeline
    work, never queued behind a batch. *)
-let is_control = function
-  | "health" | "stats" | "cache-stats" | "cache-reset" | "shutdown" -> true
-  | _ -> false
+type control_action =
+  | C_continue
+  | C_shutdown
+  | C_watch  (* keep pushing telemetry frames to this request's id *)
 
-let control_reply ~served (r : Protocol.request) : Protocol.reply * bool =
+let control_reply ~served ~window (r : Protocol.request) :
+    Protocol.reply * control_action =
   let id = r.Protocol.rq_id in
   match r.Protocol.rq_verb with
-  | "health" -> Protocol.ok_reply ~id "ok\n", false
-  | "shutdown" -> Protocol.ok_reply ~id "shutting down\n", true
+  | "health" -> Protocol.ok_reply ~id "ok\n", C_continue
+  | "shutdown" -> Protocol.ok_reply ~id "shutting down\n", C_shutdown
   | "stats" ->
     let b = Buffer.create 128 in
     Printf.bprintf b "requests: %d\n" served;
     Printf.bprintf b "errors: %d\n" (Obs.Metrics.value m_errors);
     Printf.bprintf b "memo: %s\n"
       (if Memo.Store.active () then "on" else "off");
-    Protocol.ok_reply ~id (Buffer.contents b), false
+    let dropped = Obs.Trace.dropped () in
+    Printf.bprintf b "spans dropped: %d\n" dropped;
+    if dropped > 0 then
+      Printf.bprintf b
+        "warning: trace ring buffers overflowed; the %d oldest spans are \
+         gone (raise the flush cadence or trace less)\n"
+        dropped;
+    Protocol.ok_reply ~id (Buffer.contents b), C_continue
   | "cache-stats" ->
     (match Memo.Store.ambient () with
-     | None -> Protocol.ok_reply ~id "cache disabled\n", false
+     | None -> Protocol.ok_reply ~id "cache disabled\n", C_continue
      | Some store ->
        let s = Memo.Store.stats_of store in
        let text =
@@ -149,15 +249,23 @@ let control_reply ~served (r : Protocol.request) : Protocol.reply * bool =
            (Memo.Store.dir store) s.Memo.Store.st_entries
            s.Memo.Store.st_bytes
        in
-       Protocol.ok_reply ~id text, false)
+       Protocol.ok_reply ~id text, C_continue)
   | "cache-reset" ->
     Memo.Store.reset_memory ();
-    Protocol.ok_reply ~id "in-memory caches reset\n", false
+    Protocol.ok_reply ~id "in-memory caches reset\n", C_continue
+  | "telemetry" -> Protocol.ok_reply ~id (telemetry_text window), C_continue
+  | "log-tail" ->
+    let n = Option.value r.Protocol.rq_n ~default:20 in
+    ( Protocol.ok_reply ~id (Obs.Json.to_string (Obs.Log.to_json ~tail:n ())),
+      C_continue )
+  | "watch" ->
+    (* first frame now, then one per window tick until the connection
+       goes away — the server-pushed path behind `cayman top --follow` *)
+    Protocol.ok_reply ~id (telemetry_text window), C_watch
   | v ->
     Obs.Metrics.incr m_errors;
-    ( Protocol.error_reply ~id ~cls:"bad-request"
-        (Printf.sprintf "unknown verb %s" v),
-      false )
+    ( Protocol.error_reply ~id ~cls:"bad-request" (unknown_verb_message v),
+      C_continue )
 
 (* --- connections ----------------------------------------------------- *)
 
@@ -251,6 +359,26 @@ let serve_conns ~(config : config) ?listen conns0 =
   let conns = ref conns0 in
   let served = ref 0 in
   let stop = ref false in
+  (* The telemetry window over this serve session. Ticks come from the
+     select loop (timeout-driven), so rates and rolling percentiles
+     advance even while the daemon is idle. *)
+  let window = Obs.Window.create ~slots:(max 1 config.sc_window_slots) () in
+  Obs.Window.track_counter window "serve.requests";
+  Obs.Window.track_counter window "serve.errors";
+  Obs.Window.track_counter window "serve.cache_hits";
+  Obs.Window.track_counter window "serve.cache_misses";
+  Obs.Window.track_wall window "serve.latency_us";
+  List.iter
+    (fun v ->
+      Obs.Window.track_counter window
+        (Printf.sprintf "serve.verb.%s.requests" v);
+      Obs.Window.track_wall window
+        (Printf.sprintf "serve.verb.%s.latency_us" v))
+    verb_buckets;
+  (* seal the tracked set and baseline against pre-existing totals *)
+  Obs.Window.tick window ~dt_s:0.0;
+  let last_tick = ref (now ()) in
+  let watchers : (conn * int) list ref = ref [] in
   Fun.protect
     ~finally:(fun () ->
       Engine.Pool.shutdown pool;
@@ -265,8 +393,13 @@ let serve_conns ~(config : config) ?listen conns0 =
     in
     if watched = [] then stop := true
     else begin
+      let timeout =
+        if config.sc_tick_s > 0.0 then
+          max 0.0 (!last_tick +. config.sc_tick_s -. now ())
+        else -1.0
+      in
       let readable, _, _ =
-        try Unix.select watched [] [] (-1.0)
+        try Unix.select watched [] [] timeout
         with Unix.Unix_error (EINTR, _, _) -> [], [], []
       in
       (match listen with
@@ -297,14 +430,26 @@ let serve_conns ~(config : config) ?listen conns0 =
                 incr served;
                 Obs.Metrics.incr m_requests;
                 Obs.Metrics.incr m_errors;
-                write_reply c
-                  (Protocol.error_reply ~id ~cls:"bad-request" msg)
+                Obs.Metrics.incr (verb_counter "other");
+                let reply = Protocol.error_reply ~id ~cls:"bad-request" msg in
+                write_reply c reply;
+                audit ~id ~verb:"?" ~reply ~fuel:0 ~wall_us:0 ~cache:"-"
               | Ok r when is_control r.Protocol.rq_verb ->
                 incr served;
                 Obs.Metrics.incr m_requests;
-                let reply, shutdown = control_reply ~served:!served r in
+                Obs.Metrics.incr (verb_counter r.Protocol.rq_verb);
+                let t0 = now () in
+                let reply, action = control_reply ~served:!served ~window r in
                 write_reply c reply;
-                if shutdown then stop := true
+                let wall = int_of_float (1e6 *. (now () -. t0)) in
+                Obs.Metrics.observe (verb_latency r.Protocol.rq_verb) wall;
+                audit ~id:r.Protocol.rq_id ~verb:r.Protocol.rq_verb ~reply
+                  ~fuel:0 ~wall_us:wall ~cache:"-";
+                (match action with
+                 | C_continue -> ()
+                 | C_shutdown -> stop := true
+                 | C_watch ->
+                   watchers := (c, r.Protocol.rq_id) :: !watchers)
               | Ok r ->
                 queue :=
                   { p_conn = c; p_req = r; p_enqueued = now () } :: !queue)
@@ -322,23 +467,47 @@ let serve_conns ~(config : config) ?listen conns0 =
           (fun p result ->
             incr served;
             Obs.Metrics.incr m_requests;
-            let reply =
+            Obs.Metrics.incr (verb_counter p.p_req.Protocol.rq_verb);
+            let reply, cache, fuel =
               match result with
-              | Ok reply -> reply
+              | Ok (reply, hit, fuel) ->
+                reply, (if hit then "hit" else "miss"), fuel
               | Error (e, _bt) ->
                 (* execute is total, so this is pool-level trouble;
                    still degrade to a structured reply *)
                 Obs.Metrics.incr m_errors;
-                Protocol.error_reply ~id:p.p_req.Protocol.rq_id
-                  ~cls:(Cayman_fault.Classify.exn_class e)
-                  (message_of_exn e)
+                ( Protocol.error_reply ~id:p.p_req.Protocol.rq_id
+                    ~cls:(Cayman_fault.Classify.exn_class e)
+                    (message_of_exn e),
+                  "miss", 0 )
             in
             write_reply p.p_conn reply;
-            Obs.Metrics.observe h_latency
-              (int_of_float (1e6 *. (now () -. p.p_enqueued))))
+            let wall = int_of_float (1e6 *. (now () -. p.p_enqueued)) in
+            Obs.Metrics.observe h_latency wall;
+            Obs.Metrics.observe (verb_latency p.p_req.Protocol.rq_verb) wall;
+            audit ~id:p.p_req.Protocol.rq_id ~verb:p.p_req.Protocol.rq_verb
+              ~reply ~fuel ~wall_us:wall ~cache)
           queue results;
         Obs.Metrics.gauge_set g_inflight 0;
         Obs.Metrics.gauge_set g_queue 0
+      end;
+      (* Window tick: close the elapsed slot and push a fresh telemetry
+         frame to every live watcher. Watching costs one render per
+         tick shared across watchers, not per watcher. *)
+      if config.sc_tick_s > 0.0 then begin
+        let t = now () in
+        if t -. !last_tick >= config.sc_tick_s then begin
+          Obs.Window.tick window ~dt_s:(t -. !last_tick);
+          last_tick := t;
+          watchers := List.filter (fun (c, _) -> c.c_alive) !watchers;
+          if !watchers <> [] then begin
+            let text = telemetry_text window in
+            List.iter
+              (fun (c, id) -> write_reply c (Protocol.ok_reply ~id text))
+              !watchers;
+            watchers := List.filter (fun (c, _) -> c.c_alive) !watchers
+          end
+        end
       end
     end
   done

@@ -11,11 +11,19 @@
 
     Verbs: [compile], [profile], [dump], [run]/[select], [cosim]
     (batched compute) plus the inline control verbs [health], [stats],
-    [cache-stats], [cache-reset] and [shutdown].
+    [cache-stats], [cache-reset], [telemetry] (Prometheus-style
+    exposition of the metrics snapshot and rolling-window aggregates),
+    [log-tail] (last [n] audit records as JSON), [watch] (a telemetry
+    frame now and then one per window tick until the connection closes)
+    and [shutdown].
 
-    Instrumentation: [serve.requests]/[serve.errors] counters,
-    [serve.queue_depth]/[serve.inflight] gauges, a [serve.latency_us]
-    wall histogram, and a [serve.<verb>] trace span per request. *)
+    Instrumentation: [serve.requests]/[serve.errors]/
+    [serve.cache_hits]/[serve.cache_misses] and per-verb
+    [serve.verb.<v>.requests] counters, [serve.queue_depth]/
+    [serve.inflight] gauges, [serve.latency_us] and per-verb wall
+    histograms, a [serve.<verb>] trace span per compute request, and a
+    structured {!Obs.Log} audit record (id, verb, outcome, fuel, wall
+    time, cache hit/miss) per answered request. *)
 
 type config = {
   sc_max_frame : int;  (** per-connection declared-length cap *)
@@ -25,10 +33,19 @@ type config = {
       (** pinned process-wide at startup when present *)
   sc_cache_dir : string option;
   sc_cache : bool;  (** arm the on-disk store at startup *)
+  sc_tick_s : float;
+      (** telemetry window tick period; [<= 0] disables ticking (and
+          [watch] frames) *)
+  sc_window_slots : int;  (** rolling-window depth, in ticks *)
 }
 
-(** No overrides: engine/fuel/jobs resolve ambiently, cache off. *)
+(** No overrides: engine/fuel/jobs resolve ambiently, cache off,
+    1-second ticks over a 60-slot window. *)
 val default_config : config
+
+(** Every verb the daemon answers, compute then control, in the order
+    the unknown-verb error message echoes them. *)
+val known_verbs : string list
 
 (** [serve_socket path] claims [path] (removing a stale leftover
     socket; refusing — with a located diagnostic — a path another

@@ -290,6 +290,348 @@ let test_benchdiff_gating () =
          in
          contains 0))
 
+(* ------------------------------------------------------------------ *)
+(* Metrics: wall_histogram determinism exemption (dedicated)           *)
+(* ------------------------------------------------------------------ *)
+
+(* The exemption test_metrics_kinds touches in passing, isolated: a
+   wall histogram is a first-class member of [snapshot] but must NEVER
+   reach [deterministic_snapshot] — it records wall-clock values, which
+   the CAYMAN_JOBS={1,4} bit-identity harness cannot promise. *)
+let test_wall_histogram_exemption () =
+  Obs.Metrics.reset ();
+  let w = Obs.Metrics.wall_histogram "testobs.exempt_wall" in
+  let h = Obs.Metrics.histogram "testobs.exempt_hist" in
+  List.iter (Obs.Metrics.observe w) [ 3; 1000; 7 ];
+  Obs.Metrics.observe h 5;
+  let snap = Obs.Metrics.snapshot () in
+  (match List.assoc_opt "testobs.exempt_wall" snap with
+   | Some (Obs.Metrics.S_wall_histogram hs) ->
+     Alcotest.(check int) "wall hist counted in snapshot" 3
+       hs.Obs.Metrics.hs_count
+   | Some _ -> Alcotest.fail "wall histogram has the wrong snapshot kind"
+   | None -> Alcotest.fail "wall histogram missing from snapshot");
+  let det = Obs.Metrics.deterministic_snapshot () in
+  check "wall histogram never in deterministic_snapshot" true
+    (not (List.mem_assoc "testobs.exempt_wall" det));
+  check "regular histogram stays in deterministic_snapshot" true
+    (List.mem_assoc "testobs.exempt_hist" det);
+  (* and the deterministic subset is exactly the snapshot minus gauges
+     and wall histograms — no other filtering *)
+  let expected =
+    List.filter
+      (fun (_, s) ->
+        match s with
+        | Obs.Metrics.S_counter _ | Obs.Metrics.S_histogram _ -> true
+        | Obs.Metrics.S_gauge _ | Obs.Metrics.S_wall_histogram _ -> false)
+      snap
+  in
+  check "deterministic subset = counters + histograms" true (det = expected);
+  Obs.Metrics.reset ()
+
+(* ------------------------------------------------------------------ *)
+(* Log: structured events, per-domain rings, bounded tail              *)
+(* ------------------------------------------------------------------ *)
+
+let k_test_n = Obs.Log.key "n"
+let k_test_who = Obs.Log.key "who"
+
+let test_log_events () =
+  Obs.Log.reset ();
+  Obs.Log.set_level Obs.Log.Info;
+  check "debug disabled at info level" false (Obs.Log.enabled Obs.Log.Debug);
+  Obs.Log.debug "invisible" [];
+  Obs.Log.info "one" [ k_test_n, Obs.Log.I 1 ];
+  Obs.Log.warn "two" [ k_test_n, Obs.Log.I 2; k_test_who, Obs.Log.S "me" ];
+  Obs.Log.error "three" [];
+  let evs = Obs.Log.events () in
+  Alcotest.(check int) "below-level events dropped at the call site" 3
+    (List.length evs);
+  let ids = List.map (fun e -> e.Obs.Log.ev_id) evs in
+  check "ids sorted" true (List.sort compare ids = ids);
+  (match evs with
+   | [ a; b; c ] ->
+     Alcotest.(check string) "msg order" "one" a.Obs.Log.ev_msg;
+     check "level recorded" true (b.Obs.Log.ev_level = Obs.Log.Warn);
+     check "fields recorded" true
+       (List.assoc k_test_who b.Obs.Log.ev_fields = Obs.Log.S "me");
+     check "error level" true (c.Obs.Log.ev_level = Obs.Log.Error)
+   | _ -> Alcotest.fail "expected exactly three events");
+  (* keys intern to the same id; names are recoverable *)
+  check "key interned" true (Obs.Log.key "n" = k_test_n);
+  Alcotest.(check string) "key name" "who" (Obs.Log.key_name k_test_who);
+  (* tail keeps the most recent events *)
+  let t = Obs.Log.tail 2 in
+  check "tail keeps last two" true
+    (List.map (fun e -> e.Obs.Log.ev_msg) t = [ "two"; "three" ]);
+  Obs.Log.reset ()
+
+let test_log_multi_domain () =
+  Obs.Log.reset ();
+  let (_ : int list) =
+    Engine.Pool.map ~jobs:3
+      (fun i ->
+        Obs.Log.info "task" [ k_test_n, Obs.Log.I i ];
+        i)
+      (List.init 24 (fun i -> i))
+  in
+  let evs = Obs.Log.events () in
+  Alcotest.(check int) "one event per task" 24 (List.length evs);
+  let ids = List.map (fun e -> e.Obs.Log.ev_id) evs in
+  let uniq = List.sort_uniq compare ids in
+  check "ids unique across domains" true (List.length uniq = 24);
+  check "merged in id order" true (List.sort compare ids = ids);
+  Obs.Log.reset ()
+
+let test_log_ring_bounds () =
+  Obs.Log.reset ();
+  let n = Obs.Log.capacity + 100 in
+  for i = 1 to n do
+    Obs.Log.info "spam" [ k_test_n, Obs.Log.I i ]
+  done;
+  check "retained tail is bounded by capacity" true
+    (List.length (Obs.Log.events ()) <= Obs.Log.capacity);
+  Alcotest.(check int) "overwrites counted" 100 (Obs.Log.dropped ());
+  (* the tail is the most recent events, not the oldest *)
+  (match List.rev (Obs.Log.tail 1) with
+   | [ e ] -> check "latest event survives" true
+                (List.assoc k_test_n e.Obs.Log.ev_fields = Obs.Log.I n)
+   | _ -> Alcotest.fail "tail 1 must return one event");
+  Obs.Log.reset ();
+  check "reset clears events" true (Obs.Log.events () = []);
+  Alcotest.(check int) "reset clears drop count" 0 (Obs.Log.dropped ())
+
+let test_log_json () =
+  Obs.Log.reset ();
+  Obs.Log.info "req" [ k_test_n, Obs.Log.I 7; k_test_who, Obs.Log.S "cli" ];
+  let txt = Obs.Json.to_string (Obs.Log.to_json ()) in
+  (match Obs.Json.parse txt with
+   | Error m -> Alcotest.fail ("log JSON does not parse: " ^ m)
+   | Ok j ->
+     (match Option.bind (Obs.Json.member "events" j) Obs.Json.to_list with
+      | Some [ e ] ->
+        check "msg exported" true
+          (Option.bind (Obs.Json.member "msg" e) Obs.Json.to_string_opt
+           = Some "req");
+        let fields =
+          match Obs.Json.member "fields" e with
+          | Some f -> f
+          | None -> Alcotest.fail "fields missing"
+        in
+        check "int field exported by key name" true
+          (Option.bind (Obs.Json.member "n" fields) Obs.Json.to_int = Some 7);
+        check "string field exported" true
+          (Option.bind (Obs.Json.member "who" fields) Obs.Json.to_string_opt
+           = Some "cli")
+      | _ -> Alcotest.fail "expected exactly one exported event"));
+  Obs.Log.reset ()
+
+(* ------------------------------------------------------------------ *)
+(* Window: explicit ticks, rolling aggregation, bucket percentiles     *)
+(* ------------------------------------------------------------------ *)
+
+let agg_of name aggs =
+  match List.find_opt (fun a -> a.Obs.Window.a_name = name) aggs with
+  | Some a -> a
+  | None -> Alcotest.fail ("window aggregate missing: " ^ name)
+
+let test_window_counter_rate () =
+  Obs.Metrics.reset ();
+  let w = Obs.Window.create ~slots:4 () in
+  Obs.Window.track_counter w "testwin.count";
+  let c = Obs.Metrics.counter "testwin.count" in
+  Obs.Metrics.add c 1000;  (* pre-window history must not leak in *)
+  Obs.Window.tick w ~dt_s:0.0;
+  check "tracking after the first tick is refused" true
+    (try
+       Obs.Window.track_counter w "testwin.late";
+       false
+     with Invalid_argument _ -> true);
+  Obs.Metrics.add c 10;
+  Obs.Window.tick w ~dt_s:2.0;
+  let a = agg_of "testwin.count" (Obs.Window.aggregate w) in
+  Alcotest.(check int) "window counts only in-window deltas" 10
+    a.Obs.Window.a_count;
+  check "rate over the span" true (abs_float (a.Obs.Window.a_rate -. 5.0) < 1e-9);
+  check "span accumulated" true (abs_float (a.Obs.Window.a_span_s -. 2.0) < 1e-9);
+  (* ring rollover: 4 slots of 1s each at 1/s pushes the first delta out *)
+  for _ = 1 to 4 do
+    Obs.Metrics.add c 1;
+    Obs.Window.tick w ~dt_s:1.0
+  done;
+  let a = agg_of "testwin.count" (Obs.Window.aggregate w) in
+  Alcotest.(check int) "old slots evicted" 4 a.Obs.Window.a_count;
+  check "span is the retained slots" true
+    (abs_float (a.Obs.Window.a_span_s -. 4.0) < 1e-9);
+  (* ?last narrows further *)
+  let a = agg_of "testwin.count" (Obs.Window.aggregate ~last:2 w) in
+  Alcotest.(check int) "last-2 slots only" 2 a.Obs.Window.a_count
+
+let test_window_wall_percentiles () =
+  Obs.Metrics.reset ();
+  let w = Obs.Window.create ~slots:8 () in
+  Obs.Window.track_wall w "testwin.lat";
+  let h = Obs.Metrics.wall_histogram "testwin.lat" in
+  Obs.Window.tick w ~dt_s:0.0;
+  (* nine 1s and one 100: p50 sits in the [1,1] bucket, p95/p99 in the
+     [64,127] bucket — quantiles report bucket upper bounds *)
+  for _ = 1 to 9 do Obs.Metrics.observe h 1 done;
+  Obs.Metrics.observe h 100;
+  Obs.Window.tick w ~dt_s:1.0;
+  let a = agg_of "testwin.lat" (Obs.Window.aggregate w) in
+  check "wall kind" true (a.Obs.Window.a_kind = Obs.Window.Wall);
+  Alcotest.(check int) "count" 10 a.Obs.Window.a_count;
+  Alcotest.(check int) "sum" 109 a.Obs.Window.a_sum;
+  Alcotest.(check int) "p50 = bucket upper bound" 1 a.Obs.Window.a_p50;
+  Alcotest.(check int) "p95 lands in the top bucket" 127 a.Obs.Window.a_p95;
+  Alcotest.(check int) "p99 lands in the top bucket" 127 a.Obs.Window.a_p99;
+  Alcotest.(check int) "min = lower bound of lowest bucket" 1
+    a.Obs.Window.a_min;
+  Alcotest.(check int) "max = upper bound of highest bucket" 127
+    a.Obs.Window.a_max;
+  (* a second, empty tick leaves the aggregates unchanged except span *)
+  Obs.Window.tick w ~dt_s:1.0;
+  let a = agg_of "testwin.lat" (Obs.Window.aggregate w) in
+  Alcotest.(check int) "empty tick adds no events" 10 a.Obs.Window.a_count;
+  check "span grows" true (abs_float (a.Obs.Window.a_span_s -. 2.0) < 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Expose: exposition rendering and byte-exact round-trip              *)
+(* ------------------------------------------------------------------ *)
+
+let test_expose_mapping () =
+  Obs.Metrics.reset ();
+  Obs.Metrics.add (Obs.Metrics.counter "testexp.reqs") 41;
+  Obs.Metrics.gauge_set (Obs.Metrics.gauge "testexp.depth") 3;
+  List.iter
+    (Obs.Metrics.observe (Obs.Metrics.wall_histogram "testexp.lat-us"))
+    [ 2; 6 ];
+  let fams = Obs.Expose.of_snapshot (Obs.Metrics.snapshot ()) in
+  let find name =
+    match Obs.Expose.find fams name with
+    | Some f -> f
+    | None -> Alcotest.fail ("family missing: " ^ name)
+  in
+  let c = find "cayman_testexp_reqs_total" in
+  Alcotest.(check string) "counter type" "counter" c.Obs.Expose.f_type;
+  check "counter value" true
+    (Obs.Expose.sample_value c "" = Some (Obs.Expose.V_int 41));
+  let g = find "cayman_testexp_depth" in
+  Alcotest.(check string) "gauge type" "gauge" g.Obs.Expose.f_type;
+  (* '-' sanitized to '_' *)
+  let s = find "cayman_testexp_lat_us" in
+  Alcotest.(check string) "histogram becomes a summary" "summary"
+    s.Obs.Expose.f_type;
+  check "summary count/sum/min/max" true
+    (Obs.Expose.sample_value s "_count" = Some (Obs.Expose.V_int 2)
+     && Obs.Expose.sample_value s "_sum" = Some (Obs.Expose.V_int 8)
+     && Obs.Expose.sample_value s "_min" = Some (Obs.Expose.V_int 2)
+     && Obs.Expose.sample_value s "_max" = Some (Obs.Expose.V_int 6));
+  Obs.Metrics.reset ()
+
+(* The acceptance-criteria round trip: the full metrics snapshot plus
+   window aggregates renders, parses back, and re-renders byte-exactly. *)
+let test_expose_roundtrip () =
+  Obs.Metrics.reset ();
+  Obs.Metrics.add (Obs.Metrics.counter "testexp.rt_count") 7;
+  Obs.Metrics.gauge_set (Obs.Metrics.gauge "testexp.rt_gauge") (-2);
+  List.iter
+    (Obs.Metrics.observe (Obs.Metrics.histogram "testexp.rt_hist"))
+    [ 1; 5; 9 ];
+  let w = Obs.Window.create ~slots:4 () in
+  Obs.Window.track_counter w "testexp.rt_count";
+  Obs.Window.track_wall w "testexp.rt_wall";
+  let h = Obs.Metrics.wall_histogram "testexp.rt_wall" in
+  Obs.Window.tick w ~dt_s:0.0;
+  Obs.Metrics.add (Obs.Metrics.counter "testexp.rt_count") 3;
+  List.iter (Obs.Metrics.observe h) [ 10; 20; 30 ];
+  (* deliberately awkward dt so _rate and _span_seconds are non-integral *)
+  Obs.Window.tick w ~dt_s:0.9;
+  let fams =
+    Obs.Expose.of_snapshot
+      ~windows:(Obs.Window.aggregate w)
+      (Obs.Metrics.snapshot ())
+  in
+  let text = Obs.Expose.render fams in
+  (match Obs.Expose.parse text with
+   | Error m -> Alcotest.fail ("rendered exposition does not parse: " ^ m)
+   | Ok fams2 ->
+     check "parse reconstructs the families" true (fams2 = fams);
+     Alcotest.(check string) "render . parse . render is byte-exact" text
+       (Obs.Expose.render fams2));
+  (* window families carry the quantile samples *)
+  (match Obs.Expose.find fams "cayman_window_testexp_rt_wall" with
+   | None -> Alcotest.fail "window wall family missing"
+   | Some f ->
+     check "p50 quantile sample" true
+       (Obs.Expose.sample_value f ~labels:[ "quantile", "0.5" ] ""
+        <> None);
+     check "rate sample" true (Obs.Expose.sample_value f "_rate" <> None));
+  Obs.Metrics.reset ()
+
+let test_expose_parse_rejects_garbage () =
+  check "sample before TYPE rejected" true
+    (Result.is_error (Obs.Expose.parse "cayman_x 1\n"));
+  check "malformed TYPE rejected" true
+    (Result.is_error (Obs.Expose.parse "# TYPE lonely\n"));
+  check "bad value rejected" true
+    (Result.is_error
+       (Obs.Expose.parse "# TYPE cayman_x counter\ncayman_x pots\n"));
+  check "unterminated labels rejected" true
+    (Result.is_error
+       (Obs.Expose.parse
+          "# TYPE cayman_x summary\ncayman_x{quantile=\"0.5 1\n"));
+  check "blank lines and comments tolerated" true
+    (match
+       Obs.Expose.parse "\n# a comment\n# TYPE cayman_x counter\ncayman_x 1\n"
+     with
+     | Ok [ f ] -> f.Obs.Expose.f_name = "cayman_x"
+     | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Benchdiff JSON report                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_benchdiff_to_json () =
+  let old_doc = parse_doc {|{"a_mean_s": 1.0, "b_mean_s": 1.0}|} in
+  let new_doc = parse_doc {|{"a_mean_s": 1.1, "b_mean_s": 2.0}|} in
+  let r = Obs.Benchdiff.diff ~max_regress_pct:25.0 old_doc new_doc in
+  let j = Obs.Benchdiff.to_json ~max_regress_pct:25.0 r in
+  (* the document itself round-trips through the emitter/parser *)
+  match Obs.Json.parse (Obs.Json.to_string j) with
+  | Error m -> Alcotest.fail ("benchdiff JSON does not parse: " ^ m)
+  | Ok j ->
+    check "ok flag is false" true
+      (Obs.Json.member "ok" j = Some (Obs.Json.Bool false));
+    let compared =
+      match Option.bind (Obs.Json.member "compared" j) Obs.Json.to_list with
+      | Some l -> l
+      | None -> Alcotest.fail "compared array missing"
+    in
+    Alcotest.(check int) "both phases reported" 2 (List.length compared);
+    (match
+       List.find_opt
+         (fun c ->
+           Option.bind (Obs.Json.member "phase" c) Obs.Json.to_string_opt
+           = Some "b")
+         compared
+     with
+     | None -> Alcotest.fail "phase b missing from the JSON report"
+     | Some c ->
+       check "regression flagged per phase" true
+         (Obs.Json.member "regression" c = Some (Obs.Json.Bool true));
+       check "delta carried" true
+         (match
+            Option.bind (Obs.Json.member "delta_pct" c) Obs.Json.to_float
+          with
+          | Some d -> abs_float (d -. 100.0) < 1e-9
+          | None -> false));
+    (match
+       Option.bind (Obs.Json.member "regressions" j) Obs.Json.to_list
+     with
+     | Some [ _ ] -> ()
+     | _ -> Alcotest.fail "expected exactly one regression in the JSON")
+
 let tests =
   [ Alcotest.test_case "span invariants" `Quick test_span_invariants;
     Alcotest.test_case "disabled tracing records nothing" `Quick
@@ -303,4 +645,19 @@ let tests =
     Alcotest.test_case "benchdiff phase extraction" `Quick
       test_benchdiff_phases;
     Alcotest.test_case "benchdiff regression gating" `Quick
-      test_benchdiff_gating ]
+      test_benchdiff_gating;
+    Alcotest.test_case "wall histogram determinism exemption" `Quick
+      test_wall_histogram_exemption;
+    Alcotest.test_case "log events and tail" `Quick test_log_events;
+    Alcotest.test_case "log across pool domains" `Quick test_log_multi_domain;
+    Alcotest.test_case "log ring bounds and reset" `Quick test_log_ring_bounds;
+    Alcotest.test_case "log json export" `Quick test_log_json;
+    Alcotest.test_case "window counter rates" `Quick test_window_counter_rate;
+    Alcotest.test_case "window wall percentiles" `Quick
+      test_window_wall_percentiles;
+    Alcotest.test_case "expose family mapping" `Quick test_expose_mapping;
+    Alcotest.test_case "expose byte-exact round-trip" `Quick
+      test_expose_roundtrip;
+    Alcotest.test_case "expose parse rejects garbage" `Quick
+      test_expose_parse_rejects_garbage;
+    Alcotest.test_case "benchdiff json report" `Quick test_benchdiff_to_json ]

@@ -287,6 +287,139 @@ let test_stats_and_cache_verbs () =
     r2.Serve.Protocol.rp_output
 
 (* ------------------------------------------------------------------ *)
+(* Telemetry verbs                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let parse_exposition (r : Serve.Protocol.reply) =
+  check_bool "telemetry reply ok" true r.Serve.Protocol.rp_ok;
+  match Obs.Expose.parse r.Serve.Protocol.rp_output with
+  | Ok fams -> fams
+  | Error m -> Alcotest.fail ("telemetry does not parse: " ^ m)
+
+let test_telemetry_verb () =
+  with_fd_server @@ fun cl ->
+  let r = Serve.Client.rpc cl ~bench:"atax" "profile" in
+  check_bool "profile ok" true r.Serve.Protocol.rp_ok;
+  let fams = parse_exposition (Serve.Client.telemetry cl) in
+  (match Obs.Expose.find fams "cayman_serve_requests_total" with
+   | None -> Alcotest.fail "request counter missing from exposition"
+   | Some f ->
+     (match Obs.Expose.sample_value f "" with
+      | Some (Obs.Expose.V_int n) -> check_bool "requests counted" true (n >= 1)
+      | _ -> Alcotest.fail "request counter sample missing"));
+  check_bool "per-verb window family present" true
+    (Obs.Expose.find fams "cayman_window_serve_verb_profile_requests" <> None);
+  check_bool "latency window carries quantiles" true
+    (match Obs.Expose.find fams "cayman_window_serve_latency_us" with
+     | None -> false
+     | Some f ->
+       Obs.Expose.sample_value f ~labels:[ "quantile", "0.5" ] "" <> None);
+  (* the exposition is canonical: it re-renders byte-exactly *)
+  let r2 = Serve.Client.telemetry cl in
+  (match Obs.Expose.parse r2.Serve.Protocol.rp_output with
+   | Ok fams2 ->
+     check "telemetry text is canonical" r2.Serve.Protocol.rp_output
+       (Obs.Expose.render fams2)
+   | Error m -> Alcotest.fail m)
+
+let test_log_tail_verb () =
+  Obs.Log.reset ();
+  with_fd_server @@ fun cl ->
+  let r = Serve.Client.rpc cl ~bench:"atax" "profile" in
+  check_bool "profile ok" true r.Serve.Protocol.rp_ok;
+  let t = Serve.Client.log_tail cl ~n:10 () in
+  check_bool "log-tail ok" true t.Serve.Protocol.rp_ok;
+  match Obs.Json.parse t.Serve.Protocol.rp_output with
+  | Error m -> Alcotest.fail ("log-tail is not JSON: " ^ m)
+  | Ok j ->
+    let events =
+      match Option.bind (Obs.Json.member "events" j) Obs.Json.to_list with
+      | Some l -> l
+      | None -> Alcotest.fail "log-tail has no events array"
+    in
+    check_bool "audit records present" true (events <> []);
+    let field e name =
+      Option.bind (Obs.Json.member "fields" e) (Obs.Json.member name)
+    in
+    (* the profile request's audit record: verb, ok outcome, wall time *)
+    (match
+       List.find_opt
+         (fun e ->
+           Option.bind (field e "verb") Obs.Json.to_string_opt
+           = Some "profile")
+         events
+     with
+     | None -> Alcotest.fail "no audit record for the profile request"
+     | Some e ->
+       check_bool "outcome recorded" true
+         (Option.bind (field e "outcome") Obs.Json.to_string_opt = Some "ok");
+       check_bool "wall time recorded" true
+         (match Option.bind (field e "wall_us") Obs.Json.to_int with
+          | Some us -> us >= 0
+          | None -> false);
+       check_bool "cache disposition recorded" true
+         (match Option.bind (field e "cache") Obs.Json.to_string_opt with
+          | Some ("hit" | "miss") -> true
+          | _ -> false))
+
+let test_watch_stream () =
+  let config =
+    { Serve.Server.default_config with Serve.Server.sc_tick_s = 0.02 }
+  in
+  with_fd_server ~config @@ fun cl ->
+  let id, first = Serve.Client.watch cl in
+  let (_ : Obs.Expose.t) = parse_exposition first in
+  (* the daemon now pushes a frame per window tick under the same id *)
+  for _ = 1 to 2 do
+    let frame = Serve.Client.watch_next cl ~id in
+    check_int "pushed frame keeps the stream id" id frame.Serve.Protocol.rp_id;
+    let (_ : Obs.Expose.t) = parse_exposition frame in
+    ()
+  done;
+  (* the connection still serves ordinary requests mid-stream *)
+  let r = Serve.Client.rpc cl "health" in
+  check "health mid-stream" "ok\n" r.Serve.Protocol.rp_output
+
+(* The unknown-verb reply names every verb the dispatch actually knows,
+   and stays in sync with it: the advertised list parses back to exactly
+   [Serve.Server.known_verbs], and no advertised verb is itself answered
+   with an unknown-verb error. *)
+let test_unknown_verb_lists_known () =
+  with_fd_server @@ fun cl ->
+  let r = Serve.Client.rpc cl "bogus" in
+  check_bool "unknown verb fails" false r.Serve.Protocol.rp_ok;
+  check "unknown verb class" "bad-request" r.Serve.Protocol.rp_class;
+  let msg = r.Serve.Protocol.rp_output in
+  check "reply echoes the dispatch table"
+    (Printf.sprintf "unknown verb bogus (known verbs: %s)"
+       (String.concat ", " Serve.Server.known_verbs))
+    msg;
+  (* sync check in the other direction: every advertised verb really
+     dispatches (shutdown is exercised by the socket-server tests) *)
+  List.iter
+    (fun verb ->
+      if verb <> "shutdown" then begin
+        let r = Serve.Client.rpc cl ~bench:"atax" verb in
+        check_bool
+          (Printf.sprintf "verb %s is dispatched" verb)
+          false
+          (String.starts_with ~prefix:"unknown verb"
+             r.Serve.Protocol.rp_output)
+      end)
+    Serve.Server.known_verbs
+
+let test_stats_reports_dropped_spans () =
+  with_fd_server @@ fun cl ->
+  let s = Serve.Client.rpc cl "stats" in
+  check_bool "stats ok" true s.Serve.Protocol.rp_ok;
+  let has_line line =
+    String.split_on_char '\n' s.Serve.Protocol.rp_output
+    |> List.exists (fun l -> String.starts_with ~prefix:line l)
+  in
+  check_bool "stats surfaces the span drop counter" true
+    (has_line "spans dropped:")
+
+(* ------------------------------------------------------------------ *)
 (* Socket hygiene                                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -337,6 +470,13 @@ let tests =
     Alcotest.test_case "concurrent clients" `Quick test_concurrent_clients;
     Alcotest.test_case "stats + cache verbs" `Quick
       test_stats_and_cache_verbs;
+    Alcotest.test_case "telemetry verb" `Quick test_telemetry_verb;
+    Alcotest.test_case "log-tail audit records" `Quick test_log_tail_verb;
+    Alcotest.test_case "watch pushes frames" `Quick test_watch_stream;
+    Alcotest.test_case "unknown verb lists known verbs" `Quick
+      test_unknown_verb_lists_known;
+    Alcotest.test_case "stats reports dropped spans" `Quick
+      test_stats_reports_dropped_spans;
     Alcotest.test_case "stale socket recovery" `Quick
       test_stale_socket_recovery;
     Alcotest.test_case "double serve diagnostic" `Quick
