@@ -65,3 +65,25 @@ let write_trajectory (v : t) =
     in
     Obs.Json.write_file latest pointed;
     Printf.eprintf "wrote %s\n%!" latest
+
+(* Folds one more section into an existing trajectory document instead
+   of replacing it: rereads <base>.json if present, drops any previous
+   [key] (and the "source" the latest-pointer copy carries), appends
+   [key] at the end, and rewrites both files through
+   [write_trajectory]. Lets two experiments — serve-load and
+   serve-chaos — share one committed BENCH_<n>.json regardless of the
+   order they ran in. *)
+let merge_trajectory key (v : t) =
+  match !base with
+  | None -> ()
+  | Some base ->
+    let path = base ^ ".json" in
+    let existing =
+      if Sys.file_exists path then
+        match Obs.Json.parse (In_channel.with_open_bin path In_channel.input_all) with
+        | Ok (Obj fields) ->
+          List.filter (fun (k, _) -> k <> key && k <> "source") fields
+        | Ok _ | Error _ -> []
+      else []
+    in
+    write_trajectory (Obj (existing @ [ key, v ]))

@@ -1354,6 +1354,282 @@ let serve_load ?(name = "serve-load") ?(benchmarks = Suite.all)
   end
 
 (* ------------------------------------------------------------------ *)
+(* Serve: chaos campaign against the daemon's overload defenses        *)
+(* ------------------------------------------------------------------ *)
+
+(* Opt-in, like serve-load. An in-process daemon is started on a
+   private socket with deliberately small overload caps (queue 64,
+   write buffer 256 KiB), then abused concurrently for [duration_s]
+   seconds by one seeded adversary per [Fault.Chaos] kind — torn and
+   corrupted frames, mid-request hangups, a stalled reader that never
+   drains its replies, oversized-header floods, raw garbage — while
+   one well-behaved client keeps replaying `run` requests through
+   [Serve.Client.rpc_retry] and checks every reply byte-for-byte
+   against the in-process [Serve.Handlers] text (which IS the CLI's
+   stdout by construction). The acceptance bar, enforced with exit 1:
+
+     - the daemon domain never crashes (clean join after shutdown);
+     - the well-behaved client sees zero mismatched bytes, zero
+       unhandled exceptions, and no error classes outside the
+       documented overload contract (overloaded / deadline-expired);
+     - the write-buffer high-water mark stays <= the configured cap;
+     - health and telemetry still answer (and parse) after the abuse.
+
+   The adversary schedule is a pure function of --seed, so a failure
+   replays exactly. With --json BASE the campaign report is merged into
+   BASE.json under "chaos" (alongside serve-load's sections, whichever
+   ran first). *)
+
+let serve_chaos ?(name = "serve-chaos") ?(seed = 42) ?(duration_s = 2.0) () =
+  let benches = [ "atax"; "bicg"; "mvt" ] in
+  Printf.printf
+    "== %s: %d seeded adversaries + 1 well-behaved client vs the daemon \
+     for %.1f s (seed %d) ==\n"
+    name
+    (List.length Cayman_fault.Chaos.all_kinds)
+    duration_s seed;
+  (* expected reply texts, computed in-process: the daemon's replies
+     are byte-identical to the CLI's stdout by construction (shared
+     Serve.Handlers), so this is the identity oracle *)
+  let expected =
+    List.map
+      (fun b ->
+        let text =
+          match Serve.Handlers.load ~bench:b () with
+          | Error m -> failwith (name ^ ": " ^ m)
+          | Ok p ->
+            (match
+               Serve.Handlers.run_text ~budget:0.25 ~mode:"full" ~alpha:1.08 p
+             with
+             | Ok text -> text
+             | Error m -> failwith (name ^ ": " ^ m))
+        in
+        b, text)
+      benches
+  in
+  (* fresh private store + socket, ambient store restored afterwards *)
+  let store_dir = Filename.temp_file "cayman-serve-chaos" "" in
+  Sys.remove store_dir;
+  Sys.mkdir store_dir 0o700;
+  let prev_store = Memo.Store.ambient () in
+  Memo.Store.reset_memory ();
+  let sock = Filename.temp_file "cayman-serve-chaos" ".sock" in
+  Sys.remove sock;
+  let config =
+    { Serve.Server.default_config with
+      Serve.Server.sc_interp = Some Sim.Interp.Staged;
+      sc_cache = true;
+      sc_cache_dir = Some store_dir;
+      (* small caps so the campaign actually exercises the defenses
+         (the write cap still comfortably exceeds the largest single
+         reply these requests produce) *)
+      sc_max_queue = 64;
+      sc_max_write_buf = 64 * 1024 }
+  in
+  (* deltas, not totals: serve-load may have run in this process *)
+  let c_shed = Obs.Metrics.counter "serve.shed" in
+  let c_deadline = Obs.Metrics.counter "serve.deadline_expired" in
+  let c_slow = Obs.Metrics.counter "serve.slow_client_disconnects" in
+  let c_requests = Obs.Metrics.counter "serve.requests" in
+  let c_errors = Obs.Metrics.counter "serve.errors" in
+  let v0 = List.map Obs.Metrics.value [ c_shed; c_deadline; c_slow; c_requests; c_errors ] in
+  let daemon =
+    Domain.spawn (fun () ->
+        match Serve.Server.serve_socket ~config sock with
+        | () -> None
+        | exception e -> Some (Printexc.to_string e))
+  in
+  let rec wait_up n =
+    if n = 0 then failwith (name ^ ": daemon did not come up");
+    match Serve.Client.connect sock with
+    | cl -> cl
+    | exception Unix.Unix_error _ ->
+      Unix.sleepf 0.01;
+      wait_up (n - 1)
+  in
+  let probe = wait_up 500 in
+  (* the adversaries, one domain per kind, all seeded off the campaign
+     seed and their own kind label *)
+  let adversaries =
+    List.map
+      (fun kind ->
+        Domain.spawn (fun () ->
+            Cayman_fault.Chaos.run ~duration_s ~seed ~kind sock))
+      Cayman_fault.Chaos.all_kinds
+  in
+  (* the well-behaved client, concurrently: replay `run` requests with
+     the retrying client and check every byte *)
+  let wb =
+    Domain.spawn (fun () ->
+        let deadline = Unix.gettimeofday () +. duration_s in
+        let cl = ref (Serve.Client.connect sock) in
+        let requests = ref 0 in
+        let ok = ref 0 in
+        let mismatches = ref 0 in
+        let shed_final = ref 0 in
+        let unexpected = ref [] in
+        let exns = ref 0 in
+        while Unix.gettimeofday () < deadline do
+          List.iter
+            (fun (b, want) ->
+              incr requests;
+              match Serve.Client.rpc_retry !cl ~bench:b "run" with
+              | r ->
+                if r.Serve.Protocol.rp_ok then begin
+                  if r.Serve.Protocol.rp_output = want then incr ok
+                  else incr mismatches
+                end
+                else if r.Serve.Protocol.rp_class = "overloaded"
+                        || r.Serve.Protocol.rp_class = "deadline-expired"
+                then incr shed_final
+                else unexpected := r.Serve.Protocol.rp_class :: !unexpected
+              | exception _ ->
+                incr exns;
+                (match Serve.Client.connect sock with
+                 | fresh ->
+                   Serve.Client.close !cl;
+                   cl := fresh
+                 | exception _ -> ()))
+            expected
+        done;
+        Serve.Client.close !cl;
+        (!requests, !ok, !mismatches, !shed_final, !unexpected, !exns))
+  in
+  let adv_stats = List.map Domain.join adversaries in
+  let wb_requests, wb_ok, wb_mismatches, wb_shed, wb_unexpected, wb_exns =
+    Domain.join wb
+  in
+  (* after the abuse: the daemon must still answer, and its telemetry
+     must still parse *)
+  let health_ok =
+    match Serve.Client.rpc probe "health" with
+    | r -> r.Serve.Protocol.rp_ok && r.Serve.Protocol.rp_output = "ok\n"
+    | exception _ -> false
+  in
+  let telemetry_ok =
+    match Serve.Client.telemetry probe with
+    | r ->
+      r.Serve.Protocol.rp_ok
+      && Result.is_ok (Obs.Expose.parse r.Serve.Protocol.rp_output)
+    | exception _ -> false
+  in
+  let hwm =
+    match List.assoc_opt "serve.write_buf_hwm" (Obs.Metrics.snapshot ()) with
+    | Some (Obs.Metrics.S_gauge v) -> v
+    | _ -> 0
+  in
+  (match Serve.Client.shutdown probe with
+   | () -> ()
+   | exception _ -> ());
+  Serve.Client.close probe;
+  let crash = Domain.join daemon in
+  Memo.Store.reset_memory ();
+  (match prev_store with
+   | Some s -> Memo.Store.enable ~dir:(Memo.Store.dir s) ()
+   | None -> Memo.Store.disable ());
+  let rec rm_rf path =
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+  in
+  (try rm_rf store_dir with Sys_error _ -> ());
+  let v1 =
+    List.map Obs.Metrics.value [ c_shed; c_deadline; c_slow; c_requests; c_errors ]
+  in
+  let d_shed, d_deadline, d_slow, d_requests, d_errors =
+    match List.map2 (fun a b -> a - b) v1 v0 with
+    | [ a; b; c; d; e ] -> a, b, c, d, e
+    | _ -> 0, 0, 0, 0, 0
+  in
+  List.iter
+    (fun (s : Cayman_fault.Chaos.stats) ->
+      Printf.printf
+        "%s: adversary %-17s %4d connects, %4d sends, %8d bytes, %4d \
+         peer-closes, %d local errors\n"
+        name s.Cayman_fault.Chaos.st_kind s.Cayman_fault.Chaos.st_connects
+        s.Cayman_fault.Chaos.st_sends s.Cayman_fault.Chaos.st_bytes_sent
+        s.Cayman_fault.Chaos.st_peer_closes
+        s.Cayman_fault.Chaos.st_local_errors)
+    adv_stats;
+  Printf.printf
+    "%s: well-behaved client: %d requests, %d ok, %d mismatches, %d shed \
+     after retries, %d unexpected classes, %d exceptions\n"
+    name wb_requests wb_ok wb_mismatches wb_shed
+    (List.length wb_unexpected)
+    wb_exns;
+  Printf.printf
+    "%s: daemon counters: %d served, %d errors, %d shed, %d \
+     deadline-expired, %d slow-client disconnects\n"
+    name d_requests d_errors d_shed d_deadline d_slow;
+  Printf.printf "%s: write-buffer high-water mark %d bytes (cap %d)\n" name
+    hwm config.Serve.Server.sc_max_write_buf;
+  Printf.printf "%s: daemon crash: %s; health %s; telemetry parse %s\n" name
+    (match crash with None -> "none" | Some m -> m)
+    (if health_ok then "ok" else "FAIL")
+    (if telemetry_ok then "ok" else "FAIL");
+  flush stdout;
+  Json_out.merge_trajectory "chaos"
+    (Json_out.Obj
+       [ "experiment", Json_out.String name;
+         "seed", Json_out.Int seed;
+         "duration_s", Json_out.Float duration_s;
+         ( "daemon_crash",
+           match crash with
+           | None -> Json_out.Null
+           | Some m -> Json_out.String m );
+         ( "well_behaved",
+           Json_out.Obj
+             [ "requests", Json_out.Int wb_requests;
+               "ok", Json_out.Int wb_ok;
+               "mismatches", Json_out.Int wb_mismatches;
+               "shed_after_retries", Json_out.Int wb_shed;
+               "unexpected_classes", Json_out.Int (List.length wb_unexpected);
+               "exceptions", Json_out.Int wb_exns ] );
+         ( "adversaries",
+           Json_out.List
+             (List.map
+                (fun (s : Cayman_fault.Chaos.stats) ->
+                  Json_out.Obj
+                    [ "kind", Json_out.String s.Cayman_fault.Chaos.st_kind;
+                      "connects", Json_out.Int s.Cayman_fault.Chaos.st_connects;
+                      "sends", Json_out.Int s.Cayman_fault.Chaos.st_sends;
+                      ( "bytes_sent",
+                        Json_out.Int s.Cayman_fault.Chaos.st_bytes_sent );
+                      ( "peer_closes",
+                        Json_out.Int s.Cayman_fault.Chaos.st_peer_closes );
+                      ( "local_errors",
+                        Json_out.Int s.Cayman_fault.Chaos.st_local_errors ) ])
+                adv_stats) );
+         ( "daemon",
+           Json_out.Obj
+             [ "requests", Json_out.Int d_requests;
+               "errors", Json_out.Int d_errors;
+               "shed", Json_out.Int d_shed;
+               "deadline_expired", Json_out.Int d_deadline;
+               "slow_client_disconnects", Json_out.Int d_slow ] );
+         ( "write_buf",
+           Json_out.Obj
+             [ "hwm_bytes", Json_out.Int hwm;
+               "cap_bytes", Json_out.Int config.Serve.Server.sc_max_write_buf
+             ] );
+         "health_ok", Json_out.Bool health_ok;
+         "telemetry_parse_ok", Json_out.Bool telemetry_ok ]);
+  let failed =
+    crash <> None || wb_mismatches > 0 || wb_unexpected <> [] || wb_exns > 0
+    || (not health_ok) || (not telemetry_ok)
+    || hwm > config.Serve.Server.sc_max_write_buf
+  in
+  if failed then begin
+    prerr_endline
+      (name
+      ^ ": chaos campaign failed (crash, identity, unhandled class, or \
+         write-buffer bound)");
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1362,8 +1638,9 @@ let usage () =
     "usage: main.exe [--bechamel] [--json BASE] [--fuel N]\n\
     \                [--cache-dir DIR] [--no-cache]\n\
     \                [table1|fig2|fig4|table2|fig6|cosim|faults|profile|\n\
-    \                 serve-load|serve-load-small|ablation-filter|\n\
-    \                 ablation-merge|ablation-cache|ablation-dse|all]\n\
+    \                 serve-load|serve-load-small|serve-chaos|\n\
+    \                 ablation-filter|ablation-merge|ablation-cache|\n\
+    \                 ablation-dse|all]\n\
      CAYMAN_JOBS=N parallelizes evaluation across N domains; stdout is\n\
      byte-identical for every N (wall-time reports go to stderr).\n\
      --json BASE additionally writes BASE_<experiment>.json for the\n\
@@ -1374,7 +1651,10 @@ let usage () =
      CAYMAN_BENCH_REPS reps (default 5) and writes its trajectory to\n\
      BASE.json itself; the opt-in serve-load experiment replays the\n\
      suite concurrently against an in-process daemon and reports\n\
-     requests/s plus latency percentiles the same way. Trajectory\n\
+     requests/s plus latency percentiles the same way; the opt-in\n\
+     serve-chaos experiment abuses the daemon with seeded socket-level\n\
+     adversaries (Fault.Chaos) and merges its report into BASE.json\n\
+     under \"chaos\". Trajectory\n\
      writes also refresh BENCH_latest.json for `cayman bench-diff`.\n\
      --fuel N bounds every interpreter run at N executed instructions\n\
      (also CAYMAN_FUEL); exhaustion is a diagnostic, not a hang.\n\
@@ -1465,6 +1745,7 @@ let () =
            ()
        | "profile" -> profile ()
        | "serve-load" -> serve_load ()
+       | "serve-chaos" -> serve_chaos ()
        | "serve-load-small" ->
          serve_load ~name:"serve-load-small"
            ~benchmarks:

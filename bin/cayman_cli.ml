@@ -664,7 +664,8 @@ let cache_t =
    startup (staged unless --interp says otherwise) so every reply over
    the daemon's lifetime comes from the same engine. *)
 
-let serve_cmd socket stdio jobs fuel interp cache_dir no_cache trace =
+let serve_cmd socket stdio jobs fuel interp cache_dir no_cache max_queue
+    max_write_buf drain_timeout trace =
   with_trace trace @@ fun () ->
   with_diagnostics @@ fun () ->
   let config =
@@ -673,7 +674,12 @@ let serve_cmd socket stdio jobs fuel interp cache_dir no_cache trace =
       sc_fuel = fuel;
       sc_interp = Some (Option.value interp ~default:Sim.Interp.Staged);
       sc_cache_dir = cache_dir;
-      sc_cache = not no_cache }
+      sc_cache = not no_cache;
+      sc_max_queue = max_queue;
+      sc_max_write_buf = max_write_buf;
+      sc_drain_timeout_s = drain_timeout;
+      (* a real daemon process: SIGTERM means drain and exit 0 *)
+      sc_handle_sigterm = true }
   in
   if stdio then begin
     Serve.Server.serve_fds ~config ~input:Unix.stdin ~output:Unix.stdout ();
@@ -702,6 +708,35 @@ let serve_t =
     in
     Arg.(value & flag & info [ "stdio" ] ~doc)
   in
+  let max_queue_arg =
+    let doc =
+      "Pending compute requests admitted before new ones are shed with \
+       a structured `overloaded' reply (and retry-after hint)."
+    in
+    Arg.(value
+         & opt int Serve.Server.default_config.Serve.Server.sc_max_queue
+         & info [ "max-queue" ] ~doc ~docv:"N")
+  in
+  let max_write_buf_arg =
+    let doc =
+      "Per-connection outgoing buffer cap in bytes; a peer that stops \
+       reading its replies is disconnected once its backlog would \
+       exceed this (must exceed the largest single reply)."
+    in
+    Arg.(value
+         & opt int Serve.Server.default_config.Serve.Server.sc_max_write_buf
+         & info [ "max-write-buf" ] ~doc ~docv:"BYTES")
+  in
+  let drain_timeout_arg =
+    let doc =
+      "Bound in seconds on the drain phase after `shutdown' or \
+       SIGTERM: finish queued batches and flush write buffers, then \
+       exit regardless."
+    in
+    Arg.(value
+         & opt float Serve.Server.default_config.Serve.Server.sc_drain_timeout_s
+         & info [ "drain-timeout" ] ~doc ~docv:"SECONDS")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -709,9 +744,12 @@ let serve_t =
           compile/profile/select/cosim requests multiplexed over one \
           shared worker pool and warm memoization layer, each request \
           fuel-budgeted so a bad one degrades to a structured error \
-          reply")
+          reply; overload is shed at a bounded queue, slow readers are \
+          disconnected at a bounded write buffer, and SIGTERM drains \
+          gracefully")
     Term.(const serve_cmd $ socket_arg $ stdio_arg $ jobs_arg $ fuel_arg
-          $ interp_arg $ cache_dir_arg $ no_cache_arg $ trace_arg)
+          $ interp_arg $ cache_dir_arg $ no_cache_arg $ max_queue_arg
+          $ max_write_buf_arg $ drain_timeout_arg $ trace_arg)
 
 (* cayman bench-diff OLD.json NEW.json — regression gate over the mean
    wall times of two bench trajectory files (exit 2 on regression). *)
@@ -825,9 +863,18 @@ let render_top ~socket fams =
   Printf.bprintf b
     "totals   %.0f requests   %.0f errors   cache %.1f%% hit (%.0f/%.0f)\n"
     requests errors hit_pct hits (hits +. misses);
-  Printf.bprintf b "now      queue %.0f   inflight %.0f\n"
+  Printf.bprintf b "now      queue %.0f   inflight %.0f   write-buf %.0fB \
+                    (hwm %.0fB)\n"
     (v "cayman_serve_queue_depth" "")
-    (v "cayman_serve_inflight" "");
+    (v "cayman_serve_inflight" "")
+    (v "cayman_serve_write_buf_bytes" "")
+    (v "cayman_serve_write_buf_hwm" "");
+  Printf.bprintf b
+    "overload %.0f shed   %.0f deadline-expired   %.0f slow-client \
+     disconnects\n"
+    (v "cayman_serve_shed_total" "")
+    (v "cayman_serve_deadline_expired_total" "")
+    (v "cayman_serve_slow_client_disconnects_total" "");
   let wname = "cayman_window_serve_latency_us" in
   Printf.bprintf b
     "window   %.1fs span   %.1f req/s   %.0f errors   latency p50 %.0fus \

@@ -1,0 +1,271 @@
+(* Socket-level adversaries for the serve chaos campaign
+   (DESIGN.md section 14).
+
+   Each adversary is a seeded misbehaving peer aimed at a daemon's
+   Unix-domain socket: it connects, does one specific bad thing
+   (truncated frames, flipped bytes, hangups mid-request, a reader that
+   never drains its replies, floods of oversized headers, raw garbage),
+   and repeats until its deadline. Every behaviour draws from an
+   {!Rng} stream split off the campaign seed and the adversary's kind,
+   so a campaign's entire abuse schedule is a pure function of the
+   seed — rerunning it replays byte-for-byte the same attack.
+
+   This module deliberately does NOT depend on Serve.Protocol (serve
+   sits above the fault layer) and hand-rolls the 4-byte big-endian
+   framing instead: an adversary that builds its own frames is also the
+   realistic one — it can lie about lengths, stop mid-header, and send
+   things no well-behaved encoder would.
+
+   Adversaries never raise. A daemon defending itself (slow-client
+   disconnect, oversized-frame close, drain) surfaces here as EPIPE /
+   ECONNRESET / a zero-byte read, all counted as peer closes; that the
+   daemon ALSO keeps answering its well-behaved clients is the chaos
+   harness's job to check. *)
+
+type kind =
+  | Torn_frame  (* truncated header or payload, then hangup *)
+  | Corrupt_frame  (* well-framed garbage payload bytes *)
+  | Mid_request_close  (* valid request, hangup before the reply *)
+  | Stalled_reader  (* valid requests, then never reads replies *)
+  | Oversized_flood  (* headers declaring absurd lengths *)
+  | Garbage_stream  (* raw random bytes, no framing at all *)
+
+let all_kinds =
+  [ Torn_frame; Corrupt_frame; Mid_request_close; Stalled_reader;
+    Oversized_flood; Garbage_stream ]
+
+let kind_name = function
+  | Torn_frame -> "torn-frame"
+  | Corrupt_frame -> "corrupt-frame"
+  | Mid_request_close -> "mid-request-close"
+  | Stalled_reader -> "stalled-reader"
+  | Oversized_flood -> "oversized-flood"
+  | Garbage_stream -> "garbage-stream"
+
+type stats = {
+  st_kind : string;
+  st_connects : int;  (* successful dials *)
+  st_sends : int;  (* send actions attempted *)
+  st_bytes_sent : int;
+  st_peer_closes : int;  (* daemon hung up on us (its defenses) *)
+  st_local_errors : int;  (* dial failures and other local trouble *)
+}
+
+(* --- wire building blocks -------------------------------------------- *)
+
+let header_of_len n =
+  let b = Bytes.create 4 in
+  Bytes.set_uint8 b 0 ((n lsr 24) land 0xff);
+  Bytes.set_uint8 b 1 ((n lsr 16) land 0xff);
+  Bytes.set_uint8 b 2 ((n lsr 8) land 0xff);
+  Bytes.set_uint8 b 3 (n land 0xff);
+  Bytes.unsafe_to_string b
+
+let frame payload = header_of_len (String.length payload) ^ payload
+
+(* A syntactically valid request the daemon will actually parse —
+   adversaries that want to reach the compute path (then misbehave
+   around it) need one. Cheap verbs only: the point is abuse of the
+   service layer, not pipeline load. *)
+let valid_request ~id ~verb ~bench =
+  Printf.sprintf
+    {|{"id": %d, "verb": "%s", "bench": "%s", "budget": 0.25, "mode": "full", "alpha": 1.08}|}
+    id verb bench
+
+let random_bytes rng n =
+  String.init n (fun _ -> Char.chr (Rng.int rng 256))
+
+(* --- the adversary loop ---------------------------------------------- *)
+
+type peer = {
+  p_fd : Unix.file_descr;
+  mutable p_open : bool;
+  mutable p_peer_closed : bool;  (* the daemon hung up on us *)
+}
+
+let dial path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | () -> Some { p_fd = fd; p_open = true; p_peer_closed = false }
+  | exception Unix.Unix_error _ ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    None
+
+let hangup p =
+  if p.p_open then begin
+    p.p_open <- false;
+    try Unix.close p.p_fd with Unix.Unix_error _ -> ()
+  end
+
+(* Write with a short timeout so an adversary can neither block forever
+   on a daemon that (correctly) stops reading from it, nor miss the
+   campaign deadline. Returns bytes written before the peer pushed
+   back, closed, or the timeout hit. *)
+let send_some p s =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  let live = ref true in
+  while !live && !off < n do
+    match Unix.select [] [ p.p_fd ] [] 0.05 with
+    | _, [], _ -> live := false  (* kernel buffer full; daemon busy *)
+    | _ ->
+      (match Unix.write p.p_fd b !off (n - !off) with
+       | 0 -> live := false
+       | w -> off := !off + w
+       | exception Unix.Unix_error ((EPIPE | ECONNRESET | EBADF), _, _) ->
+         p.p_peer_closed <- true;
+         hangup p;
+         live := false
+       | exception Unix.Unix_error (EINTR, _, _) -> ())
+    | exception Unix.Unix_error (EINTR, _, _) -> ()
+  done;
+  !off
+
+(* Drain whatever replies are immediately available, discarding them;
+   a zero-byte read is the daemon hanging up. *)
+let drain_replies p =
+  let buf = Bytes.create 4096 in
+  let closed = ref false in
+  let more = ref true in
+  while !more do
+    match Unix.select [ p.p_fd ] [] [] 0.0 with
+    | [], _, _ -> more := false
+    | _ ->
+      (match Unix.read p.p_fd buf 0 4096 with
+       | 0 ->
+         closed := true;
+         more := false
+       | _ -> ()
+       | exception Unix.Unix_error ((ECONNRESET | EPIPE | EBADF), _, _) ->
+         closed := true;
+         more := false
+       | exception Unix.Unix_error (EINTR, _, _) -> ())
+    | exception Unix.Unix_error (EINTR, _, _) -> more := false
+  done;
+  if !closed then begin
+    p.p_peer_closed <- true;
+    hangup p
+  end;
+  !closed
+
+(* One connection's worth of misbehaviour; returns (sends, bytes). *)
+let session rng kind ~bench p =
+  let sends = ref 0 in
+  let bytes = ref 0 in
+  let send s =
+    incr sends;
+    bytes := !bytes + send_some p s
+  in
+  (match kind with
+   | Torn_frame ->
+     (* a syntactically fine frame cut mid-header or mid-payload *)
+     let payload = valid_request ~id:(Rng.int rng 1000) ~verb:"health" ~bench in
+     let whole = frame payload in
+     let cut = 1 + Rng.int rng (String.length whole - 1) in
+     send (String.sub whole 0 cut)
+   | Corrupt_frame ->
+     (* framing intact, payload bytes flipped: must come back as a
+        per-frame bad-request reply, never kill the stream *)
+     let payload =
+       Bytes.of_string (valid_request ~id:(Rng.int rng 1000) ~verb:"run" ~bench)
+     in
+     let flips = 1 + Rng.int rng 8 in
+     for _ = 1 to flips do
+       let i = Rng.int rng (Bytes.length payload) in
+       Bytes.set payload i (Char.chr (Rng.int rng 256))
+     done;
+     send (frame (Bytes.to_string payload));
+     ignore (drain_replies p : bool)
+   | Mid_request_close ->
+     (* a real compute request, then vanish before the reply: the
+        daemon pays for the work and must shrug off the dead peer *)
+     send (frame (valid_request ~id:(Rng.int rng 1000) ~verb:"run" ~bench));
+     hangup p
+   | Stalled_reader ->
+     (* pile up reply bytes and never read them: the slow-client
+        policy must disconnect us before buffering unbounded memory.
+        Enough dump requests that the replies overflow both the kernel
+        socket buffer and any sane user-space cap. *)
+     let reqs = 64 + Rng.int rng 64 in
+     for i = 1 to reqs do
+       ignore
+         (send (frame (valid_request ~id:i ~verb:"dump" ~bench)) : unit)
+     done
+     (* ...and now simply hold the connection without reading *)
+   | Oversized_flood ->
+     (* headers declaring absurd lengths; each must be answered with an
+        oversized-frame error and a close, cheaply *)
+     send (header_of_len (64 * 1024 * 1024 + Rng.int rng 1000000));
+     ignore (drain_replies p : bool)
+   | Garbage_stream ->
+     (* no framing discipline at all *)
+     send (random_bytes rng (1 + Rng.int rng 4096));
+     ignore (drain_replies p : bool));
+  !sends, !bytes
+
+(* An adversary holds its connection a beat after misbehaving (stalled
+   readers in particular only hurt while connected), polling for the
+   daemon's verdict. *)
+let linger p ~deadline ~hold_s =
+  let until = Float.min deadline (Unix.gettimeofday () +. hold_s) in
+  let closed = ref false in
+  while (not !closed) && p.p_open && Unix.gettimeofday () < until do
+    (match Unix.select [ p.p_fd ] [] [] 0.02 with
+     | [], _, _ -> ()
+     | _ ->
+       (* readable: either a reply (stalled readers ignore the content,
+          the kernel buffered it) or EOF — probe cheaply *)
+       let buf = Bytes.create 1 in
+       (match Unix.recv p.p_fd buf 0 1 [ Unix.MSG_PEEK ] with
+        | 0 -> closed := true
+        | _ ->
+          (* data waiting; a stalled reader leaves it there *)
+          Unix.sleepf 0.02
+        | exception Unix.Unix_error ((ECONNRESET | EPIPE | EBADF), _, _) ->
+          closed := true
+        | exception Unix.Unix_error (EINTR, _, _) -> ())
+     | exception Unix.Unix_error (EINTR, _, _) -> ())
+  done;
+  if !closed then begin
+    p.p_peer_closed <- true;
+    hangup p
+  end;
+  !closed
+
+let run ?(duration_s = 2.0) ~seed ~kind path =
+  let rng = Rng.split (Rng.make seed) (kind_name kind) in
+  let bench = "atax" in
+  let deadline = Unix.gettimeofday () +. duration_s in
+  let connects = ref 0 in
+  let sends = ref 0 in
+  let bytes = ref 0 in
+  let peer_closes = ref 0 in
+  let local_errors = ref 0 in
+  while Unix.gettimeofday () < deadline do
+    (match dial path with
+     | None ->
+       incr local_errors;
+       Unix.sleepf 0.01
+     | Some p ->
+       incr connects;
+       let s, b = session rng kind ~bench p in
+       sends := !sends + s;
+       bytes := !bytes + b;
+       let hold_s =
+         match kind with
+         | Stalled_reader -> duration_s  (* stall as long as we can *)
+         | _ -> 0.01 +. (float_of_int (Rng.int rng 30) /. 1000.0)
+       in
+       if p.p_open then ignore (linger p ~deadline ~hold_s : bool);
+       if p.p_peer_closed then incr peer_closes;
+       hangup p);
+    (* brief seeded pause between connections so kinds interleave *)
+    Unix.sleepf (0.002 +. (float_of_int (Rng.int rng 10) /. 1000.0))
+  done;
+  { st_kind = kind_name kind;
+    st_connects = !connects;
+    st_sends = !sends;
+    st_bytes_sent = !bytes;
+    st_peer_closes = !peer_closes;
+    st_local_errors = !local_errors }

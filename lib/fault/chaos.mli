@@ -1,0 +1,46 @@
+(** Seeded socket-level adversaries for the serve chaos campaign
+    (DESIGN.md section 14).
+
+    Each {!run} drives one kind of misbehaving peer against a daemon's
+    Unix-domain socket until a deadline: truncated frames, corrupted
+    payloads, hangups mid-request, readers that never drain their
+    replies, floods of oversized headers, raw garbage. All behaviour
+    draws from an {!Rng} stream split off [(seed, kind)], so a
+    campaign's abuse schedule replays byte-for-byte.
+
+    The framing is hand-rolled here (not {!Serve.Protocol}): an
+    adversary that builds its own frames can lie about lengths and stop
+    mid-header, which is exactly the point — and it keeps the fault
+    layer below the serve layer in the dependency order.
+
+    Adversaries never raise; the daemon's defenses (slow-client
+    disconnect, oversized-frame close, drain) show up in the returned
+    {!stats} as peer closes. *)
+
+type kind =
+  | Torn_frame  (** truncated header or payload, then hangup *)
+  | Corrupt_frame  (** well-framed garbage payload bytes *)
+  | Mid_request_close  (** valid request, hangup before the reply *)
+  | Stalled_reader  (** valid requests, then never reads replies *)
+  | Oversized_flood  (** headers declaring absurd lengths *)
+  | Garbage_stream  (** raw random bytes, no framing at all *)
+
+val all_kinds : kind list
+
+(** Stable snake-less name ("torn-frame", ...), also the {!Rng.split}
+    label for the adversary's stream. *)
+val kind_name : kind -> string
+
+type stats = {
+  st_kind : string;
+  st_connects : int;  (** successful dials *)
+  st_sends : int;  (** send actions attempted *)
+  st_bytes_sent : int;
+  st_peer_closes : int;  (** the daemon hung up on us (its defenses) *)
+  st_local_errors : int;  (** dial failures and other local trouble *)
+}
+
+(** [run ~seed ~kind path] misbehaves at the daemon on [path] for
+    [duration_s] (default 2.0) seconds of repeated connections, and
+    reports what happened. Never raises. *)
+val run : ?duration_s:float -> seed:int -> kind:kind -> string -> stats

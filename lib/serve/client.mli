@@ -2,7 +2,12 @@
 
     Replies on one connection may arrive out of send order (control
     verbs are answered inline, compute verbs in batches), so the client
-    keeps a pending-reply table and correlates by request id. *)
+    keeps a pending-reply table and correlates by request id.
+
+    Connection loss during {!send} surfaces as a located
+    {!Cayman_frontend.Diag.Error} naming the socket path; {!rpc_retry}
+    additionally retries shed ([overloaded]) requests and reconnects
+    through daemon restarts with seeded jittered exponential backoff. *)
 
 type t
 
@@ -19,12 +24,22 @@ val of_fds :
   unit ->
   t
 
-(** Closes the fd only when this client opened it ({!connect}). *)
+(** Closes the fd only when this client opened it ({!connect},
+    {!reconnect}). *)
 val close : t -> unit
+
+(** Drop the current connection and dial the daemon's socket again.
+    Parked replies survive; in-flight ones are lost with the old
+    connection.
+    @raise Cayman_frontend.Diag.Error on an fd-pair client (no path).
+    @raise Unix.Unix_error when nothing is listening. *)
+val reconnect : t -> unit
 
 (** Next unused request id on this connection (1, 2, ...). *)
 val fresh_id : t -> int
 
+(** @raise Cayman_frontend.Diag.Error when the peer hung up mid-send
+    ([EPIPE]/[ECONNRESET]), naming the socket path. *)
 val send : t -> Protocol.request -> unit
 
 (** Wait for the reply with [id], parking other replies.
@@ -50,6 +65,43 @@ val rpc :
   ?fuel:int ->
   ?max_invocations:int ->
   ?n:int ->
+  ?deadline_ms:int ->
+  string ->
+  Protocol.reply
+
+(** Retry policy for {!rpc_retry}: up to [r_attempts] tries, delay
+    [min r_max_delay_s (r_base_delay_s * 2^attempt)] scaled by a
+    seeded jitter in [0.5, 1.0) — never below the server's
+    retry-after-ms hint when one was shed. *)
+type retry = {
+  r_attempts : int;
+  r_base_delay_s : float;
+  r_max_delay_s : float;
+}
+
+(** 5 attempts, 50 ms base, 1 s cap. *)
+val default_retry : retry
+
+(** {!rpc} plus the client half of the overload contract: a structured
+    [overloaded] reply backs off (honoring the server's retry-after-ms
+    hint as the delay floor) and resends; a lost connection reconnects
+    (socket-path clients only) and resends. Safe for every verb — all
+    replies are pure functions of the request or idempotent. The final
+    attempt's reply (including an [overloaded] one) is returned as-is.
+    @raise Cayman_frontend.Diag.Error when every attempt loses the
+    connection. *)
+val rpc_retry :
+  t ->
+  ?retry:retry ->
+  ?bench:string ->
+  ?source:string ->
+  ?budget:float ->
+  ?mode:string ->
+  ?alpha:float ->
+  ?fuel:int ->
+  ?max_invocations:int ->
+  ?n:int ->
+  ?deadline_ms:int ->
   string ->
   Protocol.reply
 

@@ -96,10 +96,14 @@ type request = {
   rq_fuel : int option;  (* per-request interpreter budget *)
   rq_max_invocations : int option;  (* cosim cap *)
   rq_n : int option;  (* generic count argument (log-tail N) *)
+  rq_deadline_ms : int option;
+  (* time budget, measured from when the server first parses the
+     request: expiry while queued sheds it before the pool, and the
+     remaining deadline clamps the fuel budget during execution *)
 }
 
 let request ?bench ?source ?(budget = 0.25) ?(mode = "full") ?(alpha = 1.08)
-    ?fuel ?max_invocations ?n ~id verb =
+    ?fuel ?max_invocations ?n ?deadline_ms ~id verb =
   { rq_id = id;
     rq_verb = verb;
     rq_bench = bench;
@@ -109,7 +113,8 @@ let request ?bench ?source ?(budget = 0.25) ?(mode = "full") ?(alpha = 1.08)
     rq_alpha = alpha;
     rq_fuel = fuel;
     rq_max_invocations = max_invocations;
-    rq_n = n }
+    rq_n = n;
+    rq_deadline_ms = deadline_ms }
 
 let request_to_json (r : request) : Obs.Json.t =
   let opt name f v rest =
@@ -127,7 +132,12 @@ let request_to_json (r : request) : Obs.Json.t =
                    (opt "max_invocations"
                       (fun n -> Obs.Json.Int n)
                       r.rq_max_invocations
-                      (opt "n" (fun n -> Obs.Json.Int n) r.rq_n [])))))
+                      (opt "n"
+                         (fun n -> Obs.Json.Int n)
+                         r.rq_n
+                         (opt "deadline_ms"
+                            (fun n -> Obs.Json.Int n)
+                            r.rq_deadline_ms []))))))
 
 (* Parse failures distinguish "we know which request to blame" from "we
    don't even have an id": the error reply echoes the id when there is
@@ -160,7 +170,8 @@ let request_of_json (j : Obs.Json.t) : (request, int * string) result =
         rq_alpha = num "alpha" 1.08;
         rq_fuel = int_opt "fuel";
         rq_max_invocations = int_opt "max_invocations";
-        rq_n = int_opt "n" }
+        rq_n = int_opt "n";
+        rq_deadline_ms = int_opt "deadline_ms" }
 
 let parse_request payload : (request, int * string) result =
   match Obs.Json.parse payload with

@@ -48,6 +48,11 @@ type request = {
   rq_fuel : int option;  (** per-request interpreter budget *)
   rq_max_invocations : int option;
   rq_n : int option;  (** generic count argument ([log-tail N]) *)
+  rq_deadline_ms : int option;
+      (** time budget, measured from when the server first parses the
+          request: expiry while queued sheds the request with a
+          [deadline-expired] error before it reaches the pool, and the
+          remaining deadline clamps the fuel budget during execution *)
 }
 
 (** Build a request with the CLI's defaults (budget 0.25, mode "full",
@@ -61,6 +66,7 @@ val request :
   ?fuel:int ->
   ?max_invocations:int ->
   ?n:int ->
+  ?deadline_ms:int ->
   id:int ->
   string ->
   request

@@ -453,6 +453,320 @@ let test_non_socket_refused () =
      check "diagnosed phase" "serve" d.Cayman_frontend.Diag.d_phase);
   check_bool "file untouched" true (Sys.file_exists path)
 
+(* ------------------------------------------------------------------ *)
+(* Overload hardening                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let frame_of_request r =
+  Serve.Protocol.frame_of_payload
+    (Obs.Json.to_string (Serve.Protocol.request_to_json r))
+
+(* A flood beyond the pending-queue cap, delivered as one blob so the
+   daemon parses it in a single wave: the first [sc_max_queue] requests
+   are admitted, the rest shed immediately with a structured overloaded
+   reply carrying a retry-after hint — and every request gets SOME
+   answer, in particular the shed ones before the admitted ones finish. *)
+let test_overload_shed () =
+  let config =
+    { Serve.Server.default_config with Serve.Server.sc_max_queue = 4 }
+  in
+  with_fd_server_fd ~config @@ fun cl fd ->
+  let blob =
+    String.concat ""
+      (List.init 10 (fun i ->
+           frame_of_request
+             (Serve.Protocol.request ~bench:"atax" ~id:(i + 1) "profile")))
+  in
+  write_raw fd blob;
+  let expected = expected_profile "atax" in
+  for id = 1 to 4 do
+    let r = Serve.Client.recv cl ~id in
+    check_bool (Printf.sprintf "request %d admitted" id) true
+      r.Serve.Protocol.rp_ok;
+    check (Printf.sprintf "request %d output" id) expected
+      r.Serve.Protocol.rp_output
+  done;
+  for id = 5 to 10 do
+    let r = Serve.Client.recv cl ~id in
+    check_bool (Printf.sprintf "request %d shed" id) false
+      r.Serve.Protocol.rp_ok;
+    check (Printf.sprintf "request %d class" id) "overloaded"
+      r.Serve.Protocol.rp_class;
+    check_bool
+      (Printf.sprintf "request %d carries retry hint" id)
+      true
+      (Testutil.contains r.Serve.Protocol.rp_output "retry-after-ms=")
+  done;
+  (* the connection survived the flood *)
+  let r = Serve.Client.rpc cl ~bench:"atax" "profile" in
+  check "post-flood request ok" expected r.Serve.Protocol.rp_output
+
+(* With a starvation-level fuel-per-ms rate, a 1 ms deadline queued
+   behind another compute either expires while queued or gets a fuel
+   clamp it cannot finish under — both must surface as a structured
+   deadline-expired reply, while the deadline-free batch-mate is
+   untouched. *)
+let test_deadline_expired () =
+  let config =
+    { Serve.Server.default_config with
+      Serve.Server.sc_fuel_per_ms = 1;
+      sc_max_batch = 1
+    }
+  in
+  with_fd_server_fd ~config @@ fun cl fd ->
+  write_raw fd
+    (frame_of_request (Serve.Protocol.request ~bench:"fft" ~id:1 "profile")
+    ^ frame_of_request
+        (Serve.Protocol.request ~bench:"atax" ~deadline_ms:1 ~id:2 "profile"));
+  let r1 = Serve.Client.recv cl ~id:1 in
+  check_bool "deadline-free batch-mate ok" true r1.Serve.Protocol.rp_ok;
+  check "deadline-free output" (expected_profile "fft")
+    r1.Serve.Protocol.rp_output;
+  let r2 = Serve.Client.recv cl ~id:2 in
+  check_bool "tight deadline fails" false r2.Serve.Protocol.rp_ok;
+  check "tight deadline class" "deadline-expired" r2.Serve.Protocol.rp_class
+
+(* A generous deadline must not perturb the reply at all: the fuel
+   clamp it implies exceeds the ambient budget, so the output is
+   byte-identical to the deadline-free one. *)
+let test_deadline_generous () =
+  with_fd_server @@ fun cl ->
+  let r = Serve.Client.rpc cl ~bench:"atax" ~deadline_ms:60_000 "profile" in
+  check_bool "generous deadline ok" true r.Serve.Protocol.rp_ok;
+  check "generous deadline output" (expected_profile "atax")
+    r.Serve.Protocol.rp_output
+
+(* Graceful drain: a shutdown arriving in the same wave as two compute
+   requests is acknowledged immediately, but the daemon still answers
+   the admitted work before closing the connection and returning. *)
+let test_graceful_drain_finishes_pending () =
+  with_fd_server_fd @@ fun cl fd ->
+  write_raw fd
+    (frame_of_request (Serve.Protocol.request ~bench:"fft" ~id:1 "profile")
+    ^ frame_of_request (Serve.Protocol.request ~bench:"atax" ~id:2 "profile")
+    ^ frame_of_request (Serve.Protocol.request ~id:3 "shutdown"));
+  let ack = Serve.Client.recv cl ~id:3 in
+  check "shutdown acknowledged" "shutting down\n" ack.Serve.Protocol.rp_output;
+  let r1 = Serve.Client.recv cl ~id:1 in
+  check "drained reply 1" (expected_profile "fft") r1.Serve.Protocol.rp_output;
+  let r2 = Serve.Client.recv cl ~id:2 in
+  check "drained reply 2" (expected_profile "atax") r2.Serve.Protocol.rp_output;
+  (* all pending work answered; now the daemon hangs up and exits *)
+  (match Serve.Client.recv_any cl with
+   | _ -> Alcotest.fail "expected EOF after drain"
+   | exception End_of_file -> ())
+
+(* The ISSUE acceptance criterion: one peer floods itself with big
+   replies and never reads them; the slow-client policy must disconnect
+   it at the write-buffer cap instead of buffering unboundedly, and —
+   the point — other connections keep being served throughout. *)
+let test_stalled_reader_isolation () =
+  let config =
+    { Serve.Server.default_config with
+      Serve.Server.sc_max_write_buf = 64 * 1024
+    }
+  in
+  let path = temp_sock () in
+  let m_slow = Obs.Metrics.counter "serve.slow_client_disconnects" in
+  let slow_before = Obs.Metrics.value m_slow in
+  with_socket_server ~config path @@ fun cl ->
+  (* a raw peer that asks for ~1 MB of dump replies and never reads:
+     far beyond the kernel socket buffer plus the 64 KB user-space cap *)
+  let stalled = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close stalled with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.connect stalled (Unix.ADDR_UNIX path);
+  let blob =
+    String.concat ""
+      (List.init 100 (fun i ->
+           frame_of_request
+             (Serve.Protocol.request ~bench:"fft" ~id:(i + 1) "dump")))
+  in
+  write_raw stalled blob;
+  (* while the stalled peer's replies pile up, a well-behaved client on
+     another connection must still be served, byte-correctly *)
+  let r = Serve.Client.rpc cl ~bench:"atax" "profile" in
+  check_bool "well-behaved client served during stall" true
+    r.Serve.Protocol.rp_ok;
+  check "well-behaved reply intact" (expected_profile "atax")
+    r.Serve.Protocol.rp_output;
+  (* the stalled peer must have been disconnected at the cap (the
+     daemon domain shares this process's metric registry) *)
+  let rec wait n =
+    if Obs.Metrics.value m_slow > slow_before then ()
+    else if n = 0 then
+      Alcotest.fail "slow-client disconnect never happened"
+    else begin
+      Unix.sleepf 0.01;
+      wait (n - 1)
+    end
+  in
+  wait 500;
+  (* and the stats verb reports it *)
+  let s = Serve.Client.rpc cl "stats" in
+  check_bool "stats reports slow-client disconnects" true
+    (Testutil.contains s.Serve.Protocol.rp_output "slow-client disconnects:")
+
+(* With admission switched off entirely (queue cap 0), every compute
+   attempt is shed; rpc_retry must back off and retry exactly
+   r_attempts times, then surface the final overloaded reply as-is. *)
+let test_client_retry_exhausts_on_shed () =
+  let config =
+    { Serve.Server.default_config with Serve.Server.sc_max_queue = 0 }
+  in
+  let m_shed = Obs.Metrics.counter "serve.shed" in
+  with_fd_server ~config @@ fun cl ->
+  let shed_before = Obs.Metrics.value m_shed in
+  let retry =
+    { Serve.Client.r_attempts = 3;
+      r_base_delay_s = 0.005;
+      r_max_delay_s = 0.02
+    }
+  in
+  let r = Serve.Client.rpc_retry cl ~retry ~bench:"atax" "profile" in
+  check_bool "final reply is the shed" false r.Serve.Protocol.rp_ok;
+  check "final class" "overloaded" r.Serve.Protocol.rp_class;
+  check_int "one shed per attempt" 3
+    (Obs.Metrics.value m_shed - shed_before);
+  (* control verbs bypass admission: the connection is still healthy *)
+  let h = Serve.Client.rpc cl "health" in
+  check "health bypasses admission" "ok\n" h.Serve.Protocol.rp_output
+
+(* A daemon restart: sends on the dead connection fail with a
+   structured diagnostic naming the socket path, and reconnect dials
+   the fresh daemon so the same client value keeps working. *)
+let test_client_reconnect_after_restart () =
+  let path = temp_sock () in
+  let spawn () = Domain.spawn (fun () -> Serve.Server.serve_socket path) in
+  let dom1 = spawn () in
+  let rec wait n =
+    if n = 0 then Alcotest.fail "daemon did not come up";
+    match Serve.Client.connect path with
+    | cl -> cl
+    | exception Unix.Unix_error _ ->
+      Unix.sleepf 0.01;
+      wait (n - 1)
+  in
+  let cl = wait 500 in
+  let r = Serve.Client.rpc cl "health" in
+  check "health before restart" "ok\n" r.Serve.Protocol.rp_output;
+  Serve.Client.shutdown cl;
+  Domain.join dom1;
+  (* the daemon is gone: a send must fail with a structured error that
+     names the socket path, not a bare Unix_error *)
+  (match Serve.Client.send cl (Serve.Protocol.request ~id:99 "health") with
+   | () -> Alcotest.fail "send on a dead connection must raise"
+   | exception Cayman_frontend.Diag.Error d ->
+     check "send error phase" "serve-client" d.Cayman_frontend.Diag.d_phase;
+     check_bool "send error names the socket" true
+       (Testutil.contains d.Cayman_frontend.Diag.d_message path));
+  (* restart on the same path; reconnect until the new daemon answers *)
+  let dom2 = spawn () in
+  let rec reconnect_until n =
+    if n = 0 then Alcotest.fail "reconnect never reached the new daemon";
+    match
+      Serve.Client.reconnect cl;
+      Serve.Client.rpc cl "health"
+    with
+    | r -> r
+    | exception
+        ( Unix.Unix_error _ | End_of_file | Cayman_frontend.Diag.Error _ ) ->
+      Unix.sleepf 0.01;
+      reconnect_until (n - 1)
+  in
+  let r = reconnect_until 500 in
+  check "health after reconnect" "ok\n" r.Serve.Protocol.rp_output;
+  Serve.Client.shutdown cl;
+  Serve.Client.close cl;
+  Domain.join dom2
+
+(* ------------------------------------------------------------------ *)
+(* Protocol decoder fuzz                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* However the wire is chunked, the decoder recovers exactly the frames
+   that were sent, and ends fully drained. *)
+let fuzz_decoder_chunking =
+  Testutil.qtest ~count:300 "decoder: chunking never changes frames"
+    QCheck.(
+      pair
+        (small_list (string_of_size (Gen.int_range 0 300)))
+        (small_list small_nat))
+    (fun (payloads, splits) ->
+      let wire =
+        String.concat ""
+          (List.map Serve.Protocol.frame_of_payload payloads)
+      in
+      let d = Serve.Protocol.decoder () in
+      let got = ref [] in
+      let rec pop () =
+        match Serve.Protocol.next_frame d with
+        | Serve.Protocol.Frame p ->
+          got := p :: !got;
+          pop ()
+        | Serve.Protocol.Need_more -> ()
+        | Serve.Protocol.Oversized _ -> ()
+      in
+      let n = String.length wire in
+      let n_splits = List.length splits in
+      let rec feed off k =
+        if off < n then begin
+          let step =
+            if n_splits = 0 then 7
+            else 1 + (List.nth splits (k mod n_splits) mod 97)
+          in
+          let len = min step (n - off) in
+          Serve.Protocol.feed_string d (String.sub wire off len);
+          pop ();
+          feed (off + len) (k + 1)
+        end
+      in
+      feed 0 0;
+      List.rev !got = payloads && Serve.Protocol.buffered d = 0)
+
+(* Adversarial bytes: flip random bytes of a valid stream (headers
+   included, so declared lengths lie) and decode with a small frame
+   cap. The decoder must never raise — every outcome is a Frame, a
+   Need_more, or an Oversized — and whatever frames it does emit must
+   go through parse_request without raising either. *)
+let fuzz_decoder_mutations =
+  Testutil.qtest ~count:300 "decoder: mutated streams never raise"
+    QCheck.(
+      pair
+        (small_list (string_of_size (Gen.int_range 0 300)))
+        (small_list (pair small_nat small_nat)))
+    (fun (payloads, muts) ->
+      let wire =
+        Bytes.of_string
+          (String.concat ""
+             (List.map Serve.Protocol.frame_of_payload payloads))
+      in
+      let n = Bytes.length wire in
+      if n > 0 then
+        List.iter
+          (fun (pos, byte) ->
+            Bytes.set wire (pos mod n) (Char.chr (byte land 0xff)))
+          muts;
+      match
+        let d = Serve.Protocol.decoder ~max_frame:4096 () in
+        Serve.Protocol.feed_string d (Bytes.to_string wire);
+        let continue = ref true in
+        while !continue do
+          match Serve.Protocol.next_frame d with
+          | Serve.Protocol.Frame p ->
+            (* emitted frames must parse or fail structurally, never
+               raise *)
+            ignore (Serve.Protocol.parse_request p)
+          | Serve.Protocol.Need_more -> continue := false
+          | Serve.Protocol.Oversized _ ->
+            (* the server closes the connection here; stop like it *)
+            continue := false
+        done
+      with
+      | () -> true
+      | exception _ -> false)
+
 let tests =
   [ Alcotest.test_case "frame roundtrip" `Quick test_frame_roundtrip;
     Alcotest.test_case "frame oversized" `Quick test_frame_oversized;
@@ -481,4 +795,19 @@ let tests =
       test_stale_socket_recovery;
     Alcotest.test_case "double serve diagnostic" `Quick
       test_double_serve_diagnostic;
-    Alcotest.test_case "non-socket refused" `Quick test_non_socket_refused ]
+    Alcotest.test_case "non-socket refused" `Quick test_non_socket_refused;
+    Alcotest.test_case "overload shed at queue cap" `Quick
+      test_overload_shed;
+    Alcotest.test_case "deadline expired" `Quick test_deadline_expired;
+    Alcotest.test_case "deadline generous is a no-op" `Quick
+      test_deadline_generous;
+    Alcotest.test_case "graceful drain finishes pending" `Quick
+      test_graceful_drain_finishes_pending;
+    Alcotest.test_case "stalled reader isolation" `Quick
+      test_stalled_reader_isolation;
+    Alcotest.test_case "client retry exhausts on shed" `Quick
+      test_client_retry_exhausts_on_shed;
+    Alcotest.test_case "client reconnect after restart" `Quick
+      test_client_reconnect_after_restart;
+    fuzz_decoder_chunking;
+    fuzz_decoder_mutations ]
