@@ -1630,6 +1630,121 @@ let serve_chaos ?(name = "serve-chaos") ?(seed = 42) ?(duration_s = 2.0) () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Fleet: cross-program accelerator sharing at population scale        *)
+(* ------------------------------------------------------------------ *)
+
+(* Opt-in, like profile/serve-load: the committed artifact is a
+   BENCH_<n>.json trajectory. A fresh private memoization store makes
+   the cold pass over the largest population genuinely cold; the warm
+   rerun drops the in-memory layer (a process restart, simulated) and
+   replays the identical fleet purely from disk — it must reproduce the
+   cold report byte-for-byte (exit 1 otherwise), which is the same
+   determinism contract the report already keeps across CAYMAN_JOBS
+   values. Stdout carries only schedule-independent area/coverage
+   numbers; wall times go to stderr and the JSON trajectory. *)
+
+let fleet_bench ?(name = "fleet") ?(sizes = [ 1000; 2000; 5000; 10000 ])
+    ?(seed = 42) () =
+  let sizes = List.sort_uniq compare sizes in
+  let max_size = List.fold_left max 0 sizes in
+  Printf.printf
+    "== %s: cross-program accelerator sharing over generated fleets \
+     (seed %d) ==\n"
+    name seed;
+  (* fresh private store so the cold pass is genuinely cold *)
+  let store_dir = Filename.temp_file "cayman-fleet-bench" "" in
+  Sys.remove store_dir;
+  Sys.mkdir store_dir 0o700;
+  let prev_store = Memo.Store.ambient () in
+  Memo.Store.reset_memory ();
+  Memo.Store.enable ~dir:store_dir ();
+  let opts kernels =
+    { Fleet.Merge.default_options with
+      Fleet.Merge.o_kernels = kernels;
+      o_seed = seed }
+  in
+  let cold, cold_wall =
+    Engine.Clock.timed (fun () -> Fleet.Merge.run (opts max_size))
+  in
+  print_string (Fleet.Merge.report_to_string cold);
+  Printf.eprintf "%s: cold %d programs in %.3f s\n%!" name max_size
+    cold_wall;
+  (* simulated restart: drop the in-memory memo layer so the warm rerun
+     reads every program summary back from disk *)
+  Memo.Store.reset_memory ();
+  let warm, warm_wall =
+    Engine.Clock.timed (fun () -> Fleet.Merge.run (opts max_size))
+  in
+  let identical =
+    String.equal
+      (Fleet.Merge.report_to_string warm)
+      (Fleet.Merge.report_to_string cold)
+  in
+  let speedup = cold_wall /. Float.max 1e-9 warm_wall in
+  Printf.printf "%s: warm rerun report %s\n" name
+    (if identical then "identical" else "DIFFERS");
+  Printf.eprintf "%s: warm %d programs in %.3f s (%.1fx cold)\n%!" name
+    max_size warm_wall speedup;
+  (* area saved vs population size: every smaller prefix of the same
+     fleet re-merged (program summaries come from the store, clustering
+     and merging are recomputed per population) *)
+  let rows =
+    List.map
+      (fun n -> if n = max_size then cold else Fleet.Merge.run (opts n))
+      sizes
+  in
+  Printf.printf "%8s %8s %8s %10s %10s %10s %8s %8s\n" "programs"
+    "kernels" "shared" "solo mm2" "per mm2" "fleet mm2" "fleet%" "vs-per%";
+  let mm2 x = x /. 1.0e6 in
+  List.iter
+    (fun (r : Fleet.Merge.report) ->
+      Printf.printf "%8d %8d %8d %10.4f %10.4f %10.4f %7.1f%% %7.1f%%\n"
+        r.Fleet.Merge.r_programs r.Fleet.Merge.r_kernels
+        r.Fleet.Merge.r_accels
+        (mm2 r.Fleet.Merge.r_area_solo)
+        (mm2 r.Fleet.Merge.r_area_per_program)
+        (mm2 r.Fleet.Merge.r_area_fleet)
+        r.Fleet.Merge.r_saving_fleet_pct
+        r.Fleet.Merge.r_saving_vs_per_program_pct)
+    rows;
+  flush stdout;
+  (* restore the ambient store and drop the private one *)
+  Memo.Store.reset_memory ();
+  (match prev_store with
+   | Some s -> Memo.Store.enable ~dir:(Memo.Store.dir s) ()
+   | None -> Memo.Store.disable ());
+  let rec rm_rf path =
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+  in
+  (try rm_rf store_dir with Sys_error _ -> ());
+  Json_out.write_trajectory
+    (Json_out.Obj
+       [ "experiment", Json_out.String name;
+         ( "metric",
+           Json_out.String
+             "cross-program area saved vs population + cold/warm wall" );
+         "seed", Json_out.Int seed;
+         "programs", Json_out.Int max_size;
+         ( "fleet_cold_mean_s",
+           Json_out.Float (cold_wall /. float_of_int max_size) );
+         ( "fleet_warm_mean_s",
+           Json_out.Float (warm_wall /. float_of_int max_size) );
+         "cold_wall_s", Json_out.Float cold_wall;
+         "warm_wall_s", Json_out.Float warm_wall;
+         "warm_speedup", Json_out.Float speedup;
+         "warm_identical", Json_out.Bool identical;
+         ( "trajectory",
+           Json_out.List (List.map Fleet.Merge.report_to_json rows) ) ]);
+  if not identical then begin
+    prerr_endline (name ^ ": warm rerun diverged from the cold report");
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1638,9 +1753,9 @@ let usage () =
     "usage: main.exe [--bechamel] [--json BASE] [--fuel N]\n\
     \                [--cache-dir DIR] [--no-cache]\n\
     \                [table1|fig2|fig4|table2|fig6|cosim|faults|profile|\n\
-    \                 serve-load|serve-load-small|serve-chaos|\n\
-    \                 ablation-filter|ablation-merge|ablation-cache|\n\
-    \                 ablation-dse|all]\n\
+    \                 fleet|fleet-small|serve-load|serve-load-small|\n\
+    \                 serve-chaos|ablation-filter|ablation-merge|\n\
+    \                 ablation-cache|ablation-dse|all]\n\
      CAYMAN_JOBS=N parallelizes evaluation across N domains; stdout is\n\
      byte-identical for every N (wall-time reports go to stderr).\n\
      --json BASE additionally writes BASE_<experiment>.json for the\n\
@@ -1649,7 +1764,11 @@ let usage () =
      stdout is unchanged. The opt-in profile experiment (not part of\n\
      `all`) times the staged vs reference interpreter engines over\n\
      CAYMAN_BENCH_REPS reps (default 5) and writes its trajectory to\n\
-     BASE.json itself; the opt-in serve-load experiment replays the\n\
+     BASE.json itself; the opt-in fleet experiment generates seeded\n\
+     program fleets, merges accelerators across programs, and writes\n\
+     the area-saved-vs-population trajectory plus cold/warm wall times\n\
+     the same way (the warm rerun must reproduce the cold report\n\
+     byte-for-byte); the opt-in serve-load experiment replays the\n\
      suite concurrently against an in-process daemon and reports\n\
      requests/s plus latency percentiles the same way; the opt-in\n\
      serve-chaos experiment abuses the daemon with seeded socket-level\n\
@@ -1744,6 +1863,9 @@ let () =
            ~benchmarks:(List.filter_map Suite.find [ "atax"; "mvt" ])
            ()
        | "profile" -> profile ()
+       | "fleet" -> fleet_bench ()
+       | "fleet-small" ->
+         fleet_bench ~name:"fleet-small" ~sizes:[ 50; 100; 200 ] ()
        | "serve-load" -> serve_load ()
        | "serve-chaos" -> serve_chaos ()
        | "serve-load-small" ->

@@ -576,6 +576,76 @@ let stats_t =
           $ alpha_arg $ jobs_arg $ fuel_arg $ interp_arg $ cache_dir_arg
           $ no_cache_arg $ trace_arg)
 
+(* cayman fleet — generate a seeded fleet of MiniC programs, push every
+   one through the full compile/profile/select flow, and merge the
+   selected accelerators across programs under a shared area budget
+   (lib/fleet). The report is byte-identical for every --jobs value. *)
+
+let fleet_cmd kernels seed budget per_budget json jobs fuel interp
+    cache_dir no_cache trace =
+  apply_jobs jobs;
+  apply_fuel fuel;
+  apply_interp interp;
+  apply_cache cache_dir no_cache;
+  with_trace trace @@ fun () ->
+  with_diagnostics @@ fun () ->
+  let opts =
+    { Fleet.Merge.default_options with
+      Fleet.Merge.o_kernels = kernels;
+      o_seed = seed;
+      o_budget = budget;
+      o_per_budget = per_budget }
+  in
+  let r = Fleet.Merge.run opts in
+  print_string (Fleet.Merge.report_to_string r);
+  (match json with
+   | None -> ()
+   | Some path ->
+     Obs.Json.write_file path (Fleet.Merge.report_to_json r);
+     Printf.eprintf "wrote %s\n%!" path);
+  0
+
+let fleet_t =
+  let kernels_arg =
+    let doc = "Number of programs to generate for the fleet." in
+    Arg.(value & opt int 100 & info [ "kernels" ] ~doc ~docv:"N")
+  in
+  let seed_arg =
+    let doc =
+      "Fleet generator seed; the same seed and size always produce the \
+       same fleet and the same report."
+    in
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc ~docv:"S")
+  in
+  let fleet_budget_arg =
+    let doc =
+      "Shared fleet area budget, as a multiple of the CVA6 tile area \
+       (the per-program budget stays a fraction of one tile)."
+    in
+    Arg.(value & opt float 4.0 & info [ "budget" ] ~doc ~docv:"A")
+  in
+  let per_budget_arg =
+    let doc =
+      "Per-program selection budget as a fraction of the CVA6 tile area."
+    in
+    Arg.(value & opt float 0.25 & info [ "per-budget" ] ~doc ~docv:"R")
+  in
+  let json_arg =
+    let doc = "Also write the machine-readable fleet report to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~doc ~docv:"FILE")
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "Generate a seeded fleet of kernels, run the full flow on each, \
+          cluster structurally similar accelerators across programs, and \
+          merge them under a shared area budget; reports cross-program \
+          area saved versus per-program merging, byte-identically for \
+          every job count")
+    Term.(const fleet_cmd $ kernels_arg $ seed_arg $ fleet_budget_arg
+          $ per_budget_arg $ json_arg $ jobs_arg $ fuel_arg $ interp_arg
+          $ cache_dir_arg $ no_cache_arg $ trace_arg)
+
 (* cayman cache {stats,gc,clear} — maintenance for the memoization store.
    These operate on the directory directly (no ambient enable), so they
    work on any store path without arming caching for the process. *)
@@ -598,6 +668,11 @@ let cache_stats_cmd cache_dir =
       Printf.printf "cache %s: %d entries, %d bytes (%.1f MiB)\n" dir
         s.Memo.Store.st_entries s.Memo.Store.st_bytes
         (float_of_int s.Memo.Store.st_bytes /. (1024. *. 1024.));
+      (* Process-local guard over canonical-region digests: any nonzero
+         count here means two structurally different regions hashed to
+         the same digest in this process (see Memo.Hash.canon_digest). *)
+      Printf.printf "canon-digest collisions (this process): %d\n"
+        (Obs.Metrics.value (Obs.Metrics.counter "memo.canon_collisions"));
       0
 
 let cache_gc_cmd cache_dir max_mb =
@@ -775,7 +850,10 @@ let bench_diff_cmd old_path new_path max_pct json =
      | None -> ()
      | Some path ->
        Obs.Json.write_file path
-         (Obs.Benchdiff.to_json ~max_regress_pct:max_pct r);
+         (Obs.Benchdiff.to_json
+            ?old_source:(Obs.Benchdiff.source old_doc)
+            ?new_source:(Obs.Benchdiff.source new_doc)
+            ~max_regress_pct:max_pct r);
        Printf.eprintf "wrote %s\n%!" path);
     if Obs.Benchdiff.ok r then 0 else 2
 
@@ -1067,6 +1145,6 @@ let main =
        ~doc:"Custom accelerator generation with control flow and data access \
              optimization")
     [ run_t; dump_t; emit_t; cosim_t; faults_t; graph_t; list_t; stats_t;
-      cache_t; serve_t; top_t; logs_t; bench_diff_t ]
+      fleet_t; cache_t; serve_t; top_t; logs_t; bench_diff_t ]
 
 let () = exit (Cmd.eval' main)

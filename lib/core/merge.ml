@@ -115,7 +115,7 @@ let pair_saving a b =
     datapath_sharing +. wrapper_part +. dma_part -. ctrl_overhead
   end
 
-let merge_pair a b saving =
+let merge_pair a b ~saving =
   let nodes =
     match a.nodes, b.nodes with
     | Some na, Some nb -> Some (Hls.Datapath.pair na nb).Hls.Datapath.merged
@@ -162,7 +162,7 @@ let merge_accels accels =
     match !best with
     | None -> continue_ := false
     | Some (i, j, s) ->
-      let merged = merge_pair !arr.(i) !arr.(j) s in
+      let merged = merge_pair !arr.(i) !arr.(j) ~saving:s in
       let rest =
         Array.to_list !arr
         |> List.filteri (fun k _ -> k <> i && k <> j)

@@ -37,6 +37,18 @@ val accel_of : ?nodes:Cayman_hls.Datapath.node list -> Solution.accel -> accel
 (** Estimated saving of merging two accelerators (can be negative). *)
 val pair_saving : accel -> accel -> float
 
+(** Merge two accelerators whose estimated saving is [saving] (from
+    {!pair_saving}): paired datapaths (or max-shared resource vectors),
+    concatenated region lists, summed FSM counts. *)
+val merge_pair : accel -> accel -> saving:float -> accel
+
+(** The greedy max-saving merging loop over an arbitrary accelerator
+    population — not necessarily one program's solution, which is how
+    the fleet subsystem shares accelerators across programs. Quadratic
+    in the population size: fleet-scale callers pre-cluster and run it
+    within clusters only. *)
+val merge_accels : accel list -> accel list
+
 (** [nodes_of] supplies the datapath nodes of a selected accelerator
     (see {!Cayman.merge} for the full-flow wiring); without it the
     resource-vector approximation is used. *)

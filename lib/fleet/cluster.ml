@@ -1,0 +1,73 @@
+module Ir = Cayman_ir
+
+type signature = {
+  sg_kind : string;
+  sg_blocks : int;
+  sg_loop_depth : int;
+  sg_units : (Ir.Op.unit_kind * int) list;
+}
+
+let signature ~kind ~blocks ~loop_depth units =
+  { sg_kind = kind;
+    sg_blocks = blocks;
+    sg_loop_depth = loop_depth;
+    sg_units =
+      List.filter_map
+        (fun k ->
+          match List.assoc_opt k units with
+          | Some c when c > 0 -> Some (k, c)
+          | Some _ | None -> None)
+        Ir.Op.all_unit_kinds }
+
+let signature_key s =
+  Printf.sprintf "%s/b%d/d%d/%s" s.sg_kind s.sg_blocks s.sg_loop_depth
+    (String.concat ","
+       (List.map
+          (fun (k, c) ->
+            Printf.sprintf "%s:%d" (Ir.Op.unit_kind_to_string k) c)
+          s.sg_units))
+
+type kernel = {
+  k_program : string;
+  k_region : string;
+  k_digest : string;
+  k_signature : signature;
+  k_saved : float;
+  k_accel : Core.Merge.accel;
+}
+
+type cluster = {
+  cl_key : string;
+  cl_kernels : kernel list;
+  cl_distinct : int;
+}
+
+(* Order-stable grouping: [key_of] buckets, first-occurrence order of
+   bucket keys, input order inside each bucket. *)
+let bucket key_of items =
+  let tbl = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun it ->
+      let key = key_of it in
+      match Hashtbl.find_opt tbl key with
+      | Some l -> l := it :: !l
+      | None ->
+        let l = ref [ it ] in
+        Hashtbl.add tbl key l;
+        order := key :: !order)
+    items;
+  List.rev_map (fun key -> (key, List.rev !(Hashtbl.find tbl key))) !order
+
+let group kernels =
+  bucket (fun k -> signature_key k.k_signature) kernels
+  |> List.map (fun (key, ks) ->
+         { cl_key = key;
+           cl_kernels = ks;
+           cl_distinct =
+             List.length
+               (List.sort_uniq String.compare
+                  (List.map (fun k -> k.k_digest) ks)) })
+  |> List.sort (fun a b -> String.compare a.cl_key b.cl_key)
+
+let by_digest cl = bucket (fun k -> k.k_digest) cl.cl_kernels

@@ -1,0 +1,63 @@
+(** Structural clustering of kernel regions, the cheap pre-filter in
+    front of cross-program merging.
+
+    Pairwise merge estimation ({!Core.Merge.pair_saving}) is quadratic
+    and, with datapath nodes, runs a greedy matching per pair — far too
+    expensive for a fleet of thousands of kernels. Clustering cuts the
+    candidate space in two steps:
+
+    + a {e coarse signature} (region kind, block count, loop depth, and
+      the datapath-unit histogram) buckets kernels that could plausibly
+      share units; merging only ever runs inside a bucket, because two
+      kernels with disjoint op histograms cannot share datapath area;
+    + inside a bucket, the exact {!Memo.Hash.canon_region} digest
+      collapses alpha-equivalent kernels — across programs — into one
+      group that can be chain-merged linearly instead of pairwise.
+
+    Both groupings are deterministic: clusters are sorted by signature
+    key, and kernels inside a cluster (and digest groups inside it)
+    keep fleet order (program index, then selection order). *)
+
+(** Coarse structural signature of a kernel region. *)
+type signature = {
+  sg_kind : string;  (** region kind: ["whole"]/["bb"]/["loop"]/["cond"] *)
+  sg_blocks : int;
+  sg_loop_depth : int;  (** max loop nesting over the region's blocks *)
+  sg_units : (Cayman_ir.Op.unit_kind * int) list;
+      (** datapath-unit histogram, in {!Cayman_ir.Op.all_unit_kinds}
+          order, zero counts omitted *)
+}
+
+(** Normalizing constructor: filters and orders [units] canonically. *)
+val signature :
+  kind:string ->
+  blocks:int ->
+  loop_depth:int ->
+  (Cayman_ir.Op.unit_kind * int) list ->
+  signature
+
+(** Stable rendering, used as the cluster key. *)
+val signature_key : signature -> string
+
+(** One selected kernel accelerator, lifted for fleet-wide merging. *)
+type kernel = {
+  k_program : string;  (** program name, e.g. ["p42"] *)
+  k_region : string;  (** program-qualified region, ["p42/kernel/..."] *)
+  k_digest : string;  (** {!Memo.Hash.canon_digest} of the region *)
+  k_signature : signature;
+  k_saved : float;  (** host seconds saved by this kernel's accelerator *)
+  k_accel : Core.Merge.accel;  (** single-region accelerator *)
+}
+
+type cluster = {
+  cl_key : string;
+  cl_kernels : kernel list;  (** fleet order *)
+  cl_distinct : int;  (** distinct canon digests in the cluster *)
+}
+
+(** Group kernels by signature key; clusters sorted by key. *)
+val group : kernel list -> cluster list
+
+(** Digest groups of a cluster, in first-occurrence order; kernels
+    inside a group keep fleet order. *)
+val by_digest : cluster -> (string * kernel list) list

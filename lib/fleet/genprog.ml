@@ -1,0 +1,283 @@
+module Ir = Cayman_ir
+
+(* ------------------------------------------------------------------ *)
+(* Random IR CFGs (promoted from test/test_memo.ml)                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Small functions over float registers t0..t3, an I32 induction
+   register i, a Bool register c, and arrays A/B: enough variety to
+   exercise every operand and instruction shape the canonicalizer
+   renders, in three SESE structures (straight line, diamond, loop). *)
+
+let freg i = Ir.Instr.reg (Printf.sprintf "t%d" i) Ir.Types.F32
+let ireg = Ir.Instr.reg "i" Ir.Types.I32
+let creg = Ir.Instr.reg "c" Ir.Types.Bool
+
+type shape = Straight | Diamond | Loop
+
+open QCheck.Gen
+
+let gen_operand =
+  frequency
+    [ 3, map (fun i -> Ir.Instr.Reg (freg i)) (int_range 0 3);
+      2, map (fun n -> Ir.Instr.Imm_int n) (int_range 0 9);
+      1,
+      map
+        (fun n -> Ir.Instr.Imm_float (float_of_int n /. 4.0))
+        (int_range (-8) 8) ]
+
+let gen_index =
+  frequency
+    [ 2, return (Ir.Instr.Reg ireg);
+      1, map (fun n -> Ir.Instr.Imm_int n) (int_range 0 7) ]
+
+let gen_base = map (fun b -> if b then "A" else "B") bool
+
+let gen_instr =
+  frequency
+    [ 2,
+      map2 (fun d a -> Ir.Instr.Assign (freg d, a)) (int_range 0 3)
+        gen_operand;
+      3,
+      (int_range 0 3 >>= fun d ->
+       oneofl [ Ir.Op.Fadd; Ir.Op.Fsub; Ir.Op.Fmul ] >>= fun op ->
+       map2 (fun a b -> Ir.Instr.Binary (freg d, op, a, b)) gen_operand
+         gen_operand);
+      2,
+      (int_range 0 3 >>= fun d ->
+       map2
+         (fun base index ->
+           Ir.Instr.Load (freg d, { Ir.Instr.base; index }))
+         gen_base gen_index);
+      2,
+      map3
+        (fun base index v -> Ir.Instr.Store ({ Ir.Instr.base; index }, v))
+        gen_base gen_index gen_operand ]
+
+let gen_body = list_size (int_range 1 4) gen_instr
+
+let gen_ir_func =
+  oneofl [ Straight; Diamond; Loop ] >>= fun shape ->
+  gen_body >>= fun b1 ->
+  gen_body >>= fun b2 ->
+  gen_body >>= fun b3 ->
+  gen_operand >>= fun cmp_rhs ->
+  let block label instrs term = Ir.Block.v ~label ~instrs ~term in
+  let blocks =
+    match shape with
+    | Straight ->
+      [ block "entry" b1 (Ir.Instr.Return (Some (Ir.Instr.Reg (freg 0)))) ]
+    | Diamond ->
+      [ block "entry"
+          (b1
+          @ [ Ir.Instr.Compare
+                (creg, Ir.Op.Flt, Ir.Instr.Reg (freg 0), cmp_rhs) ])
+          (Ir.Instr.Branch (Ir.Instr.Reg creg, "then", "else"));
+        block "then" b2 (Ir.Instr.Jump "join");
+        block "else" b3 (Ir.Instr.Jump "join");
+        block "join" []
+          (Ir.Instr.Return (Some (Ir.Instr.Reg (freg 0)))) ]
+    | Loop ->
+      [ block "entry"
+          (Ir.Instr.Assign (ireg, Ir.Instr.Imm_int 0) :: b1)
+          (Ir.Instr.Jump "head");
+        block "head"
+          [ Ir.Instr.Compare
+              (creg, Ir.Op.Lt, Ir.Instr.Reg ireg, Ir.Instr.Imm_int 8) ]
+          (Ir.Instr.Branch (Ir.Instr.Reg creg, "body", "exit"));
+        block "body"
+          (b2
+          @ [ Ir.Instr.Binary
+                (ireg, Ir.Op.Add, Ir.Instr.Reg ireg, Ir.Instr.Imm_int 1) ])
+          (Ir.Instr.Jump "head");
+        block "exit" b3
+          (Ir.Instr.Return (Some (Ir.Instr.Reg (freg 0)))) ]
+  in
+  return (Ir.Func.v ~name:"f" ~params:[] ~ret:(Some Ir.Types.F32) ~blocks)
+
+let arb_ir_func =
+  QCheck.make ~print:(Format.asprintf "%a" Ir.Func.pp) gen_ir_func
+
+(* ------------------------------------------------------------------ *)
+(* Random MiniC kernel programs                                        *)
+(* ------------------------------------------------------------------ *)
+
+let generator_version = "fleet-genprog-1"
+
+let program_name index = Printf.sprintf "p%d" index
+
+(* Constants are rendered with a fixed format so a program's source —
+   and every cache key derived from it — is byte-stable. *)
+let fconst x = Printf.sprintf "%.2f" x
+
+(* 0.50 .. 3.50 in steps of 0.50 *)
+let gen_fconst = map (fun n -> (float_of_int n /. 2.0) +. 0.5) (int_range 0 6)
+
+(* Random float expression tree over in-bounds [leaves], the kernel
+   parameters [k]/[b] when available, and small constants. Division is
+   by a constant >= 1.50, so no generated program can fault or produce
+   non-finite values. *)
+let gen_expr ~params ~leaves depth0 =
+  let gen_leaf =
+    frequency
+      (List.map (fun l -> 3, return l) leaves
+      @ (if params then [ 2, return "k"; 1, return "b" ] else [])
+      @ [ 1, map fconst gen_fconst ])
+  in
+  let rec go depth =
+    if depth <= 0 then gen_leaf
+    else
+      frequency
+        [ 2, gen_leaf;
+          4,
+          ( oneofl [ "+"; "-"; "*" ] >>= fun op ->
+            go (depth - 1) >>= fun a ->
+            go (depth - 1) >>= fun b ->
+            return (Printf.sprintf "(%s %s %s)" a op b) );
+          1,
+          ( go (depth - 1) >>= fun a ->
+            gen_fconst >>= fun c ->
+            return (Printf.sprintf "(%s / %s)" a (fconst (c +. 1.0))) ) ]
+  in
+  go depth0
+
+(* Loop shapes of the kernel function. Every loop is counted with trip
+   count N (or N-2 for the stencil), every index stays in bounds by
+   construction. *)
+type kshape = K_map | K_reduce | K_stencil | K_cond | K_nest | K_strided
+
+let gen_kshape =
+  frequency
+    [ 3, return K_map;
+      2, return K_reduce;
+      2, return K_stencil;
+      2, return K_cond;
+      1, return K_nest;
+      1, return K_strided ]
+
+(* The kernel's main loop, as indented source lines. *)
+let gen_kernel_loop ~params shape =
+  match shape with
+  | K_map ->
+    gen_expr ~params ~leaves:[ "A[i]"; "B[i]" ] 3 >>= fun e ->
+    return
+      [ "  for (int i = 0; i < N; i++) {";
+        Printf.sprintf "    C[i] = %s;" e;
+        "  }" ]
+  | K_reduce ->
+    gen_expr ~params ~leaves:[ "A[i]"; "B[i]" ] 2 >>= fun e ->
+    return
+      [ "  float s = 0.0;";
+        "  for (int i = 0; i < N; i++) {";
+        Printf.sprintf "    s += %s;" e;
+        "  }";
+        "  C[0] = s;" ]
+  | K_stencil ->
+    gen_fconst >>= fun w ->
+    gen_expr ~params ~leaves:[ "A[i]"; "B[i]" ] 1 >>= fun e ->
+    return
+      [ "  for (int i = 1; i < N - 1; i++) {";
+        Printf.sprintf "    C[i] = (A[i - 1] + A[i + 1]) * %s + %s;"
+          (fconst w) e;
+        "  }" ]
+  | K_cond ->
+    gen_fconst >>= fun thr ->
+    gen_expr ~params ~leaves:[ "A[i]"; "B[i]" ] 2 >>= fun e1 ->
+    gen_expr ~params ~leaves:[ "A[i]"; "B[i]" ] 2 >>= fun e2 ->
+    return
+      [ "  for (int i = 0; i < N; i++) {";
+        Printf.sprintf "    if (A[i] > %s) {" (fconst thr);
+        Printf.sprintf "      C[i] = %s;" e1;
+        "    } else {";
+        Printf.sprintf "      C[i] = %s;" e2;
+        "    }";
+        "  }" ]
+  | K_nest ->
+    gen_expr ~params ~leaves:[ "B[j]" ] 1 >>= fun e ->
+    return
+      [ "  for (int i = 0; i < N; i++) {";
+        "    float s = 0.0;";
+        "    for (int j = 0; j < N; j++) {";
+        Printf.sprintf "      s += M[i][j] * %s;" e;
+        "    }";
+        "    C[i] = s;";
+        "  }" ]
+  | K_strided ->
+    oneofl [ 2; 3; 4 ] >>= fun stride ->
+    gen_expr ~params ~leaves:[ "B[i]" ] 1 >>= fun e ->
+    return
+      [ "  for (int i = 0; i < N; i++) {";
+        Printf.sprintf "    C[i] = A[(i * %d) %% N] * %s + B[i];" stride e;
+        "  }" ]
+
+let gen_program =
+  frequency [ 7, return true; 3, return false ] >>= fun params ->
+  gen_kshape >>= fun shape ->
+  (match shape with
+   | K_nest -> oneofl [ 8; 12; 16 ]
+   | _ -> oneofl [ 16; 24; 32; 48; 64 ])
+  >>= fun n ->
+  int_range 1 3 >>= fun reps ->
+  gen_kernel_loop ~params shape >>= fun kernel_loop ->
+  (* occasionally a second, post-scaling loop: exercises multi-region
+     selection and per-program merging *)
+  frequency
+    [ 3, return None;
+      1,
+      map
+        (fun e -> Some e)
+        (gen_expr ~params ~leaves:[ "A[i]"; "C[i]" ] 1) ]
+  >>= fun post ->
+  gen_fconst >>= fun karg ->
+  gen_fconst >>= fun barg ->
+  let buf = Buffer.create 1024 in
+  let line l = Buffer.add_string buf l; Buffer.add_char buf '\n' in
+  line (Printf.sprintf "const int N = %d;" n);
+  line "float A[N]; float B[N]; float C[N];";
+  if shape = K_nest then line "float M[N][N];";
+  line "";
+  line
+    (if params then "void kernel(float k, float b) {"
+     else "void kernel() {");
+  List.iter line kernel_loop;
+  (match post with
+   | None -> ()
+   | Some e ->
+     line "  for (int i = 0; i < N; i++) {";
+     line (Printf.sprintf "    C[i] = %s;" e);
+     line "  }");
+  line "}";
+  line "";
+  line "int main() {";
+  line "  for (int i = 0; i < N; i++) {";
+  line "    A[i] = (float)(i % 13) * 0.5;";
+  line "    B[i] = (float)(i % 7) + 1.0;";
+  line "    C[i] = 0.0;";
+  line "  }";
+  if shape = K_nest then begin
+    line "  for (int i = 0; i < N; i++) {";
+    line "    for (int j = 0; j < N; j++) {";
+    line "      M[i][j] = (float)((i + j) % 5) * 0.25;";
+    line "    }";
+    line "  }"
+  end;
+  line (Printf.sprintf "  for (int t = 0; t < %d; t++) {" reps);
+  line
+    (if params then
+       Printf.sprintf "    kernel(%s, %s);" (fconst karg) (fconst barg)
+     else "    kernel();");
+  line "  }";
+  line "  float s = 0.0;";
+  line "  for (int i = 0; i < N; i++) {";
+  line "    s += C[i];";
+  line "  }";
+  line "  return (int)(s * 0.001);";
+  line "}";
+  return (Buffer.contents buf)
+
+let minic_source ~seed ~index =
+  (* The state is rebuilt from (seed, index) alone, so program [index]
+     is the same whether the fleet is generated sequentially, in
+     parallel, or one program at a time. *)
+  let st = Random.State.make [| 0xF1EE7; seed; index |] in
+  generate1 ~rand:st gen_program

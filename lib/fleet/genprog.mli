@@ -1,0 +1,52 @@
+(** Seeded random program generation for fleet-scale experiments.
+
+    Two generator families, both QCheck-style ([QCheck.Gen.t] values or
+    functions derived from them):
+
+    - {e random IR CFGs} ({!gen_ir_func}), promoted from the memo test
+      suite: small single-function CFGs in three SESE shapes
+      (straight-line, diamond, loop) over float registers and the
+      arrays [A]/[B] — enough variety to exercise every operand and
+      instruction shape the canonicalizer renders. The memo tests build
+      their rename/mutation properties on top of these;
+
+    - {e random MiniC kernel programs} ({!minic_source}): full typed
+      programs — global arrays, one [kernel] function built from a
+      weighted mix of loop shapes (map, reduction, stencil, guarded
+      conditional update, 2-D nest, strided gather) with a random
+      arithmetic expression tree, and a [main] that initializes the
+      arrays, invokes the kernel and checksums the output. Programs are
+      correct by construction: every loop is counted, every array index
+      provably in bounds, every divisor a non-zero constant, so
+      compilation, validation and profiled interpretation always
+      succeed within the default fuel budget.
+
+    Generation is deterministic: [minic_source ~seed ~index] depends
+    only on [(generator_version, seed, index)], so a fleet of programs
+    can be regenerated — or memoized — reproducibly at any job count. *)
+
+(** {1 Random IR CFGs} *)
+
+(** Structure of a generated CFG. *)
+type shape = Straight | Diamond | Loop
+
+(** Random single-function CFG (named [f], returns [F32]). *)
+val gen_ir_func : Cayman_ir.Func.t QCheck.Gen.t
+
+(** {!gen_ir_func} packaged with a printer, for QCheck properties. *)
+val arb_ir_func : Cayman_ir.Func.t QCheck.arbitrary
+
+(** {1 Random MiniC kernel programs} *)
+
+(** Version salt for cache keys derived from generated programs: bump on
+    any change to the generator's distribution or rendering, so stale
+    fleet summaries miss instead of resurfacing. *)
+val generator_version : string
+
+(** Deterministic MiniC source of program [index] of the fleet seeded
+    with [seed]. *)
+val minic_source : seed:int -> index:int -> string
+
+(** Stable name of program [index] ("p<index>"), used to qualify kernel
+    regions fleet-wide. *)
+val program_name : int -> string

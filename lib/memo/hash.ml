@@ -62,6 +62,45 @@ let intern tbl prefix name =
     Hashtbl.add tbl name c;
     c
 
+(* --- digest-collision guard --- *)
+
+(* Fleet clustering treats equal canon digests as "structurally
+   identical kernel" — an MD5 collision would silently merge different
+   datapaths. The guard remembers, per digest, every distinct canonical
+   code seen in this process and counts mismatches, making that failure
+   mode observable (cayman cache stats) instead of silent. The count is
+   schedule-independent: it equals the sum over digests of (distinct
+   codes - 1), whatever order the codes arrive in. *)
+
+let m_canon_collisions = Obs.Metrics.counter "memo.canon_collisions"
+
+let guard_mutex = Mutex.create ()
+let guard_tbl : (string, string list ref) Hashtbl.t = Hashtbl.create 1024
+
+(* Bounds guard memory on pathological populations; past the cap new
+   digests go unchecked (collisions among them would be uncounted, but
+   recorded digests keep guarding). *)
+let guard_cap = 1 lsl 16
+
+let guard_digest ~digest ~code =
+  Mutex.lock guard_mutex;
+  (match Hashtbl.find_opt guard_tbl digest with
+   | Some codes ->
+     if not (List.mem code !codes) then begin
+       codes := code :: !codes;
+       Obs.Metrics.incr m_canon_collisions
+     end
+   | None ->
+     if Hashtbl.length guard_tbl < guard_cap then
+       Hashtbl.add guard_tbl digest (ref [ code ]));
+  Mutex.unlock guard_mutex
+
+let canon_digest c =
+  let code = c.canon_code in
+  let d = Digest.to_hex (Digest.string (version ^ "\n" ^ code)) in
+  guard_digest ~digest:d ~code;
+  d
+
 let canon_region (func : Ir.Func.t) (region : An.Region.t) =
   let in_region l = An.Region.String_set.mem l region.An.Region.blocks in
   (* Canonical block order: BFS from the region entry in terminator

@@ -75,3 +75,25 @@ type canon = {
     within the region (defensive; SESE regions have none) are appended
     in sorted label order. *)
 val canon_region : Cayman_ir.Func.t -> Cayman_analysis.Region.t -> canon
+
+(** {1 Canon digests, collision-guarded}
+
+    Fleet-scale clustering compares kernels by the digest of their
+    [canon_code] and treats equal digests as "structurally identical" —
+    a hash collision would silently merge different datapaths. The
+    digest below therefore passes through a process-wide guard that
+    remembers every distinct canonical code seen per digest and bumps
+    the [memo.canon_collisions] counter (surfaced by
+    [cayman cache stats]) whenever two different codes map to the same
+    digest. The count is schedule-independent: it equals the sum over
+    digests of (distinct codes − 1), in whatever order regions are
+    canonicalized. *)
+
+(** Guarded, version-salted digest of a region's canonical code. *)
+val canon_digest : canon -> string
+
+(** The guard itself, exposed so tests can exercise the collision path
+    directly (real MD5 collisions being unconstructible here): records
+    [code] under [digest] and counts a collision when a different code
+    was already recorded for it. *)
+val guard_digest : digest:string -> code:string -> unit

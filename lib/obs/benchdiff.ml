@@ -134,9 +134,15 @@ let to_string ~max_regress_pct r =
        max_regress_pct);
   Buffer.contents b
 
+(* The provenance a trajectory file records about itself: bench writers
+   stamp a top-level "source" field (bench commit / argv). Carried
+   through to the diff report so CI artifacts say what was compared. *)
+let source (doc : Json.t) : string option =
+  Option.bind (Json.member "source" doc) Json.to_string_opt
+
 (* Machine-readable twin of [to_string], for --json FILE: CI uploads
    the document instead of parsing the table. *)
-let to_json ~max_regress_pct r : Json.t =
+let to_json ?old_source ?new_source ~max_regress_pct r : Json.t =
   let cmp c =
     Json.Obj
       [ "phase", Json.String c.c_phase;
@@ -145,8 +151,11 @@ let to_json ~max_regress_pct r : Json.t =
         "delta_pct", Json.Float c.c_pct;
         "regression", Json.Bool (c.c_pct > max_regress_pct) ]
   in
+  let src = function None -> Json.Null | Some s -> Json.String s in
   Json.Obj
-    [ "max_regress_pct", Json.Float max_regress_pct;
+    [ "old_source", src old_source;
+      "new_source", src new_source;
+      "max_regress_pct", Json.Float max_regress_pct;
       "ok", Json.Bool (ok r);
       "compared", Json.List (List.map cmp r.r_compared);
       "regressions", Json.List (List.map cmp r.r_regressions);

@@ -34,6 +34,13 @@ val ok : result -> bool
 (** Deterministic table rendering plus a one-line summary. *)
 val to_string : max_regress_pct:float -> result -> string
 
+(** The top-level [source] provenance field a trajectory file records
+    about itself (bench commit / argv), if present. *)
+val source : Json.t -> string option
+
 (** Machine-readable report: per-phase old/new/delta, the regression
-    subset, and the phases unique to either file. *)
-val to_json : max_regress_pct:float -> result -> Json.t
+    subset, the phases unique to either file, and the [source]
+    provenance of both inputs ([Null] when a file has none). *)
+val to_json :
+  ?old_source:string -> ?new_source:string -> max_regress_pct:float ->
+  result -> Json.t

@@ -18,6 +18,7 @@ let () =
       "diag", Test_diag.tests;
       "random", Test_random.tests;
       "memo", Test_memo.tests;
+      "fleet", Test_fleet.tests;
       "serve", Test_serve.tests;
       "cache-dse", Test_cache_dse.tests;
       "suites", Test_suites.tests;

@@ -195,7 +195,7 @@ let diff_check ?(observe = true) ?cache_config ?fuel (p : Ir.Program.t) =
 (* Program generators                                                  *)
 (* ------------------------------------------------------------------ *)
 
-(* The test_memo CFG generator wrapped into a program. Its functions are
+(* The Fleet.Genprog CFG generator wrapped into a program. Its functions are
    deliberately type-sloppy (int immediates assigned to float registers,
    loads of float arrays into int contexts, reads of never-written
    registers), so a large share of these programs take the staged
@@ -212,7 +212,7 @@ let wrap_memo_func (f : Ir.Func.t) : Ir.Program.t =
 let arb_memo_program =
   QCheck.make
     ~print:(fun f -> Ir.Program.to_string (wrap_memo_func f))
-    Test_memo.gen_func
+    Fleet.Genprog.gen_ir_func
 
 (* A richer, mostly well-typed generator aimed at the staged fast path:
    typed register banks (float f0-f3, int n0-n3, bool c0-c1), integer

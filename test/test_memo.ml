@@ -94,99 +94,12 @@ let test_builder () =
 (* Random CFGs for the canonicalizer properties                        *)
 (* ------------------------------------------------------------------ *)
 
-(* Small functions over float registers t0..t3, an I32 induction
-   register i, a Bool register c, and arrays A/B: enough variety to
-   exercise every operand and instruction shape the canonicalizer
-   renders, in three SESE structures (straight line, diamond, loop). *)
+(* The random CFG generator itself lives in [Fleet.Genprog] (promoted
+   from this file so the fleet subsystem can reuse it); the rename and
+   mutation transforms below stay test-local — they exist only to state
+   the canonicalizer's invariance/sensitivity properties. *)
 
-let freg i = Ir.Instr.reg (Printf.sprintf "t%d" i) Ir.Types.F32
-let ireg = Ir.Instr.reg "i" Ir.Types.I32
-let creg = Ir.Instr.reg "c" Ir.Types.Bool
-
-type shape = Straight | Diamond | Loop
-
-open QCheck.Gen
-
-let gen_operand =
-  frequency
-    [ 3, map (fun i -> Ir.Instr.Reg (freg i)) (int_range 0 3);
-      2, map (fun n -> Ir.Instr.Imm_int n) (int_range 0 9);
-      1,
-      map
-        (fun n -> Ir.Instr.Imm_float (float_of_int n /. 4.0))
-        (int_range (-8) 8) ]
-
-let gen_index =
-  frequency
-    [ 2, return (Ir.Instr.Reg ireg);
-      1, map (fun n -> Ir.Instr.Imm_int n) (int_range 0 7) ]
-
-let gen_base = map (fun b -> if b then "A" else "B") bool
-
-let gen_instr =
-  frequency
-    [ 2,
-      map2 (fun d a -> Ir.Instr.Assign (freg d, a)) (int_range 0 3)
-        gen_operand;
-      3,
-      (int_range 0 3 >>= fun d ->
-       oneofl [ Ir.Op.Fadd; Ir.Op.Fsub; Ir.Op.Fmul ] >>= fun op ->
-       map2 (fun a b -> Ir.Instr.Binary (freg d, op, a, b)) gen_operand
-         gen_operand);
-      2,
-      (int_range 0 3 >>= fun d ->
-       map2
-         (fun base index ->
-           Ir.Instr.Load (freg d, { Ir.Instr.base; index }))
-         gen_base gen_index);
-      2,
-      map3
-        (fun base index v -> Ir.Instr.Store ({ Ir.Instr.base; index }, v))
-        gen_base gen_index gen_operand ]
-
-let gen_body = list_size (int_range 1 4) gen_instr
-
-let gen_func =
-  oneofl [ Straight; Diamond; Loop ] >>= fun shape ->
-  gen_body >>= fun b1 ->
-  gen_body >>= fun b2 ->
-  gen_body >>= fun b3 ->
-  gen_operand >>= fun cmp_rhs ->
-  let block label instrs term = Ir.Block.v ~label ~instrs ~term in
-  let blocks =
-    match shape with
-    | Straight ->
-      [ block "entry" b1 (Ir.Instr.Return (Some (Ir.Instr.Reg (freg 0)))) ]
-    | Diamond ->
-      [ block "entry"
-          (b1
-          @ [ Ir.Instr.Compare
-                (creg, Ir.Op.Flt, Ir.Instr.Reg (freg 0), cmp_rhs) ])
-          (Ir.Instr.Branch (Ir.Instr.Reg creg, "then", "else"));
-        block "then" b2 (Ir.Instr.Jump "join");
-        block "else" b3 (Ir.Instr.Jump "join");
-        block "join" []
-          (Ir.Instr.Return (Some (Ir.Instr.Reg (freg 0)))) ]
-    | Loop ->
-      [ block "entry"
-          (Ir.Instr.Assign (ireg, Ir.Instr.Imm_int 0) :: b1)
-          (Ir.Instr.Jump "head");
-        block "head"
-          [ Ir.Instr.Compare
-              (creg, Ir.Op.Lt, Ir.Instr.Reg ireg, Ir.Instr.Imm_int 8) ]
-          (Ir.Instr.Branch (Ir.Instr.Reg creg, "body", "exit"));
-        block "body"
-          (b2
-          @ [ Ir.Instr.Binary
-                (ireg, Ir.Op.Add, Ir.Instr.Reg ireg, Ir.Instr.Imm_int 1) ])
-          (Ir.Instr.Jump "head");
-        block "exit" b3
-          (Ir.Instr.Return (Some (Ir.Instr.Reg (freg 0)))) ]
-  in
-  return (Ir.Func.v ~name:"f" ~params:[] ~ret:(Some Ir.Types.F32) ~blocks)
-
-let arb_func =
-  QCheck.make ~print:(Format.asprintf "%a" Ir.Func.pp) gen_func
+let arb_func = Fleet.Genprog.arb_ir_func
 
 (* A bijective rename of every register and label (array bases are
    program symbols and stay put — the canonicalizer must keep them). *)

@@ -167,9 +167,114 @@ let test_dfg_level_merge_on_benchmark () =
   Alcotest.(check bool) "substantial on 3mm" true
     (m.Core.Merge.saving_pct > 15.0)
 
+(* --- the generalized entry points (fleet merging rides on these) --- *)
+
+let mk_merge_accel prog area =
+  { Core.Merge.regions = [ prog ^ "/kernel/loop_i" ];
+    res =
+      { Core.Merge.units = fp_units;
+        r_coupled = 0;
+        r_decoupled = 1;
+        r_sp_words = 0;
+        r_regs = 6 };
+    area;
+    fsms = 1;
+    nodes = None }
+
+let test_cross_program_merge_accels () =
+  (* merge_accels is not tied to one program's solution: accelerators
+     from three different programs collapse into one reusable accel *)
+  let pop =
+    [ mk_merge_accel "p0" 25_000.0;
+      mk_merge_accel "p1" 25_000.0;
+      mk_merge_accel "p2" 25_000.0 ]
+  in
+  let merged = Core.Merge.merge_accels pop in
+  Alcotest.(check int) "one shared accel" 1 (List.length merged);
+  let m = List.hd merged in
+  Alcotest.(check int) "serves three programs" 3
+    (List.length m.Core.Merge.regions);
+  Alcotest.(check int) "three FSMs" 3 m.Core.Merge.fsms;
+  Alcotest.(check bool) "cheaper than the sum" true
+    (m.Core.Merge.area < 75_000.0);
+  (* empty and singleton populations are no-ops *)
+  Alcotest.(check int) "empty population" 0
+    (List.length (Core.Merge.merge_accels []));
+  (match Core.Merge.merge_accels [ mk_merge_accel "p9" 25_000.0 ] with
+   | [ a ] ->
+     Alcotest.(check (float 1e-9)) "singleton untouched" 25_000.0
+       a.Core.Merge.area
+   | _ -> Alcotest.fail "singleton population changed size")
+
+let test_merge_pair_arithmetic () =
+  let a = mk_merge_accel "pa" 25_000.0
+  and b = mk_merge_accel "pb" 30_000.0 in
+  let s = Core.Merge.pair_saving a b in
+  Alcotest.(check bool) "identical datapaths save" true (s > 0.0);
+  let m = Core.Merge.merge_pair a b ~saving:s in
+  Alcotest.(check (float 1e-6)) "merged area = a + b - saving"
+    (25_000.0 +. 30_000.0 -. s)
+    m.Core.Merge.area
+
+(* QCheck: over arbitrary accelerator populations, the greedy merge
+   never increases total area and never loses a region. *)
+let qcheck_merge_never_increases_area =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 0 6)
+        (quad (int_range 0 3) (int_range 0 3) (int_range 0 3)
+           (int_range 5 50)))
+  in
+  let arb =
+    QCheck.make
+      ~print:(fun pop ->
+        String.concat ";"
+          (List.map
+             (fun (fa, fm, im, ak) ->
+               Printf.sprintf "(fa=%d,fm=%d,im=%d,a=%dk)" fa fm im ak)
+             pop))
+      gen
+  in
+  Testutil.qtest ~count:200 "merging never increases total area" arb
+    (fun pop ->
+      let accels =
+        List.mapi
+          (fun i (fa, fm, im, ak) ->
+            let units =
+              List.filter
+                (fun (_, c) -> c > 0)
+                [ (Ir.Op.U_float_add, fa);
+                  (Ir.Op.U_float_mul, fm);
+                  (Ir.Op.U_int_mul, im) ]
+            in
+            mk_accel (Printf.sprintf "k%d" i) ~regs:(fa + fm) units
+              (float_of_int ak *. 1000.0))
+          pop
+      in
+      let s = solution_of accels in
+      let r = Core.Merge.merge_solution s in
+      if r.Core.Merge.area_after > r.Core.Merge.area_before +. 1e-6 then
+        QCheck.Test.fail_reportf "area grew: %.1f -> %.1f"
+          r.Core.Merge.area_before r.Core.Merge.area_after;
+      let regions_after =
+        List.fold_left
+          (fun acc (a : Core.Merge.accel) ->
+            acc + List.length a.Core.Merge.regions)
+          0 r.Core.Merge.accels
+      in
+      if regions_after <> List.length accels then
+        QCheck.Test.fail_reportf "regions lost: %d -> %d"
+          (List.length accels) regions_after;
+      true)
+
 let tests =
   [ Alcotest.test_case "identical pair merges with saving" `Quick
       test_identical_pair_saves;
+    Alcotest.test_case "cross-program merge_accels" `Quick
+      test_cross_program_merge_accels;
+    Alcotest.test_case "merge_pair arithmetic" `Quick
+      test_merge_pair_arithmetic;
+    qcheck_merge_never_increases_area;
     Alcotest.test_case "disjoint units stay separate" `Quick
       test_disjoint_units_do_not_merge;
     Alcotest.test_case "single accelerator untouched" `Quick
